@@ -1,0 +1,104 @@
+package lcsf
+
+import (
+	"lcsf/internal/baseline/sacharidis"
+	"lcsf/internal/baseline/shaham"
+	"lcsf/internal/baseline/xie"
+	"lcsf/internal/fairml"
+)
+
+// The prior-work baselines the paper compares against, exposed so users can
+// run the same comparisons on their own data.
+
+// SacharidisConfig parameterizes the Sacharidis et al. (EDBT 2023)
+// local-vs-global spatial fairness audit.
+type SacharidisConfig = sacharidis.Config
+
+// SacharidisResult is the baseline's audit outcome.
+type SacharidisResult = sacharidis.Result
+
+// DefaultSacharidisConfig mirrors the comparison settings of Section 5.1.2.
+func DefaultSacharidisConfig() SacharidisConfig { return sacharidis.DefaultConfig() }
+
+// SacharidisAudit runs the region-vs-outside audit: each region's positive
+// rate is tested against the rate everywhere outside it. It considers only
+// location and outcomes — not protected attributes — which is the gap LC-SF
+// closes.
+func SacharidisAudit(p *Partitioning, cfg SacharidisConfig) (*SacharidisResult, error) {
+	return sacharidis.Audit(p, cfg)
+}
+
+// XieScore is the mean-variance-over-partitionings spatial fairness score of
+// Xie et al. (AAAI 2022); lower means fairer.
+type XieScore = xie.Score
+
+// XieEvaluate computes the mean-variance score over the given cols x rows
+// partitionings.
+func XieEvaluate(bounds BBox, obs []Observation, grids [][2]int, minRegionSize int) XieScore {
+	return xie.Evaluate(bounds, obs, grids, minRegionSize)
+}
+
+// XieDefaultGrids returns the standard multi-resolution set the score
+// averages over.
+func XieDefaultGrids() [][2]int { return xie.DefaultGrids() }
+
+// Polynomial is a c-fair polynomial of the Shaham et al. (VLDB 2022)
+// individual spatial fairness mechanism.
+type Polynomial = shaham.Polynomial
+
+// FitPolynomial least-squares-fits a polynomial of the given degree to model
+// outputs over a one-dimensional location feature (distance from a reference
+// point, or a zone coordinate).
+func FitPolynomial(xs, ys []float64, degree int) (Polynomial, error) {
+	return shaham.Fit(xs, ys, degree)
+}
+
+// MakeCFair contracts a polynomial until it satisfies the c-Lipschitz
+// individual spatial fairness condition over [lo, hi].
+func MakeCFair(p Polynomial, c, lo, hi float64) Polynomial {
+	return shaham.MakeCFair(p, c, lo, hi)
+}
+
+// LipschitzViolations counts the location pairs whose outputs violate the
+// (D,d)-Lipschitz individual spatial fairness condition at constant c.
+func LipschitzViolations(xs, outs []float64, c float64) int {
+	return shaham.LipschitzViolations(xs, outs, c)
+}
+
+// DistanceFairnessResult is the outcome of the distance- or zone-based
+// individual spatial fairness mechanism.
+type DistanceFairnessResult = shaham.DistanceFairnessResult
+
+// DistanceFairness runs the distance-based individual spatial fairness
+// mechanism: fit a polynomial to model outputs over distance from a
+// reference point and enforce the c-Lipschitz condition on it.
+func DistanceFairness(points []Point, ref Point, outputs []float64, degree int, c float64) (*DistanceFairnessResult, error) {
+	return shaham.DistanceFairness(points, ref, outputs, degree, c)
+}
+
+// ZoneFairness is the zone-coordinate variant of DistanceFairness.
+func ZoneFairness(zones, outputs []float64, degree int, c float64) (*DistanceFairnessResult, error) {
+	return shaham.ZoneFairness(zones, outputs, degree, c)
+}
+
+// GroupOutcomes aggregates one group's outcome counts for the aspatial
+// fair-ML metrics.
+type GroupOutcomes = fairml.GroupOutcomes
+
+// DisparateImpact returns the ratio of the protected group's positive rate
+// to the reference group's (Definition 5.1).
+func DisparateImpact(protected, reference GroupOutcomes) float64 {
+	return fairml.DisparateImpact(protected, reference)
+}
+
+// ViolatesEightyPercentRule reports whether the disparate impact falls below
+// the EEOC's 80% threshold.
+func ViolatesEightyPercentRule(protected, reference GroupOutcomes) bool {
+	return fairml.ViolatesEightyPercentRule(protected, reference)
+}
+
+// StatisticalParityGap returns the absolute difference of two groups'
+// positive rates (Definition 5.2).
+func StatisticalParityGap(a, b GroupOutcomes) float64 {
+	return fairml.StatisticalParityGap(a, b)
+}

@@ -1,0 +1,188 @@
+// Command lcsf-audit runs the LC-spatial-fairness audit over a Loan
+// Application Register CSV or a points-of-interest CSV (as written by
+// lcsf-datagen, or any file with the same columns) and reports the spatially
+// unfair pairs of regions.
+//
+// Usage:
+//
+//	lcsf-audit -lar data/lar_bank_of_america.csv
+//	lcsf-audit -lar data/lar_loan_depot.csv -cols 50 -rows 25 -top 10 -map
+//	lcsf-audit -lar data/lar_wells_fargo.csv -dissimilarity statparity -delta 0.05
+//	lcsf-audit -lar data/lar_bank_of_america.csv -out-json report.json -out-geojson map.geojson
+//	lcsf-audit -places data/places.csv -census-seed 2020 -cols 20 -rows 20 -ethical
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lcsf/internal/census"
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/hmda"
+	"lcsf/internal/partition"
+	"lcsf/internal/poi"
+	"lcsf/internal/report"
+	"lcsf/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcsf-audit: ")
+
+	var (
+		lar        = flag.String("lar", "", "LAR CSV file to audit (mutually exclusive with -places)")
+		places     = flag.String("places", "", "points-of-interest CSV to audit (food-access use case)")
+		censusSeed = flag.Uint64("census-seed", 2020, "seed of the census model the -places file was generated against")
+		tracts     = flag.Int("tracts", 0, "tract count of that census model (0 = default)")
+		ethical    = flag.Bool("ethical", false, "use the relaxed ethical-spatial-fairness thresholds")
+		cols       = flag.Int("cols", 100, "grid columns")
+		rows       = flag.Int("rows", 50, "grid rows")
+		epsilon    = flag.Float64("epsilon", 0.001, "similarity threshold (Mann-Whitney p-value floor)")
+		delta      = flag.Float64("delta", 0.001, "dissimilarity threshold")
+		eta        = flag.Float64("eta", 0.05, "outcome-similarity threshold (rate-gap fast path; 0 disables)")
+		alpha      = flag.Float64("alpha", 0.01, "Monte-Carlo significance level")
+		worlds     = flag.Int("worlds", 999, "Monte-Carlo worlds (the paper's m)")
+		minSize    = flag.Int("min-region", 100, "minimum individuals per region")
+		diss       = flag.String("dissimilarity", "zscore", "dissimilarity metric: zscore, statparity, or di")
+		top        = flag.Int("top", 5, "number of most-unfair pairs to describe")
+		showMap    = flag.Bool("map", false, "print a terminal map of the unfair regions")
+		seed       = flag.Uint64("seed", 1, "Monte-Carlo seed")
+		outJSON    = flag.String("out-json", "", "write the full report as JSON to this file")
+		outCSV     = flag.String("out-csv", "", "write the unfair pairs as CSV to this file")
+		outMD      = flag.String("out-md", "", "write a Markdown report to this file")
+		outGeoJSON = flag.String("out-geojson", "", "write the flagged regions as GeoJSON to this file")
+	)
+	flag.Parse()
+	if (*lar == "") == (*places == "") {
+		fmt.Fprintln(os.Stderr, "exactly one of -lar or -places is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var obs []partition.Observation
+	switch {
+	case *lar != "":
+		records, err := hmda.ReadCSV(*lar)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs = hmda.ToObservations(records)
+		if len(obs) == 0 {
+			log.Fatal("no decisioned (approved/denied) records in input")
+		}
+	default:
+		pl, err := poi.ReadCSV(*places)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Places carry only tract references; rebuild the census model the
+		// file was generated against to attach neighborhood demographics.
+		model := census.Generate(census.Config{Seed: *censusSeed, NumTracts: *tracts})
+		for _, p := range pl {
+			if p.Tract < 0 || p.Tract >= len(model.Tracts) {
+				log.Fatalf("place %d references tract %d outside the census model (wrong -census-seed or -tracts?)", p.ID, p.Tract)
+			}
+		}
+		obs = poi.ToObservations(model, pl, *censusSeed+1)
+	}
+
+	cfg := core.DefaultConfig()
+	if *ethical {
+		cfg = core.EthicalConfig()
+	}
+	// Threshold flags override the chosen base configuration only when the
+	// user set them explicitly, so -ethical keeps its relaxed defaults.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["epsilon"] {
+		cfg.Epsilon = *epsilon
+	}
+	if set["delta"] {
+		cfg.Delta = *delta
+	}
+	if set["eta"] {
+		cfg.Eta = *eta
+	}
+	if set["alpha"] {
+		cfg.Alpha = *alpha
+	}
+	if set["worlds"] {
+		cfg.MCWorlds = *worlds
+	}
+	if set["min-region"] {
+		cfg.MinRegionSize = *minSize
+	}
+	cfg.Seed = *seed
+	switch *diss {
+	case "zscore":
+		cfg.Dissimilarity = core.ZScoreDissimilarity{}
+	case "statparity":
+		cfg.Dissimilarity = core.StatParityDissimilarity{}
+	case "di":
+		cfg.Dissimilarity = core.DisparateImpactDissimilarity{}
+	default:
+		log.Fatalf("unknown -dissimilarity %q", *diss)
+	}
+
+	grid := geo.NewGrid(geo.ContinentalUS, *cols, *rows)
+	part := partition.ByGrid(grid, obs, partition.Options{Seed: *seed})
+	res, err := core.Audit(part, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("audited %d observations over a %s grid (global positive rate %.3f)\n",
+		part.TotalN, grid, res.GlobalRate)
+	fmt.Printf("eligible regions: %d; candidate pairs: %d; unfair pairs: %d\n",
+		res.EligibleRegions, res.Candidates, len(res.Pairs))
+
+	for i, pr := range res.Top(*top) {
+		ci, cj := grid.CellCenter(pr.I), grid.CellCenter(pr.J)
+		fmt.Printf("%2d. region %d at %s (rate %.2f, protected share %.2f) vs region %d at %s (rate %.2f, protected share %.2f)  tau=%.1f p=%.3f\n",
+			i+1, pr.I, ci, pr.RateI, pr.SharedI, pr.J, cj, pr.RateJ, pr.SharedJ, pr.Tau, pr.P)
+	}
+
+	if *showMap {
+		set := res.UnfairRegionSet()
+		fmt.Println("unfair regions ('1'):")
+		fmt.Print(viz.HighlightMap(grid, []map[int]bool{set}))
+	}
+
+	if *outJSON != "" || *outCSV != "" || *outMD != "" || *outGeoJSON != "" {
+		doc := report.Build(part, grid, res)
+		write := func(path string, fn func(*os.File) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fn(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		write(*outJSON, func(f *os.File) error { return doc.WriteJSON(f) })
+		write(*outCSV, func(f *os.File) error { return doc.WriteCSV(f) })
+		write(*outMD, func(f *os.File) error {
+			_, err := f.WriteString(doc.Markdown(20))
+			return err
+		})
+		write(*outGeoJSON, func(f *os.File) error {
+			data, err := report.GeoJSON(part, grid, res)
+			if err != nil {
+				return err
+			}
+			_, err = f.Write(data)
+			return err
+		})
+	}
+}

@@ -1,0 +1,136 @@
+// Command lcsf-bench regenerates every table and figure of the paper's
+// evaluation on the synthetic substrate, printing each next to the paper's
+// published numbers. It is the harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lcsf-bench                  # everything (a few minutes)
+//	lcsf-bench -quick           # skip the three partitioning sweeps
+//	lcsf-bench -only table2     # one artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"lcsf/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcsf-bench: ")
+
+	var (
+		seed   = flag.Uint64("seed", experiments.DefaultSeed, "master seed of the synthetic universe")
+		quick  = flag.Bool("quick", false, "skip the partitioning sweeps (Tables 2-4)")
+		only   = flag.String("only", "", "run a single artifact: table1, di, comparison, figure1, figure2, figure3, figures45, figure6, food, detection, ablations, table2, table3, table4")
+		svgDir = flag.String("svg-dir", "", "also render the map figures as SVG files into this directory")
+	)
+	flag.Parse()
+
+	s := experiments.NewSuite(*seed)
+	w := os.Stdout
+
+	type artifact struct {
+		name  string
+		sweep bool
+		run   func(io.Writer, *experiments.Suite) error
+	}
+	artifacts := []artifact{
+		{"table1", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunTable1(w, s)
+			return err
+		}},
+		{"di", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunDisparateImpactBaseline(w, s)
+			return err
+		}},
+		{"comparison", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunBaselineComparison(w, s)
+			return err
+		}},
+		{"figure1", false, func(w io.Writer, s *experiments.Suite) error {
+			experiments.RunFigure1MAUP(w)
+			return nil
+		}},
+		{"figure2", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunFigure2Adversary(w)
+			return err
+		}},
+		{"figure3", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunFigure3(w, s)
+			return err
+		}},
+		{"figures45", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunFigures4And5(w, s)
+			return err
+		}},
+		{"figure6", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunFigure6(w, s)
+			return err
+		}},
+		{"food", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunFoodAccessHeadline(w, s)
+			return err
+		}},
+		{"detection", false, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunDetectionAccuracy(w, s)
+			return err
+		}},
+		{"ablations", true, func(w io.Writer, s *experiments.Suite) error {
+			if _, err := experiments.RunAblationEta(w, s); err != nil {
+				return err
+			}
+			if _, err := experiments.RunAblationSignificance(w, s); err != nil {
+				return err
+			}
+			_, err := experiments.RunAblationMetrics(w, s)
+			return err
+		}},
+		{"table2", true, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunTable2(w, s)
+			return err
+		}},
+		{"table3", true, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunTable3(w, s)
+			return err
+		}},
+		{"table4", true, func(w io.Writer, s *experiments.Suite) error {
+			_, err := experiments.RunTable4(w, s)
+			return err
+		}},
+	}
+
+	ran := 0
+	for _, a := range artifacts {
+		if *only != "" && a.name != *only {
+			continue
+		}
+		if *quick && a.sweep && *only == "" {
+			continue
+		}
+		start := time.Now()
+		if err := a.run(w, s); err != nil {
+			log.Fatalf("%s: %v", a.name, err)
+		}
+		fmt.Fprintf(w, "[%s completed in %.1fs]\n\n", a.name, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no artifact matched -only %q", *only)
+	}
+
+	if *svgDir != "" {
+		paths, err := experiments.WriteFigureSVGs(*svgDir, s)
+		if err != nil {
+			log.Fatalf("rendering SVGs: %v", err)
+		}
+		for _, p := range paths {
+			fmt.Fprintf(w, "wrote %s\n", p)
+		}
+	}
+}

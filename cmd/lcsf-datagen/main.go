@@ -1,0 +1,145 @@
+// Command lcsf-datagen generates the synthetic datasets of the LC-SF
+// experiment universe as CSV files: the census-tract model, a lender's Loan
+// Application Register, and the points-of-interest file of the food-access
+// use case.
+//
+// Usage:
+//
+//	lcsf-datagen -out data/                     # everything, default seed
+//	lcsf-datagen -out data/ -dataset mortgage -lender "Loan Depot"
+//	lcsf-datagen -out data/ -dataset places -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lcsf/internal/census"
+	"lcsf/internal/geo"
+	"lcsf/internal/hmda"
+	"lcsf/internal/poi"
+	"lcsf/internal/table"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcsf-datagen: ")
+
+	var (
+		out     = flag.String("out", "data", "output directory (created if missing)")
+		seed    = flag.Uint64("seed", 2020, "master seed of the synthetic universe")
+		dataset = flag.String("dataset", "all", "which dataset to write: census, mortgage, places, or all")
+		lender  = flag.String("lender", "", "lender name for -dataset mortgage (default: all four)")
+		tracts  = flag.Int("tracts", 0, "number of census tracts (0 = default 8000)")
+		geoJSON = flag.Bool("geojson", false, "also write the census tracts as GeoJSON (tracts.geojson)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	model := census.Generate(census.Config{Seed: *seed, NumTracts: *tracts})
+
+	if *geoJSON {
+		writeCensusGeoJSON(model, *out)
+	}
+	switch *dataset {
+	case "census":
+		writeCensus(model, *out)
+	case "mortgage":
+		writeMortgages(model, *out, *lender)
+	case "places":
+		writePlaces(model, *out, *seed)
+	case "all":
+		writeCensus(model, *out)
+		writeMortgages(model, *out, *lender)
+		writePlaces(model, *out, *seed)
+	default:
+		log.Fatalf("unknown -dataset %q (want census, mortgage, places, or all)", *dataset)
+	}
+}
+
+func writeCensus(model *census.Model, dir string) {
+	t := table.New(table.Schema{
+		{Name: "id", Type: table.Int64},
+		{Name: "lon", Type: table.Float64},
+		{Name: "lat", Type: table.Float64},
+		{Name: "population", Type: table.Int64},
+		{Name: "mean_income", Type: table.Float64},
+		{Name: "income_sd", Type: table.Float64},
+		{Name: "minority_share", Type: table.Float64},
+		{Name: "metro", Type: table.String},
+	})
+	for _, tr := range model.Tracts {
+		err := t.AppendRow(int64(tr.ID), tr.Center.X, tr.Center.Y, int64(tr.Population),
+			tr.MeanIncome, tr.IncomeSD, tr.MinorityShare, tr.Metro)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "census_tracts.csv")
+	if err := t.WriteCSVFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d tracts)\n", path, len(model.Tracts))
+}
+
+func writeCensusGeoJSON(model *census.Model, dir string) {
+	polys := make([]geo.Polygon, len(model.Tracts))
+	props := make([]map[string]any, len(model.Tracts))
+	for i, tr := range model.Tracts {
+		polys[i] = geo.NewRect(tr.Box)
+		props[i] = map[string]any{
+			"id":             tr.ID,
+			"population":     tr.Population,
+			"mean_income":    tr.MeanIncome,
+			"minority_share": tr.MinorityShare,
+			"metro":          tr.Metro,
+		}
+	}
+	data, err := geo.FeatureCollection(polys, props)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, "tracts.geojson")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d features)\n", path, len(polys))
+}
+
+func writeMortgages(model *census.Model, dir, name string) {
+	lenders := hmda.DefaultLenders()
+	if name != "" {
+		l, err := hmda.LenderByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lenders = []hmda.Lender{l}
+	}
+	for _, l := range lenders {
+		recs := hmda.Generate(model, l)
+		path := filepath.Join(dir, "lar_"+slug(l.Name)+".csv")
+		if err := hmda.WriteCSV(path, recs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d applications)\n", path, len(recs))
+	}
+}
+
+func writePlaces(model *census.Model, dir string, seed uint64) {
+	places := poi.Generate(model, poi.Config{Seed: seed + 55})
+	path := filepath.Join(dir, "places.csv")
+	if err := poi.WriteCSV(path, places); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d places)\n", path, len(places))
+}
+
+func slug(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), " ", "_")
+}

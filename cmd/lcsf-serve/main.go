@@ -1,0 +1,39 @@
+// Command lcsf-serve runs the LC-SF audit as an HTTP service.
+//
+//	lcsf-serve -addr :8080
+//	curl -X POST --data-binary @data/lar_bank_of_america.csv \
+//	     'http://localhost:8080/audit?cols=100&rows=50' | jq .unfair_pairs
+//	curl -X POST --data-binary @data/lar_loan_depot.csv \
+//	     'http://localhost:8080/audit/geojson?cols=40&rows=20' > flagged.geojson
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"lcsf/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcsf-serve: ")
+
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxBody = flag.Int64("max-body-mb", 256, "maximum request body size in MiB")
+	)
+	flag.Parse()
+
+	h := server.New(server.Config{MaxBodyBytes: *maxBody << 20})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

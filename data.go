@@ -1,0 +1,61 @@
+package lcsf
+
+import (
+	"lcsf/internal/census"
+	"lcsf/internal/hmda"
+	"lcsf/internal/poi"
+)
+
+// The synthetic data layer, exposed so downstream users (and the examples)
+// can reproduce the paper's experiment universe or build their own. Real
+// deployments would load their own observations instead; the audit only
+// needs []Observation.
+
+// CensusModel is a synthetic US census-tract model with spatially-correlated
+// income and minority-share fields.
+type CensusModel = census.Model
+
+// CensusConfig controls census generation.
+type CensusConfig = census.Config
+
+// GenerateCensus builds a deterministic synthetic census model.
+func GenerateCensus(cfg CensusConfig) *CensusModel { return census.Generate(cfg) }
+
+// Lender configures one synthetic mortgage lender (volume, planted bias,
+// seed).
+type Lender = hmda.Lender
+
+// MortgageRecord is one synthetic loan application.
+type MortgageRecord = hmda.Record
+
+// DefaultLenders returns the paper's four lenders with volumes matching
+// Section 4.1.2.
+func DefaultLenders() []Lender { return hmda.DefaultLenders() }
+
+// GenerateMortgages produces the synthetic Loan Application Register of one
+// lender over a census model.
+func GenerateMortgages(m *CensusModel, l Lender) []MortgageRecord { return hmda.Generate(m, l) }
+
+// MortgageObservations converts decisioned mortgage records to audit
+// observations (positive = approved, protected = minority, income as the
+// non-protected attribute).
+func MortgageObservations(records []MortgageRecord) []Observation {
+	return hmda.ToObservations(records)
+}
+
+// POIConfig controls point-of-interest generation for the food-access use
+// case.
+type POIConfig = poi.Config
+
+// Place is one synthetic point of interest (fast-food outlet or grocery).
+type Place = poi.Place
+
+// GeneratePlaces produces the synthetic SafeGraph-like places dataset over a
+// census model.
+func GeneratePlaces(m *CensusModel, cfg POIConfig) []Place { return poi.Generate(m, cfg) }
+
+// PlaceObservations converts places to audit observations (positive = fast
+// food; the protected flag and income describe the outlet's neighborhood).
+func PlaceObservations(m *CensusModel, places []Place, seed uint64) []Observation {
+	return poi.ToObservations(m, places, seed)
+}

@@ -1,0 +1,66 @@
+// Healthy-food-access use case (paper Section 4.2): "ethical spatial
+// fairness". A government agency audits the distribution of fast-food
+// outlets to find regions with an unjustified abundance of unhealthy food —
+// regions with significantly more fast food than other regions of similar
+// income but different racial makeup — as candidates for grocery-store
+// incentives.
+//
+//	go run ./examples/foodaccess
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lcsf"
+)
+
+func main() {
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{Seed: 2020})
+	// The paper's scale: 106,091 fast-food outlets of the top 15 brands,
+	// plus grocery stores, with a planted food-desert structure.
+	places := lcsf.GeneratePlaces(model, lcsf.POIConfig{Seed: 2075})
+	obs := lcsf.PlaceObservations(model, places, 2076)
+	fmt.Printf("auditing %d food outlets\n", len(obs))
+
+	// The relaxed "ethical" thresholds of Section 4.2: the agency is not
+	// bound by anti-discrimination law, it simply wants to act equitably,
+	// and its budget only covers substantively large disparities.
+	part := lcsf.PartitionGrid(lcsf.ContinentalUS, 20, 20, obs, lcsf.PartitionOptions{Seed: 2077})
+	result, err := lcsf.Audit(part, lcsf.EthicalConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	regions := result.UnfairRegionSet()
+	fmt.Printf("unfair regions: %d of %d cells — areas with unfairly abundant fast food\n",
+		len(regions), 20*20)
+
+	// Rank the flagged regions by how much fast food dominates, the list an
+	// agency would fund first.
+	type candidate struct {
+		idx  int
+		rate float64
+	}
+	var cands []candidate
+	for idx := range regions {
+		cands = append(cands, candidate{idx, part.Regions[idx].PositiveRate()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rate != cands[j].rate {
+			return cands[i].rate > cands[j].rate
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	grid := lcsf.NewGrid(lcsf.ContinentalUS, 20, 20)
+	fmt.Println("top regions for grocery-store incentives:")
+	for i, c := range cands {
+		if i == 5 {
+			break
+		}
+		r := part.Regions[c.idx]
+		fmt.Printf("  region at %v: %.0f%% of outlets are fast food (%d outlets, minority share %.0f%%)\n",
+			grid.CellCenter(c.idx), 100*c.rate, r.N, 100*r.ProtectedShare())
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: generate a small synthetic mortgage dataset with planted
+// spatial bias, audit it with the LC-spatial-fairness framework, and print
+// the most unfair pairs of regions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcsf"
+)
+
+func main() {
+	// 1. A synthetic census: income and minority share over the continental
+	// US, with redlining-legacy spatial structure.
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 2000, Seed: 1})
+
+	// 2. A synthetic lender that discriminates in segregated metros: its
+	// decision model penalizes minority applicants there, on top of a
+	// legitimate income effect everywhere.
+	records := lcsf.GenerateMortgages(model, lcsf.Lender{
+		Name: "Example Bank", Decisioned: 80000, Bias: 0.15, Seed: 2,
+	})
+	obs := lcsf.MortgageObservations(records)
+	fmt.Printf("auditing %d mortgage decisions\n", len(obs))
+
+	// 3. Partition the country into a 40x20 grid and audit: find pairs of
+	// regions with similar income, different racial composition, and
+	// significantly different approval rates.
+	part := lcsf.PartitionGrid(lcsf.ContinentalUS, 40, 20, obs, lcsf.PartitionOptions{Seed: 3})
+	result, err := lcsf.Audit(part, lcsf.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("eligible regions: %d, candidate pairs: %d, unfair pairs: %d\n",
+		result.EligibleRegions, result.Candidates, len(result.Pairs))
+	grid := lcsf.NewGrid(lcsf.ContinentalUS, 40, 20)
+	for i, pr := range result.Top(5) {
+		fmt.Printf("%d. region at %v (approval %.0f%%, minority %.0f%%) is unfair vs region at %v (approval %.0f%%, minority %.0f%%), p=%.3f\n",
+			i+1,
+			grid.CellCenter(pr.I), 100*pr.RateI, 100*pr.SharedI,
+			grid.CellCenter(pr.J), 100*pr.RateJ, 100*pr.SharedJ,
+			pr.P)
+	}
+}

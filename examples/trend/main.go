@@ -1,0 +1,53 @@
+// Longitudinal auditing: a lender under a consent decree reduces its
+// discriminatory practices year over year. Auditing each year's filings with
+// the same configuration and testing the series for trend answers the
+// regulator's question — is it credibly improving, or just noisy?
+//
+//	go run ./examples/trend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcsf"
+)
+
+func main() {
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 2000, Seed: 1})
+
+	// Six filing years; the planted bias declines after the decree.
+	biases := []float64{0.20, 0.18, 0.13, 0.09, 0.05, 0.02}
+	var periods []lcsf.TrendPeriod
+	for i, b := range biases {
+		records := lcsf.GenerateMortgages(model, lcsf.Lender{
+			Name: "Decree Bank", Decisioned: 60000, Bias: b, Seed: uint64(10 + i),
+		})
+		periods = append(periods, lcsf.TrendPeriod{
+			Label:        fmt.Sprintf("%d", 2019+i),
+			Observations: lcsf.MortgageObservations(records),
+		})
+	}
+
+	grid := lcsf.NewGrid(lcsf.ContinentalUS, 40, 20)
+	rep, err := lcsf.AnalyzeTrend(grid, periods, lcsf.DefaultConfig(), lcsf.PartitionOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("year   unfair pairs   unfair regions   affected share")
+	for _, p := range rep.Periods {
+		fmt.Printf("%-6s %12d %16d %14.1f%%\n",
+			p.Label, p.UnfairPairs, p.UnfairRegions, 100*p.AffectedShare)
+	}
+	fmt.Printf("\nMann-Kendall: tau=%.2f, p=%.4f, Theil-Sen slope=%.1f pairs/year\n",
+		rep.Trend.Tau, rep.Trend.P, rep.Trend.Slope)
+	switch {
+	case rep.Improving(0.05):
+		fmt.Println("verdict: measured spatial unfairness is credibly DECLINING")
+	case rep.Worsening(0.05):
+		fmt.Println("verdict: measured spatial unfairness is credibly INCREASING")
+	default:
+		fmt.Println("verdict: no credible trend")
+	}
+}

@@ -1,0 +1,3 @@
+module lcsf
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package sacharidis implements the spatial-fairness audit of Sacharidis,
+// Giannopoulos, Papastefanatos and Stefanidis, "Auditing for Spatial
+// Fairness" (EDBT 2023) — the paper's primary baseline.
+//
+// The method considers only location and outcomes: for each region it tests
+// whether the region's positive rate follows the same binomial distribution
+// as the positive rate outside the region (Equations 1 and 2 of the LC-SF
+// paper), using a likelihood-ratio statistic whose significance is calibrated
+// by Monte-Carlo simulation. A region whose local rate deviates significantly
+// from the rest of the space is flagged spatially unfair.
+//
+// Because every comparison is local-vs-global, the method is vulnerable to
+// adversarial boundary redrawing (Section 3.3 of the LC-SF paper): moving a
+// boundary so both new regions sit at the global rate silences the audit.
+// The experiments package demonstrates this.
+package sacharidis
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// Config parameterizes the audit.
+type Config struct {
+	// Alpha is the Monte-Carlo significance level.
+	Alpha float64
+	// MCWorlds is the number of simulated alternative worlds (the paper's m).
+	MCWorlds int
+	// MinRegionSize excludes smaller regions from testing.
+	MinRegionSize int
+	// Seed drives Monte-Carlo simulation deterministically.
+	Seed uint64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig mirrors the settings used for the LC-SF comparison:
+// significance 0.05, 999 worlds.
+func DefaultConfig() Config {
+	return Config{Alpha: 0.05, MCWorlds: 999, MinRegionSize: 20, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("sacharidis: Alpha %v outside (0,1)", c.Alpha)
+	}
+	if c.MCWorlds < 1 {
+		return fmt.Errorf("sacharidis: MCWorlds %d < 1", c.MCWorlds)
+	}
+	if c.MinRegionSize < 1 {
+		return fmt.Errorf("sacharidis: MinRegionSize %d < 1", c.MinRegionSize)
+	}
+	return nil
+}
+
+// UnfairRegion is one region whose positive rate deviates significantly from
+// the rate outside it.
+type UnfairRegion struct {
+	Index int     // region index in the partitioning
+	N     int     // individuals in the region
+	Rate  float64 // local positive rate
+	Tau   float64 // likelihood-ratio statistic
+	P     float64 // Monte-Carlo p-value
+}
+
+// Result is the outcome of one audit.
+type Result struct {
+	// Regions holds the significant regions, most unfair first (largest
+	// statistic).
+	Regions []UnfairRegion
+	// Tested is the number of regions large enough to test.
+	Tested int
+	// GlobalRate is the overall positive rate.
+	GlobalRate float64
+}
+
+// RegionSet returns the indices of the flagged regions.
+func (r *Result) RegionSet() map[int]bool {
+	out := make(map[int]bool, len(r.Regions))
+	for _, u := range r.Regions {
+		out[u.Index] = true
+	}
+	return out
+}
+
+// Audit runs the region-vs-outside audit over a partitioning. Each region's
+// Monte-Carlo stream is seeded from the region index, so the result is
+// deterministic regardless of parallelism.
+func Audit(p *partition.Partitioning, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eligible := p.NonEmpty(cfg.MinRegionSize)
+	res := &Result{Tested: len(eligible), GlobalRate: p.GlobalRate()}
+	N, P := p.TotalN, p.TotalPositives
+	if N == 0 {
+		return res, nil
+	}
+	globalRate := res.GlobalRate
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(eligible) {
+		workers = 1
+	}
+	shards := make([][]UnfairRegion, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ii := w; ii < len(eligible); ii += workers {
+				r := &p.Regions[eligible[ii]]
+				if r.N >= N {
+					continue // region covers everything; no outside to compare
+				}
+				tau := stats.RegionVsOutsideLRT(r.Positives, r.N, P, N)
+				if tau <= 2.0 {
+					// Under H0 tau is asymptotically chi-square(1); tau <= 2
+					// (p ~ 0.157) is never significant at practical alphas.
+					continue
+				}
+				rng := stats.NewRNG(cfg.Seed*0x100000001b3 + uint64(r.Index) + 0x5AC4A7)
+				pval, sig := stats.AdaptiveMonteCarloP(tau, cfg.MCWorlds, cfg.Alpha,
+					stats.RegionNullSimulator(rng, r.N, N, globalRate))
+				if sig {
+					shards[w] = append(shards[w], UnfairRegion{
+						Index: r.Index, N: r.N, Rate: r.PositiveRate(), Tau: tau, P: pval,
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, sh := range shards {
+		res.Regions = append(res.Regions, sh...)
+	}
+	sort.Slice(res.Regions, func(i, j int) bool {
+		a, b := res.Regions[i], res.Regions[j]
+		if a.Tau != b.Tau {
+			return a.Tau > b.Tau
+		}
+		return a.Index < b.Index
+	})
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package sacharidis
+
+import (
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// buildPartitioning creates a 5x1 grid where cell 0 deviates strongly from
+// the global rate and the rest sit at it.
+func buildPartitioning(t testing.TB, deviantRate float64) *partition.Partitioning {
+	t.Helper()
+	rng := stats.NewRNG(41)
+	var obs []partition.Observation
+	for cell := 0; cell < 5; cell++ {
+		rate := 0.62
+		if cell == 0 {
+			rate = deviantRate
+		}
+		for i := 0; i < 800; i++ {
+			obs = append(obs, partition.Observation{
+				Loc:      geo.Pt(float64(cell)+0.5, 0.5),
+				Positive: rng.Bernoulli(rate),
+				Income:   50000,
+			})
+		}
+	}
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(5, 1)), 5, 1)
+	return partition.ByGrid(grid, obs, partition.Options{Seed: 2})
+}
+
+func TestAuditFlagsDeviantRegion(t *testing.T) {
+	p := buildPartitioning(t, 0.30)
+	res, err := Audit(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tested != 5 {
+		t.Fatalf("tested = %d", res.Tested)
+	}
+	if len(res.Regions) == 0 {
+		t.Fatal("deviant region not flagged")
+	}
+	if res.Regions[0].Index != 0 {
+		t.Errorf("most unfair region = %d, want 0", res.Regions[0].Index)
+	}
+	if res.Regions[0].P > 0.05 || res.Regions[0].Tau <= 0 {
+		t.Errorf("region stats: %+v", res.Regions[0])
+	}
+	set := res.RegionSet()
+	if !set[0] {
+		t.Error("RegionSet missing region 0")
+	}
+}
+
+func TestAuditCleanDataFindsLittle(t *testing.T) {
+	p := buildPartitioning(t, 0.62)
+	res, err := Audit(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) > 1 {
+		t.Errorf("clean data flagged %d regions", len(res.Regions))
+	}
+}
+
+func TestAuditDeterministicAcrossWorkers(t *testing.T) {
+	p := buildPartitioning(t, 0.40)
+	var prev *Result
+	for _, w := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Workers = w
+		res, err := Audit(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if len(prev.Regions) != len(res.Regions) {
+				t.Fatal("worker count changed result size")
+			}
+			for i := range prev.Regions {
+				if prev.Regions[i] != res.Regions[i] {
+					t.Fatalf("region %d differs across workers", i)
+				}
+			}
+		}
+		prev = res
+	}
+}
+
+func TestAuditEmptyPartitioning(t *testing.T) {
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(1, 1)), 2, 2)
+	p := partition.ByGrid(grid, nil, partition.Options{})
+	res, err := Audit(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 0 || res.Tested != 0 {
+		t.Errorf("empty audit = %+v", res)
+	}
+}
+
+func TestAuditSingleRegionCoveringEverything(t *testing.T) {
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(1, 1)), 1, 1)
+	rng := stats.NewRNG(3)
+	var obs []partition.Observation
+	for i := 0; i < 100; i++ {
+		obs = append(obs, partition.Observation{
+			Loc: geo.Pt(0.5, 0.5), Positive: rng.Bernoulli(0.5), Income: 1,
+		})
+	}
+	p := partition.ByGrid(grid, obs, partition.Options{})
+	res, err := Audit(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 0 {
+		t.Error("a region with no outside cannot be unfair")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := buildPartitioning(t, 0.62)
+	for i, cfg := range []Config{
+		{},
+		{Alpha: 0.05, MCWorlds: 0, MinRegionSize: 1},
+		{Alpha: 1.5, MCWorlds: 99, MinRegionSize: 1},
+		{Alpha: 0.05, MCWorlds: 99, MinRegionSize: 0},
+	} {
+		if _, err := Audit(p, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestAuditIgnoresProtectedAttributes(t *testing.T) {
+	// The baseline must be blind to race: two datasets identical in outcomes
+	// but with different protected flags give identical results.
+	rng := stats.NewRNG(5)
+	mk := func(prot bool) *partition.Partitioning {
+		var obs []partition.Observation
+		r2 := stats.NewRNG(6)
+		for cell := 0; cell < 3; cell++ {
+			for i := 0; i < 500; i++ {
+				obs = append(obs, partition.Observation{
+					Loc:       geo.Pt(float64(cell)+0.5, 0.5),
+					Positive:  r2.Bernoulli(0.5 + 0.2*float64(cell%2)),
+					Protected: prot && rng.Bernoulli(0.5),
+					Income:    40000,
+				})
+			}
+		}
+		grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(3, 1)), 3, 1)
+		return partition.ByGrid(grid, obs, partition.Options{Seed: 7})
+	}
+	a, err := Audit(mk(false), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Audit(mk(true), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regions) != len(b.Regions) {
+		t.Fatalf("protected attributes changed the baseline result: %d vs %d",
+			len(a.Regions), len(b.Regions))
+	}
+	for i := range a.Regions {
+		if a.Regions[i] != b.Regions[i] {
+			t.Fatalf("region %d differs", i)
+		}
+	}
+}

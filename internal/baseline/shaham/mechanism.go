@@ -1,0 +1,102 @@
+package shaham
+
+import (
+	"fmt"
+	"math"
+
+	"lcsf/internal/geo"
+)
+
+// The applied mechanisms of the original paper: distance-based and
+// zone-based individual spatial fairness. Both fit a polynomial to a model's
+// outputs over a one-dimensional location feature and enforce the c-Lipschitz
+// condition on it.
+
+// DistanceFairnessResult is the outcome of the distance-based mechanism.
+type DistanceFairnessResult struct {
+	Fitted Polynomial // least-squares fit of output vs distance
+	Fair   Polynomial // the c-fair contraction of Fitted
+	// ViolationsBefore counts Lipschitz violations among the raw outputs;
+	// ViolationsAfter among the fair polynomial's outputs at the same
+	// locations (zero by construction, kept for reporting).
+	ViolationsBefore, ViolationsAfter int
+	// UtilityLoss is the mean absolute difference between the fitted and
+	// fair polynomial over the observed distances — the fairness/utility
+	// trade-off the knob c controls.
+	UtilityLoss float64
+	// MinDist, MaxDist bound the domain the Lipschitz condition was enforced
+	// on.
+	MinDist, MaxDist float64
+}
+
+// DistanceFairness runs the distance-based mechanism: distances of the
+// points from the reference are computed (planar degree distance), a
+// polynomial of the given degree is fitted to the outputs over distance, and
+// the c-fair contraction is returned with before/after violation counts.
+func DistanceFairness(points []geo.Point, ref geo.Point, outputs []float64, degree int, c float64) (*DistanceFairnessResult, error) {
+	if len(points) != len(outputs) {
+		return nil, fmt.Errorf("shaham: %d points for %d outputs", len(points), len(outputs))
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("shaham: no points")
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("shaham: c must be positive, got %v", c)
+	}
+	dists := make([]float64, len(points))
+	for i, p := range points {
+		dists[i] = p.DistanceTo(ref)
+	}
+	return fairOver1D(dists, outputs, degree, c)
+}
+
+// ZoneFairness runs the zone-based mechanism: the location feature is a zone
+// coordinate (e.g. the x index of a corridor of zones) rather than a
+// distance.
+func ZoneFairness(zones []float64, outputs []float64, degree int, c float64) (*DistanceFairnessResult, error) {
+	if len(zones) != len(outputs) {
+		return nil, fmt.Errorf("shaham: %d zones for %d outputs", len(zones), len(outputs))
+	}
+	if len(zones) == 0 {
+		return nil, fmt.Errorf("shaham: no zones")
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("shaham: c must be positive, got %v", c)
+	}
+	xs := append([]float64(nil), zones...)
+	return fairOver1D(xs, outputs, degree, c)
+}
+
+func fairOver1D(xs, outputs []float64, degree int, c float64) (*DistanceFairnessResult, error) {
+	lo, hi := xs[0], xs[0]
+	for _, d := range xs {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	fitted, err := Fit(xs, outputs, degree)
+	if err != nil {
+		return nil, err
+	}
+	fair := MakeCFair(fitted, c, lo, hi)
+
+	res := &DistanceFairnessResult{
+		Fitted:           fitted,
+		Fair:             fair,
+		ViolationsBefore: LipschitzViolations(xs, outputs, c),
+		MinDist:          lo,
+		MaxDist:          hi,
+	}
+	fairOuts := make([]float64, len(xs))
+	var loss float64
+	for i, x := range xs {
+		fairOuts[i] = fair.Eval(x)
+		loss += math.Abs(fitted.Eval(x) - fairOuts[i])
+	}
+	res.ViolationsAfter = LipschitzViolations(xs, fairOuts, c)
+	res.UtilityLoss = loss / float64(len(xs))
+	return res, nil
+}

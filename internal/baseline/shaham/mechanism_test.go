@@ -1,0 +1,133 @@
+package shaham
+
+import (
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/stats"
+)
+
+// storeScenario builds the related-work example: a store at the origin
+// shows discounts to nearby customers; raw outputs fall sharply with
+// distance, violating individual spatial fairness at small c.
+func storeScenario(n int) (pts []geo.Point, outs []float64) {
+	rng := stats.NewRNG(5)
+	for i := 0; i < n; i++ {
+		p := geo.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		d := p.DistanceTo(geo.Pt(0, 0))
+		// Cliff at distance 3: inside gets the offer, outside does not —
+		// the "strict boundary" unfairness the original paper criticizes.
+		out := 0.05
+		if d < 3 {
+			out = 0.95
+		}
+		out += 0.02 * rng.NormFloat64()
+		pts = append(pts, p)
+		outs = append(outs, out)
+	}
+	return pts, outs
+}
+
+func TestDistanceFairnessEndToEnd(t *testing.T) {
+	pts, outs := storeScenario(300)
+	c := 0.2
+	res, err := DistanceFairness(pts, geo.Pt(0, 0), outs, 4, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViolationsBefore == 0 {
+		t.Fatal("the cliff should violate the Lipschitz condition")
+	}
+	if res.ViolationsAfter != 0 {
+		t.Errorf("fair polynomial still violates %d pairs", res.ViolationsAfter)
+	}
+	if !res.Fair.IsCFair(c, res.MinDist, res.MaxDist) {
+		t.Error("fair polynomial fails IsCFair")
+	}
+	if res.UtilityLoss < 0 {
+		t.Errorf("utility loss = %v", res.UtilityLoss)
+	}
+	// Near customers should still be favored over far ones after smoothing.
+	if res.Fair.Eval(res.MinDist) <= res.Fair.Eval(res.MaxDist) {
+		t.Error("fair mechanism should preserve the distance preference direction")
+	}
+}
+
+func TestDistanceFairnessLenientCKeepsFit(t *testing.T) {
+	pts, outs := storeScenario(300)
+	res, err := DistanceFairness(pts, geo.Pt(0, 0), outs, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a huge c the fit is already fair: no contraction, no loss.
+	if res.UtilityLoss != 0 {
+		t.Errorf("lenient c should cost nothing, loss = %v", res.UtilityLoss)
+	}
+	for i := range res.Fitted.Coeffs {
+		if res.Fitted.Coeffs[i] != res.Fair.Coeffs[i] {
+			t.Error("polynomial should be unchanged at lenient c")
+		}
+	}
+}
+
+func TestZoneFairness(t *testing.T) {
+	rng := stats.NewRNG(6)
+	var zones, outs []float64
+	for z := 0; z < 20; z++ {
+		for i := 0; i < 10; i++ {
+			zones = append(zones, float64(z))
+			outs = append(outs, float64(z%5)*0.2+0.05*rng.NormFloat64())
+		}
+	}
+	res, err := ZoneFairness(zones, outs, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViolationsAfter != 0 {
+		t.Errorf("zone-fair outputs still violate %d pairs", res.ViolationsAfter)
+	}
+	if !res.Fair.IsCFair(0.1, 0, 19) {
+		t.Error("zone polynomial not c-fair")
+	}
+}
+
+func TestMechanismErrors(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0)}
+	if _, err := DistanceFairness(pts, geo.Pt(0, 0), []float64{1, 2}, 1, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := DistanceFairness(nil, geo.Pt(0, 0), nil, 1, 1); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := DistanceFairness(pts, geo.Pt(0, 0), []float64{1}, 1, 0); err == nil {
+		t.Error("non-positive c should error")
+	}
+	if _, err := ZoneFairness([]float64{1}, []float64{1, 2}, 1, 1); err == nil {
+		t.Error("zone length mismatch should error")
+	}
+	if _, err := ZoneFairness(nil, nil, 1, 1); err == nil {
+		t.Error("empty zones should error")
+	}
+	if _, err := ZoneFairness([]float64{1, 2}, []float64{1, 2}, 1, -1); err == nil {
+		t.Error("negative c should error")
+	}
+	// Degree too high for the sample.
+	if _, err := DistanceFairness(pts, geo.Pt(0, 0), []float64{1}, 5, 1); err == nil {
+		t.Error("excess degree should propagate Fit's error")
+	}
+}
+
+func TestUtilityLossGrowsAsCTightens(t *testing.T) {
+	pts, outs := storeScenario(300)
+	var prev float64 = -1
+	for _, c := range []float64{0.5, 0.2, 0.05} {
+		res, err := DistanceFairness(pts, geo.Pt(0, 0), outs, 4, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.UtilityLoss < prev-1e-9 {
+			t.Errorf("tightening c should not reduce utility loss: %v after %v", res.UtilityLoss, prev)
+		}
+		prev = res.UtilityLoss
+	}
+}

@@ -1,0 +1,196 @@
+// Package shaham implements the individual spatial fairness mechanisms of
+// Shaham, Ghinita and Shahabi, "Models and Mechanisms for Spatial Data
+// Fairness" (VLDB 2022), as characterized in Section 2.3 of the LC-SF paper.
+//
+// The method adapts Dwork et al.'s individual fairness to location: a mapping
+// is individually spatially fair when it satisfies a (D,d)-Lipschitz
+// condition over pairs of locations. The mechanism is the "c-fair
+// polynomial": a polynomial fitted to a model's outputs over a 1-D location
+// feature (distance from a reference point, or a zone coordinate) that
+// satisfies |P(x) - P(y)| <= c|x - y| for all x, y in its domain, where c
+// trades fairness against utility.
+//
+// Like the other prior work, the method considers only location, not legally
+// protected attributes — the gap LC-SF closes.
+package shaham
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polynomial is a dense-coefficient polynomial P(x) = sum c_k x^k.
+type Polynomial struct {
+	Coeffs []float64 // Coeffs[k] multiplies x^k
+}
+
+// Eval returns P(x) by Horner's rule.
+func (p Polynomial) Eval(x float64) float64 {
+	var v float64
+	for k := len(p.Coeffs) - 1; k >= 0; k-- {
+		v = v*x + p.Coeffs[k]
+	}
+	return v
+}
+
+// Derivative returns P'.
+func (p Polynomial) Derivative() Polynomial {
+	if len(p.Coeffs) <= 1 {
+		return Polynomial{Coeffs: []float64{0}}
+	}
+	d := make([]float64, len(p.Coeffs)-1)
+	for k := 1; k < len(p.Coeffs); k++ {
+		d[k-1] = float64(k) * p.Coeffs[k]
+	}
+	return Polynomial{Coeffs: d}
+}
+
+// LipschitzConstant returns an upper estimate of max |P'(x)| over [lo, hi],
+// obtained by dense sampling. For the degrees used here (<= 10) a 2048-point
+// sweep bounds the maximum tightly.
+func (p Polynomial) LipschitzConstant(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	d := p.Derivative()
+	const samples = 2048
+	maxAbs := 0.0
+	for i := 0; i <= samples; i++ {
+		x := lo + (hi-lo)*float64(i)/samples
+		if v := math.Abs(d.Eval(x)); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	return maxAbs
+}
+
+// IsCFair reports whether P satisfies |P(x)-P(y)| <= c|x-y| over [lo, hi],
+// which for differentiable P is equivalent to max |P'| <= c.
+func (p Polynomial) IsCFair(c, lo, hi float64) bool {
+	return p.LipschitzConstant(lo, hi) <= c+1e-9
+}
+
+// Fit computes the least-squares polynomial of the given degree through the
+// points (xs[i], ys[i]) by solving the normal equations with partially
+// pivoted Gaussian elimination. It returns an error when the inputs are
+// mismatched, too few for the degree, or the system is singular (for
+// example, all xs identical).
+func Fit(xs, ys []float64, degree int) (Polynomial, error) {
+	if len(xs) != len(ys) {
+		return Polynomial{}, fmt.Errorf("shaham: Fit got %d xs and %d ys", len(xs), len(ys))
+	}
+	if degree < 0 {
+		return Polynomial{}, fmt.Errorf("shaham: negative degree %d", degree)
+	}
+	n := degree + 1
+	if len(xs) < n {
+		return Polynomial{}, fmt.Errorf("shaham: %d points cannot determine degree %d", len(xs), degree)
+	}
+
+	// Build the normal equations A c = b with A[i][j] = sum x^(i+j),
+	// b[i] = sum y x^i.
+	pow := make([]float64, 2*n-1)
+	b := make([]float64, n)
+	for k, x := range xs {
+		xp := 1.0
+		for e := 0; e < 2*n-1; e++ {
+			pow[e] += xp
+			if e < n {
+				b[e] += ys[k] * xp
+			}
+			xp *= x
+		}
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = pow[i+j]
+		}
+	}
+
+	coeffs, err := solve(a, b)
+	if err != nil {
+		return Polynomial{}, err
+	}
+	return Polynomial{Coeffs: coeffs}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy-free
+// basis (a and b are consumed).
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("shaham: singular normal equations (column %d)", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// MakeCFair returns the c-fair polynomial closest in shape to P over
+// [lo, hi]: when P already satisfies the c-Lipschitz condition it is
+// returned unchanged; otherwise P is contracted toward its midrange value by
+// the factor c/L (L the Lipschitz constant), which scales P' uniformly so
+// max |P'| = c while preserving the fitted shape. This realizes the
+// fairness/utility knob of the original mechanism.
+func MakeCFair(p Polynomial, c, lo, hi float64) Polynomial {
+	l := p.LipschitzConstant(lo, hi)
+	if l <= c || l == 0 {
+		return p
+	}
+	s := c / l
+	mid := p.Eval((lo + hi) / 2)
+	out := Polynomial{Coeffs: append([]float64(nil), p.Coeffs...)}
+	for k := range out.Coeffs {
+		out.Coeffs[k] *= s
+	}
+	out.Coeffs[0] += (1 - s) * mid
+	return out
+}
+
+// LipschitzViolations counts the pairs (i, j) of the given locations whose
+// outputs violate the (D,d)-Lipschitz condition |out_i - out_j| <= c
+// |x_i - x_j| — the individual spatial fairness definition. It is quadratic
+// in the input size and intended for audits of moderate samples.
+func LipschitzViolations(xs, outs []float64, c float64) int {
+	n := len(xs)
+	if len(outs) != n {
+		panic("shaham: LipschitzViolations input length mismatch")
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(outs[i]-outs[j]) > c*math.Abs(xs[i]-xs[j])+1e-12 {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,212 @@
+package shaham
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcsf/internal/stats"
+)
+
+func TestPolynomialEval(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{1, 2, 3}} // 1 + 2x + 3x^2
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {1, 6}, {2, 17}, {-1, 2},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := (Polynomial{}).Eval(5); got != 0 {
+		t.Errorf("empty polynomial = %v", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{7, 2, 3, 4}} // 7 + 2x + 3x^2 + 4x^3
+	d := p.Derivative()
+	want := []float64{2, 6, 12}
+	if len(d.Coeffs) != 3 {
+		t.Fatalf("derivative coeffs = %v", d.Coeffs)
+	}
+	for i := range want {
+		if d.Coeffs[i] != want[i] {
+			t.Errorf("derivative[%d] = %v, want %v", i, d.Coeffs[i], want[i])
+		}
+	}
+	c := Polynomial{Coeffs: []float64{5}}
+	if got := c.Derivative(); len(got.Coeffs) != 1 || got.Coeffs[0] != 0 {
+		t.Errorf("constant derivative = %v", got.Coeffs)
+	}
+}
+
+func TestFitExactPolynomial(t *testing.T) {
+	// Points from y = 2 - x + 0.5x^2 must be recovered exactly.
+	truth := Polynomial{Coeffs: []float64{2, -1, 0.5}}
+	var xs, ys []float64
+	for i := 0; i < 20; i++ {
+		x := float64(i) * 0.5
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	got, err := Fit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Coeffs {
+		if math.Abs(got.Coeffs[i]-truth.Coeffs[i]) > 1e-8 {
+			t.Errorf("coeff %d = %v, want %v", i, got.Coeffs[i], truth.Coeffs[i])
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative degree should error")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}, 3); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := Fit([]float64{2, 2, 2, 2}, []float64{1, 2, 3, 4}, 2); err == nil {
+		t.Error("identical xs should be singular")
+	}
+}
+
+func TestFitIsLeastSquares(t *testing.T) {
+	// For noisy data the fitted residual must not exceed that of nearby
+	// perturbed polynomials.
+	rng := stats.NewRNG(5)
+	var xs, ys []float64
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 4
+		xs = append(xs, x)
+		ys = append(ys, 1+0.5*x-0.2*x*x+0.1*rng.NormFloat64())
+	}
+	fit, err := Fit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rss := func(p Polynomial) float64 {
+		var s float64
+		for i := range xs {
+			d := p.Eval(xs[i]) - ys[i]
+			s += d * d
+		}
+		return s
+	}
+	base := rss(fit)
+	for k := range fit.Coeffs {
+		for _, eps := range []float64{-0.01, 0.01} {
+			alt := Polynomial{Coeffs: append([]float64(nil), fit.Coeffs...)}
+			alt.Coeffs[k] += eps
+			if rss(alt) < base-1e-9 {
+				t.Errorf("perturbing coeff %d by %v reduced RSS: not a least-squares fit", k, eps)
+			}
+		}
+	}
+}
+
+func TestLipschitzConstantLinear(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{3, -2}} // slope -2
+	if got := p.LipschitzConstant(0, 10); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Lipschitz of linear = %v, want 2", got)
+	}
+	if !p.IsCFair(2.01, 0, 10) {
+		t.Error("slope-2 polynomial should be 2.01-fair")
+	}
+	if p.IsCFair(1.5, 0, 10) {
+		t.Error("slope-2 polynomial is not 1.5-fair")
+	}
+}
+
+func TestMakeCFairEnforcesCondition(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{0, 5, -1}} // steep
+	lo, hi := 0.0, 4.0
+	c := 1.0
+	fair := MakeCFair(p, c, lo, hi)
+	if !fair.IsCFair(c, lo, hi) {
+		t.Errorf("MakeCFair result has Lipschitz %v > %v", fair.LipschitzConstant(lo, hi), c)
+	}
+	// Midrange value is preserved (the contraction pivot).
+	mid := (lo + hi) / 2
+	if math.Abs(fair.Eval(mid)-p.Eval(mid)) > 1e-9 {
+		t.Errorf("midpoint moved: %v vs %v", fair.Eval(mid), p.Eval(mid))
+	}
+	// An already-fair polynomial is unchanged.
+	flat := Polynomial{Coeffs: []float64{1, 0.1}}
+	same := MakeCFair(flat, 1, lo, hi)
+	for i := range flat.Coeffs {
+		if same.Coeffs[i] != flat.Coeffs[i] {
+			t.Error("already-fair polynomial should be returned unchanged")
+		}
+	}
+}
+
+// Property: MakeCFair always yields a c-fair polynomial for random inputs.
+func TestMakeCFairPropertyQuick(t *testing.T) {
+	f := func(c0, c1, c2, cRaw float64) bool {
+		norm := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		p := Polynomial{Coeffs: []float64{norm(c0), norm(c1), norm(c2)}}
+		c := math.Abs(norm(cRaw))
+		if c == 0 {
+			c = 0.5
+		}
+		return MakeCFair(p, c, 0, 5).IsCFair(c, 0, 5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLipschitzViolations(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	outs := []float64{0, 10, 10.5}
+	// c=1: pair (0,1) violates (|10-0| > 1), pair (0,2) violates
+	// (10.5 > 2), pair (1,2) fine (0.5 <= 1).
+	if got := LipschitzViolations(xs, outs, 1); got != 2 {
+		t.Errorf("violations = %d, want 2", got)
+	}
+	if got := LipschitzViolations(xs, outs, 100); got != 0 {
+		t.Errorf("violations at huge c = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	LipschitzViolations([]float64{1}, []float64{1, 2}, 1)
+}
+
+func TestMakeCFairReducesViolations(t *testing.T) {
+	// End-to-end: fit a steep model, enforce c-fairness, observe violations
+	// measured on the polynomial outputs drop to zero.
+	rng := stats.NewRNG(6)
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, x)
+		ys = append(ys, 3*x+rng.NormFloat64())
+	}
+	fit, err := Fit(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := 0.5
+	fair := MakeCFair(fit, c, 0, 10)
+	outs := make([]float64, len(xs))
+	for i, x := range xs {
+		outs[i] = fair.Eval(x)
+	}
+	if v := LipschitzViolations(xs, outs, c); v != 0 {
+		t.Errorf("c-fair outputs still violate %d pairs", v)
+	}
+}

@@ -1,0 +1,73 @@
+// Package xie implements the spatial-fairness score of Xie et al., "Fairness
+// by 'Where': A Statistically-Robust and Model-Agnostic Bi-level Learning
+// Framework" (AAAI 2022), as characterized in Section 2.3 of the LC-SF paper.
+//
+// The method imposes multiple rectangular-grid partitionings s1 x s2 over the
+// region, computes the variance of a performance measure (here the positive
+// rate) across the cells of each partitioning, and reports the mean variance
+// over all partitionings. Lower mean variance means higher spatial fairness.
+// As the LC-SF paper notes, the score behaves well for regularly distributed
+// outcomes but degrades for irregular ones, and it considers neither
+// protected nor non-protected attributes.
+package xie
+
+import (
+	"math"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// Score is the outcome of the mean-variance audit.
+type Score struct {
+	// MeanVariance is the mean, over partitionings, of the variance of the
+	// per-cell positive rate. Lower is fairer.
+	MeanVariance float64
+	// PerGrid holds the variance at each partitioning, in input order.
+	PerGrid []float64
+}
+
+// Evaluate computes the mean-variance score over the given partitionings.
+// Cells with fewer than minN individuals are excluded from each variance
+// (they carry no rate estimate). Grids whose eligible cells number fewer
+// than two contribute variance zero.
+func Evaluate(bounds geo.BBox, obs []partition.Observation, grids [][2]int, minN int) Score {
+	s := Score{PerGrid: make([]float64, 0, len(grids))}
+	if minN < 1 {
+		minN = 1
+	}
+	for _, g := range grids {
+		grid := geo.NewGrid(bounds, g[0], g[1])
+		p := partition.ByGrid(grid, obs, partition.Options{})
+		var rates []float64
+		for i := range p.Regions {
+			if p.Regions[i].N >= minN {
+				rates = append(rates, p.Regions[i].PositiveRate())
+			}
+		}
+		v := 0.0
+		if len(rates) >= 2 {
+			v = stats.Variance(rates)
+		}
+		s.PerGrid = append(s.PerGrid, v)
+	}
+	if len(s.PerGrid) > 0 {
+		s.MeanVariance = stats.Mean(s.PerGrid)
+	} else {
+		s.MeanVariance = math.NaN()
+	}
+	return s
+}
+
+// DefaultGrids returns a standard sweep of partitionings s1 x s2 for s1, s2
+// in {2..8}, the kind of multi-resolution set the method averages over.
+func DefaultGrids() [][2]int {
+	var out [][2]int
+	for r := 2; r <= 8; r++ {
+		for c := 2; c <= 8; c++ {
+			out = append(out, [2]int{c, r})
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package xie
+
+import (
+	"math"
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+func uniformObs(n int, rate float64, seed uint64) []partition.Observation {
+	rng := stats.NewRNG(seed)
+	obs := make([]partition.Observation, n)
+	for i := range obs {
+		obs[i] = partition.Observation{
+			Loc:      geo.Pt(rng.Float64()*10, rng.Float64()*10),
+			Positive: rng.Bernoulli(rate),
+			Income:   1,
+		}
+	}
+	return obs
+}
+
+func TestEvaluateFairVersusUnfair(t *testing.T) {
+	bounds := geo.NewBBox(geo.Pt(0, 0), geo.Pt(10, 10))
+	fair := uniformObs(20000, 0.6, 1)
+
+	// Unfair: rate depends strongly on location (west 0.9, east 0.3).
+	rng := stats.NewRNG(2)
+	unfair := make([]partition.Observation, 20000)
+	for i := range unfair {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		rate := 0.9
+		if x > 5 {
+			rate = 0.3
+		}
+		unfair[i] = partition.Observation{Loc: geo.Pt(x, y), Positive: rng.Bernoulli(rate), Income: 1}
+	}
+
+	grids := DefaultGrids()
+	fs := Evaluate(bounds, fair, grids, 20)
+	us := Evaluate(bounds, unfair, grids, 20)
+	if !(us.MeanVariance > 5*fs.MeanVariance) {
+		t.Errorf("unfair variance %v should dwarf fair variance %v", us.MeanVariance, fs.MeanVariance)
+	}
+	if len(fs.PerGrid) != len(grids) {
+		t.Errorf("PerGrid = %d entries, want %d", len(fs.PerGrid), len(grids))
+	}
+}
+
+func TestEvaluateEmptyInputs(t *testing.T) {
+	bounds := geo.NewBBox(geo.Pt(0, 0), geo.Pt(1, 1))
+	s := Evaluate(bounds, nil, [][2]int{{2, 2}}, 1)
+	if s.MeanVariance != 0 {
+		t.Errorf("no data should give zero variance, got %v", s.MeanVariance)
+	}
+	s2 := Evaluate(bounds, nil, nil, 1)
+	if !math.IsNaN(s2.MeanVariance) {
+		t.Errorf("no grids should give NaN, got %v", s2.MeanVariance)
+	}
+}
+
+func TestEvaluateMinNClampsAndFilters(t *testing.T) {
+	bounds := geo.NewBBox(geo.Pt(0, 0), geo.Pt(10, 10))
+	obs := uniformObs(100, 0.5, 3)
+	// With a huge minN no cell qualifies: variance 0 per grid.
+	s := Evaluate(bounds, obs, [][2]int{{4, 4}}, 1000)
+	if s.PerGrid[0] != 0 {
+		t.Errorf("variance with no eligible cells = %v", s.PerGrid[0])
+	}
+	// minN < 1 clamps to 1 and must not panic.
+	_ = Evaluate(bounds, obs, [][2]int{{4, 4}}, 0)
+}
+
+func TestDefaultGrids(t *testing.T) {
+	g := DefaultGrids()
+	if len(g) != 49 {
+		t.Errorf("DefaultGrids = %d, want 49", len(g))
+	}
+	for _, spec := range g {
+		if spec[0] < 2 || spec[0] > 8 || spec[1] < 2 || spec[1] > 8 {
+			t.Errorf("grid %v outside 2..8", spec)
+		}
+	}
+}
+
+// The LC-SF paper's critique: the mean-variance score cannot distinguish a
+// legitimate income-driven rate difference from an illegitimate racial one —
+// it reports both as equally "unfair". This test documents that blindness.
+func TestMeanVarianceIsBlindToWhy(t *testing.T) {
+	bounds := geo.NewBBox(geo.Pt(0, 0), geo.Pt(10, 10))
+	rng := stats.NewRNG(4)
+	legit := make([]partition.Observation, 20000)   // rate varies with income geography
+	illegit := make([]partition.Observation, 20000) // rate varies with race geography
+	for i := range legit {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		west := x < 5
+		rate := 0.8
+		if !west {
+			rate = 0.4
+		}
+		legit[i] = partition.Observation{Loc: geo.Pt(x, y), Positive: rng.Bernoulli(rate), Income: 1}
+		x2, y2 := rng.Float64()*10, rng.Float64()*10
+		rate2 := 0.8
+		if x2 >= 5 {
+			rate2 = 0.4
+		}
+		illegit[i] = partition.Observation{
+			Loc: geo.Pt(x2, y2), Positive: rng.Bernoulli(rate2),
+			Protected: x2 >= 5, Income: 1,
+		}
+	}
+	grids := [][2]int{{4, 4}, {5, 5}}
+	a := Evaluate(bounds, legit, grids, 20)
+	b := Evaluate(bounds, illegit, grids, 20)
+	ratio := a.MeanVariance / b.MeanVariance
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("scores should be indistinguishable (blindness): %v vs %v", a.MeanVariance, b.MeanVariance)
+	}
+}

@@ -1,0 +1,407 @@
+// Package census implements a synthetic US census-tract model that stands in
+// for the 2020 US Census tables the paper joins against.
+//
+// The substitution preserves the two statistical structures the LC-spatial-
+// fairness framework depends on:
+//
+//   - income is spatially autocorrelated (affluent metros, smooth urban
+//     gradients), and
+//   - minority share is spatially clustered and correlated with location — the
+//     redlining-legacy structure the paper's motivation describes — with some
+//     metros heavily segregated.
+//
+// Tracts are rectangles packed around a roster of metropolitan areas placed
+// at their approximate real coordinates (so the figures' narrative regions —
+// the San Francisco Bay Area, Detroit, Florida — exist in the synthetic
+// geography), plus a rural background scattered over the continental US.
+// Generation is fully deterministic from a seed.
+package census
+
+import (
+	"fmt"
+	"math"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/stats"
+)
+
+// Tract is one synthetic census tract.
+type Tract struct {
+	ID            int
+	Box           geo.BBox // tract footprint (tracts are rectangles)
+	Center        geo.Point
+	Population    int     // number of households
+	MeanIncome    float64 // mean household income, dollars
+	IncomeSD      float64 // household income standard deviation, dollars
+	MinorityShare float64 // fraction of households in the protected group
+	Metro         string  // metro name, or "" for rural tracts
+	// Segregation is the generating metro's segregation level (0 for rural
+	// tracts). Downstream bias injection keys off it: historically redlined,
+	// highly segregated metros are where outcome bias is planted.
+	Segregation float64
+}
+
+// Metro describes one metropolitan area of the synthetic geography.
+type Metro struct {
+	Name      string
+	Center    geo.Point
+	Weight    float64 // relative share of urban tracts
+	Affluence float64 // income multiplier relative to the national base
+	Minority  float64 // metro-wide minority share
+	// Segregation in [0,1] controls how strongly minority households cluster
+	// into one side of the metro instead of spreading uniformly. High values
+	// reproduce the redlining-legacy pattern.
+	Segregation float64
+	// SpreadDeg is the metro radius in degrees; tract density decays with
+	// distance from the center within this radius.
+	SpreadDeg float64
+}
+
+// DefaultMetros is the synthetic metro roster. Coordinates are approximate
+// real locations so that experiment narratives ("a region in Northern
+// California", "a region in Detroit") land where the paper's figures put
+// them. Affluence, minority share, and segregation are stylized but ordered
+// like their real counterparts.
+func DefaultMetros() []Metro {
+	return []Metro{
+		{Name: "New York", Center: geo.Pt(-74.01, 40.71), Weight: 10, Affluence: 1.25, Minority: 0.45, Segregation: 0.6, SpreadDeg: 1.0},
+		{Name: "Los Angeles", Center: geo.Pt(-118.24, 34.05), Weight: 8, Affluence: 1.15, Minority: 0.52, Segregation: 0.5, SpreadDeg: 1.0},
+		{Name: "Chicago", Center: geo.Pt(-87.63, 41.88), Weight: 6, Affluence: 1.05, Minority: 0.45, Segregation: 0.8, SpreadDeg: 0.9},
+		{Name: "Houston", Center: geo.Pt(-95.37, 29.76), Weight: 5, Affluence: 1.0, Minority: 0.55, Segregation: 0.5, SpreadDeg: 0.9},
+		{Name: "Phoenix", Center: geo.Pt(-112.07, 33.45), Weight: 4, Affluence: 0.98, Minority: 0.42, Segregation: 0.4, SpreadDeg: 0.8},
+		{Name: "Philadelphia", Center: geo.Pt(-75.17, 39.95), Weight: 4, Affluence: 1.05, Minority: 0.42, Segregation: 0.7, SpreadDeg: 0.7},
+		{Name: "San Antonio", Center: geo.Pt(-98.49, 29.42), Weight: 3, Affluence: 0.9, Minority: 0.6, Segregation: 0.4, SpreadDeg: 0.6},
+		{Name: "San Diego", Center: geo.Pt(-117.16, 32.72), Weight: 3, Affluence: 1.2, Minority: 0.45, Segregation: 0.4, SpreadDeg: 0.6},
+		{Name: "Dallas", Center: geo.Pt(-96.80, 32.78), Weight: 5, Affluence: 1.05, Minority: 0.5, Segregation: 0.5, SpreadDeg: 0.9},
+		{Name: "San Jose", Center: geo.Pt(-121.89, 37.34), Weight: 3, Affluence: 1.7, Minority: 0.40, Segregation: 0.3, SpreadDeg: 0.5},
+		{Name: "San Francisco", Center: geo.Pt(-122.42, 37.77), Weight: 4, Affluence: 1.65, Minority: 0.40, Segregation: 0.35, SpreadDeg: 0.6},
+		{Name: "Sunnyvale", Center: geo.Pt(-122.04, 37.37), Weight: 2, Affluence: 1.8, Minority: 0.38, Segregation: 0.25, SpreadDeg: 0.35},
+		{Name: "Seattle", Center: geo.Pt(-122.33, 47.61), Weight: 4, Affluence: 1.4, Minority: 0.33, Segregation: 0.3, SpreadDeg: 0.7},
+		{Name: "Denver", Center: geo.Pt(-104.99, 39.74), Weight: 3, Affluence: 1.2, Minority: 0.3, Segregation: 0.35, SpreadDeg: 0.6},
+		{Name: "Washington", Center: geo.Pt(-77.04, 38.91), Weight: 4, Affluence: 1.45, Minority: 0.5, Segregation: 0.6, SpreadDeg: 0.7},
+		{Name: "Boston", Center: geo.Pt(-71.06, 42.36), Weight: 4, Affluence: 1.4, Minority: 0.3, Segregation: 0.45, SpreadDeg: 0.6},
+		{Name: "Detroit", Center: geo.Pt(-83.05, 42.33), Weight: 4, Affluence: 0.82, Minority: 0.68, Segregation: 0.9, SpreadDeg: 0.7},
+		{Name: "Cleveland", Center: geo.Pt(-81.69, 41.50), Weight: 2, Affluence: 0.85, Minority: 0.48, Segregation: 0.85, SpreadDeg: 0.5},
+		{Name: "Memphis", Center: geo.Pt(-90.05, 35.15), Weight: 2, Affluence: 0.8, Minority: 0.62, Segregation: 0.8, SpreadDeg: 0.5},
+		{Name: "Baltimore", Center: geo.Pt(-76.61, 39.29), Weight: 2, Affluence: 0.95, Minority: 0.58, Segregation: 0.8, SpreadDeg: 0.5},
+		{Name: "St. Louis", Center: geo.Pt(-90.20, 38.63), Weight: 2, Affluence: 0.9, Minority: 0.4, Segregation: 0.8, SpreadDeg: 0.5},
+		{Name: "Atlanta", Center: geo.Pt(-84.39, 33.75), Weight: 4, Affluence: 1.05, Minority: 0.52, Segregation: 0.6, SpreadDeg: 0.8},
+		{Name: "Miami", Center: geo.Pt(-80.19, 25.76), Weight: 4, Affluence: 0.95, Minority: 0.6, Segregation: 0.5, SpreadDeg: 0.6},
+		{Name: "Tampa", Center: geo.Pt(-82.46, 27.95), Weight: 3, Affluence: 0.92, Minority: 0.35, Segregation: 0.4, SpreadDeg: 0.6},
+		{Name: "Orlando", Center: geo.Pt(-81.38, 28.54), Weight: 3, Affluence: 0.9, Minority: 0.42, Segregation: 0.4, SpreadDeg: 0.6},
+		{Name: "Jacksonville", Center: geo.Pt(-81.66, 30.33), Weight: 2, Affluence: 0.88, Minority: 0.38, Segregation: 0.45, SpreadDeg: 0.5},
+		{Name: "Cape Coral", Center: geo.Pt(-81.95, 26.56), Weight: 2, Affluence: 0.85, Minority: 0.18, Segregation: 0.3, SpreadDeg: 0.45},
+		{Name: "Charlotte", Center: geo.Pt(-80.84, 35.23), Weight: 3, Affluence: 1.0, Minority: 0.42, Segregation: 0.55, SpreadDeg: 0.6},
+		{Name: "Raleigh", Center: geo.Pt(-78.64, 35.78), Weight: 2, Affluence: 1.1, Minority: 0.35, Segregation: 0.45, SpreadDeg: 0.5},
+		{Name: "Nashville", Center: geo.Pt(-86.78, 36.16), Weight: 2, Affluence: 1.0, Minority: 0.33, Segregation: 0.5, SpreadDeg: 0.5},
+		{Name: "Minneapolis", Center: geo.Pt(-93.27, 44.98), Weight: 3, Affluence: 1.15, Minority: 0.26, Segregation: 0.5, SpreadDeg: 0.6},
+		{Name: "Kansas City", Center: geo.Pt(-94.58, 39.10), Weight: 2, Affluence: 0.95, Minority: 0.3, Segregation: 0.6, SpreadDeg: 0.5},
+		{Name: "Las Vegas", Center: geo.Pt(-115.14, 36.17), Weight: 2, Affluence: 0.9, Minority: 0.48, Segregation: 0.35, SpreadDeg: 0.5},
+		{Name: "Portland", Center: geo.Pt(-122.68, 45.52), Weight: 2, Affluence: 1.15, Minority: 0.25, Segregation: 0.3, SpreadDeg: 0.5},
+		{Name: "Salt Lake City", Center: geo.Pt(-111.89, 40.76), Weight: 2, Affluence: 1.05, Minority: 0.25, Segregation: 0.3, SpreadDeg: 0.45},
+		{Name: "New Orleans", Center: geo.Pt(-90.07, 29.95), Weight: 2, Affluence: 0.8, Minority: 0.6, Segregation: 0.7, SpreadDeg: 0.45},
+		{Name: "Birmingham", Center: geo.Pt(-86.80, 33.52), Weight: 2, Affluence: 0.82, Minority: 0.5, Segregation: 0.75, SpreadDeg: 0.45},
+		{Name: "Milwaukee", Center: geo.Pt(-87.91, 43.04), Weight: 2, Affluence: 0.92, Minority: 0.44, Segregation: 0.85, SpreadDeg: 0.45},
+		{Name: "Pittsburgh", Center: geo.Pt(-79.99, 40.44), Weight: 2, Affluence: 0.95, Minority: 0.25, Segregation: 0.6, SpreadDeg: 0.5},
+		{Name: "Columbus", Center: geo.Pt(-82.99, 39.96), Weight: 2, Affluence: 0.98, Minority: 0.33, Segregation: 0.55, SpreadDeg: 0.5},
+	}
+}
+
+// Config controls synthetic-model generation.
+type Config struct {
+	// NumTracts is the total number of tracts to generate; the default (when
+	// zero) is 8000.
+	NumTracts int
+	// RuralFraction is the share of tracts placed outside metros; the
+	// default (when zero) is 0.25.
+	RuralFraction float64
+	// BaseIncome is the national-average mean household income in dollars;
+	// the default (when zero) is 70000.
+	BaseIncome float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Metros overrides the metro roster; nil uses DefaultMetros.
+	Metros []Metro
+	// Bounds overrides the region; the zero value uses geo.ContinentalUS.
+	Bounds geo.BBox
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTracts == 0 {
+		c.NumTracts = 8000
+	}
+	if c.RuralFraction == 0 {
+		c.RuralFraction = 0.25
+	}
+	if c.BaseIncome == 0 {
+		c.BaseIncome = 70000
+	}
+	if c.Metros == nil {
+		c.Metros = DefaultMetros()
+	}
+	if c.Bounds.IsEmpty() || c.Bounds == (geo.BBox{}) {
+		c.Bounds = geo.ContinentalUS
+	}
+	return c
+}
+
+// Model is a generated synthetic census: its tracts plus a spatial index for
+// point-to-tract joins.
+type Model struct {
+	Tracts []Tract
+	Bounds geo.BBox
+
+	index   *geo.RTree
+	cumPop  []float64 // cumulative population weights for SampleTract
+	totPop  float64
+	metroOf map[string][]int // tract indices per metro name
+}
+
+// Generate builds a synthetic census model from the configuration. The same
+// configuration always produces the identical model.
+func Generate(cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed ^ 0xCE9505)
+	m := &Model{Bounds: cfg.Bounds, metroOf: make(map[string][]int)}
+
+	nRural := int(float64(cfg.NumTracts) * cfg.RuralFraction)
+	nUrban := cfg.NumTracts - nRural
+
+	var totalWeight float64
+	for _, mt := range cfg.Metros {
+		totalWeight += mt.Weight
+	}
+
+	// Urban tracts, allocated to metros proportionally to weight.
+	assigned := 0
+	for mi, mt := range cfg.Metros {
+		count := int(math.Round(float64(nUrban) * mt.Weight / totalWeight))
+		if mi == len(cfg.Metros)-1 {
+			count = nUrban - assigned // absorb rounding drift
+		}
+		for i := 0; i < count; i++ {
+			m.addTract(makeUrbanTract(rng, mt, cfg))
+		}
+		assigned += count
+	}
+
+	// Rural background.
+	for i := 0; i < nRural; i++ {
+		m.addTract(makeRuralTract(rng, cfg))
+	}
+
+	m.buildIndexes()
+	return m
+}
+
+func (m *Model) addTract(t Tract) {
+	t.ID = len(m.Tracts)
+	m.Tracts = append(m.Tracts, t)
+	if t.Metro != "" {
+		m.metroOf[t.Metro] = append(m.metroOf[t.Metro], t.ID)
+	}
+}
+
+func (m *Model) buildIndexes() {
+	boxes := make([]geo.BBox, len(m.Tracts))
+	for i, t := range m.Tracts {
+		boxes[i] = t.Box
+	}
+	m.index = geo.BuildRTree(boxes, nil)
+	m.cumPop = make([]float64, len(m.Tracts))
+	var cum float64
+	for i, t := range m.Tracts {
+		cum += float64(t.Population)
+		m.cumPop[i] = cum
+	}
+	m.totPop = cum
+}
+
+// clampToBounds nudges p inside b by a small margin.
+func clampToBounds(p geo.Point, b geo.BBox) geo.Point {
+	const margin = 1e-6
+	if p.X < b.Min.X {
+		p.X = b.Min.X + margin
+	}
+	if p.X > b.Max.X {
+		p.X = b.Max.X - margin
+	}
+	if p.Y < b.Min.Y {
+		p.Y = b.Min.Y + margin
+	}
+	if p.Y > b.Max.Y {
+		p.Y = b.Max.Y - margin
+	}
+	return p
+}
+
+func makeUrbanTract(rng *stats.RNG, mt Metro, cfg Config) Tract {
+	// Distance from the metro center follows a decaying profile; angle is
+	// uniform. Segregated metros concentrate minority households into a
+	// contiguous angular sector ("the east side"), reproducing redlining
+	// geography.
+	dist := mt.SpreadDeg * math.Sqrt(rng.Float64()) * (0.3 + 0.7*rng.Float64())
+	angle := 2 * math.Pi * rng.Float64()
+	center := clampToBounds(geo.Pt(
+		mt.Center.X+dist*math.Cos(angle),
+		mt.Center.Y+dist*math.Sin(angle)*0.8, // flatten north-south a little
+	), cfg.Bounds)
+
+	// Income: affluent core with a dip at the very center (urban poverty),
+	// rising suburbs, falling exurbs; lognormal noise.
+	rel := dist / mt.SpreadDeg
+	profile := 0.85 + 0.5*rel - 0.45*rel*rel
+	income := cfg.BaseIncome * mt.Affluence * profile * math.Exp(0.25*rng.NormFloat64())
+	income = math.Max(18000, math.Min(350000, income))
+
+	// Minority share: baseline metro share, amplified inside the segregated
+	// sector and suppressed outside it.
+	inSector := angle < math.Pi*1.2 // fixed 60% sector per metro geometry
+	share := mt.Minority
+	if mt.Segregation > 0 {
+		if inSector {
+			share = mt.Minority + (0.95-mt.Minority)*mt.Segregation
+		} else {
+			share = mt.Minority * (1 - 0.85*mt.Segregation)
+		}
+	}
+	share = clamp01(share + 0.08*rng.NormFloat64())
+
+	// Segregated minority tracts carry an income penalty — the correlation
+	// the paper's introduction documents (appraisal gaps, redlining legacy).
+	income *= 1 - 0.35*mt.Segregation*share
+	income = math.Max(18000, income)
+
+	size := 0.02 + 0.03*rng.Float64() // tract footprint in degrees
+	pop := 800 + rng.Intn(2400)
+	return Tract{
+		Box:           boxAround(center, size, cfg.Bounds),
+		Center:        center,
+		Population:    pop,
+		MeanIncome:    income,
+		IncomeSD:      income * (0.25 + 0.15*rng.Float64()),
+		MinorityShare: share,
+		Metro:         mt.Name,
+		Segregation:   mt.Segregation,
+	}
+}
+
+func makeRuralTract(rng *stats.RNG, cfg Config) Tract {
+	b := cfg.Bounds
+	center := geo.Pt(
+		b.Min.X+rng.Float64()*b.Width(),
+		b.Min.Y+rng.Float64()*b.Height(),
+	)
+	income := cfg.BaseIncome * 0.75 * math.Exp(0.22*rng.NormFloat64())
+	income = math.Max(18000, math.Min(200000, income))
+	// Rural minority share is low in most of the country, higher in the
+	// southeast (the Black Belt): a smooth geographic gradient.
+	southeast := clamp01((center.X+95)/25) * clamp01((38-center.Y)/12)
+	share := clamp01(0.06 + 0.4*southeast + 0.05*rng.NormFloat64())
+	size := 0.15 + 0.25*rng.Float64()
+	pop := 300 + rng.Intn(1200)
+	return Tract{
+		Box:           boxAround(center, size, b),
+		Center:        center,
+		Population:    pop,
+		MeanIncome:    income,
+		IncomeSD:      income * (0.2 + 0.1*rng.Float64()),
+		MinorityShare: share,
+		Metro:         "",
+	}
+}
+
+func boxAround(c geo.Point, half float64, bounds geo.BBox) geo.BBox {
+	b := geo.NewBBox(
+		geo.Pt(c.X-half, c.Y-half),
+		geo.Pt(c.X+half, c.Y+half),
+	)
+	// Clip to the region so every tract footprint stays inside it.
+	if b.Min.X < bounds.Min.X {
+		b.Min.X = bounds.Min.X
+	}
+	if b.Min.Y < bounds.Min.Y {
+		b.Min.Y = bounds.Min.Y
+	}
+	if b.Max.X > bounds.Max.X {
+		b.Max.X = bounds.Max.X
+	}
+	if b.Max.Y > bounds.Max.Y {
+		b.Max.Y = bounds.Max.Y
+	}
+	return b
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TractAt returns the index of a tract whose footprint contains p and true,
+// or (-1, false) when p is outside all tracts. When footprints overlap the
+// tract whose center is nearest to p wins, making the join deterministic.
+func (m *Model) TractAt(p geo.Point) (int, bool) {
+	hits := m.index.QueryPoint(p, nil)
+	switch len(hits) {
+	case 0:
+		return -1, false
+	case 1:
+		return hits[0], true
+	}
+	best, bestD := -1, math.Inf(1)
+	for _, h := range hits {
+		if d := m.Tracts[h].Center.DistanceTo(p); d < bestD {
+			best, bestD = h, d
+		}
+	}
+	return best, true
+}
+
+// SampleTract returns a tract index drawn with probability proportional to
+// tract population.
+func (m *Model) SampleTract(rng *stats.RNG) int {
+	target := rng.Float64() * m.totPop
+	lo, hi := 0, len(m.cumPop)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.cumPop[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SamplePointIn returns a uniform random point inside the tract footprint.
+func (m *Model) SamplePointIn(rng *stats.RNG, tract int) geo.Point {
+	b := m.Tracts[tract].Box
+	return geo.Pt(
+		b.Min.X+rng.Float64()*b.Width(),
+		b.Min.Y+rng.Float64()*b.Height(),
+	)
+}
+
+// MetroTracts returns the indices of the tracts belonging to the named
+// metro, or an error when the metro does not exist in the model.
+func (m *Model) MetroTracts(name string) ([]int, error) {
+	ts, ok := m.metroOf[name]
+	if !ok {
+		return nil, fmt.Errorf("census: no metro %q in model", name)
+	}
+	return ts, nil
+}
+
+// Metros returns the names of all metros present in the model.
+func (m *Model) Metros() []string {
+	names := make([]string, 0, len(m.metroOf))
+	for n := range m.metroOf {
+		names = append(names, n)
+	}
+	return names
+}

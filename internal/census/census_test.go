@@ -1,0 +1,205 @@
+package census
+
+import (
+	"math"
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/stats"
+)
+
+func smallModel() *Model {
+	return Generate(Config{NumTracts: 1500, Seed: 42})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{NumTracts: 500, Seed: 7})
+	b := Generate(Config{NumTracts: 500, Seed: 7})
+	if len(a.Tracts) != len(b.Tracts) {
+		t.Fatalf("tract counts differ: %d vs %d", len(a.Tracts), len(b.Tracts))
+	}
+	for i := range a.Tracts {
+		if a.Tracts[i] != b.Tracts[i] {
+			t.Fatalf("tract %d differs between identical configs", i)
+		}
+	}
+	c := Generate(Config{NumTracts: 500, Seed: 8})
+	same := 0
+	for i := range a.Tracts {
+		if a.Tracts[i].Center == c.Tracts[i].Center {
+			same++
+		}
+	}
+	if same == len(a.Tracts) {
+		t.Error("different seeds produced identical geography")
+	}
+}
+
+func TestGenerateCountsAndBounds(t *testing.T) {
+	m := smallModel()
+	if len(m.Tracts) != 1500 {
+		t.Fatalf("tracts = %d, want 1500", len(m.Tracts))
+	}
+	for i, tr := range m.Tracts {
+		if tr.ID != i {
+			t.Fatalf("tract %d has ID %d", i, tr.ID)
+		}
+		if !m.Bounds.ContainsClosed(tr.Center) {
+			t.Errorf("tract %d center %v outside bounds", i, tr.Center)
+		}
+		if tr.Population <= 0 {
+			t.Errorf("tract %d population %d", i, tr.Population)
+		}
+		if tr.MeanIncome < 18000 || tr.MeanIncome > 350000 {
+			t.Errorf("tract %d income %v out of range", i, tr.MeanIncome)
+		}
+		if tr.MinorityShare < 0 || tr.MinorityShare > 1 {
+			t.Errorf("tract %d minority share %v", i, tr.MinorityShare)
+		}
+		if tr.Box.IsEmpty() {
+			t.Errorf("tract %d has empty box", i)
+		}
+	}
+}
+
+func TestTractAt(t *testing.T) {
+	m := smallModel()
+	// Every tract's own center must resolve to some tract (itself or an
+	// overlapping neighbor whose center is nearer, which cannot be nearer
+	// than zero, so it must be itself).
+	for i := 0; i < 100; i++ {
+		tr := m.Tracts[i]
+		got, ok := m.TractAt(tr.Center)
+		if !ok {
+			t.Fatalf("TractAt(center of %d) found nothing", i)
+		}
+		if got != i {
+			// Exact center ties are broken by distance; only equality of
+			// distance zero is possible, so this must match.
+			if m.Tracts[got].Center != tr.Center {
+				t.Fatalf("TractAt(center of %d) = %d", i, got)
+			}
+		}
+	}
+	// A point in the middle of the Atlantic is outside every tract.
+	if _, ok := m.TractAt(geo.Pt(-50, 35)); ok {
+		t.Error("ocean point should match no tract")
+	}
+}
+
+func TestSampleTractPopulationWeighted(t *testing.T) {
+	m := Generate(Config{NumTracts: 200, Seed: 3})
+	rng := stats.NewRNG(4)
+	counts := make([]int, len(m.Tracts))
+	draws := 200000
+	for i := 0; i < draws; i++ {
+		counts[m.SampleTract(rng)]++
+	}
+	var totPop int
+	for _, tr := range m.Tracts {
+		totPop += tr.Population
+	}
+	// Compare empirical and expected frequencies for the biggest tracts.
+	for i, tr := range m.Tracts {
+		want := float64(tr.Population) / float64(totPop)
+		got := float64(counts[i]) / float64(draws)
+		if want > 0.005 && math.Abs(got-want) > 0.5*want {
+			t.Errorf("tract %d sampled at %v, expected ~%v", i, got, want)
+		}
+	}
+}
+
+func TestSamplePointInLiesInside(t *testing.T) {
+	m := smallModel()
+	rng := stats.NewRNG(5)
+	for i := 0; i < 200; i++ {
+		tr := rng.Intn(len(m.Tracts))
+		p := m.SamplePointIn(rng, tr)
+		if !m.Tracts[tr].Box.ContainsClosed(p) {
+			t.Fatalf("sampled point %v outside tract %d box %v", p, tr, m.Tracts[tr].Box)
+		}
+	}
+}
+
+func TestMetroStructure(t *testing.T) {
+	m := smallModel()
+	detroit, err := m.MetroTracts("Detroit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detroit) == 0 {
+		t.Fatal("no Detroit tracts")
+	}
+	sunnyvale, err := m.MetroTracts("Sunnyvale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MetroTracts("Atlantis"); err == nil {
+		t.Error("unknown metro should error")
+	}
+
+	meanShare := func(idx []int) float64 {
+		var s float64
+		for _, i := range idx {
+			s += m.Tracts[i].MinorityShare
+		}
+		return s / float64(len(idx))
+	}
+	meanIncome := func(idx []int) float64 {
+		var s float64
+		for _, i := range idx {
+			s += m.Tracts[i].MeanIncome
+		}
+		return s / float64(len(idx))
+	}
+	// The redlining-legacy structure the experiments rely on: Detroit is
+	// majority-minority and much poorer than the Bay Area.
+	if ds := meanShare(detroit); ds < 0.5 {
+		t.Errorf("Detroit mean minority share = %v, want majority-minority", ds)
+	}
+	if di, si := meanIncome(detroit), meanIncome(sunnyvale); di >= si {
+		t.Errorf("Detroit income %v should be below Sunnyvale %v", di, si)
+	}
+	if len(m.Metros()) < 30 {
+		t.Errorf("metros present = %d, want the full roster", len(m.Metros()))
+	}
+}
+
+func TestIncomeMinorityCorrelationNegative(t *testing.T) {
+	// Across urban tracts, minority share and income should correlate
+	// negatively — the structural bias the framework is designed to expose.
+	m := Generate(Config{NumTracts: 4000, Seed: 9})
+	var xs, ys []float64
+	for _, tr := range m.Tracts {
+		if tr.Metro != "" {
+			xs = append(xs, tr.MinorityShare)
+			ys = append(ys, tr.MeanIncome)
+		}
+	}
+	r := pearson(xs, ys)
+	if r > -0.15 {
+		t.Errorf("income/minority correlation = %v, want clearly negative", r)
+	}
+}
+
+func pearson(xs, ys []float64) float64 {
+	mx, my := stats.Mean(xs), stats.Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.NumTracts != 8000 || cfg.BaseIncome != 70000 || cfg.RuralFraction != 0.25 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.Bounds.IsEmpty() || len(cfg.Metros) == 0 {
+		t.Error("defaults missing bounds or metros")
+	}
+}

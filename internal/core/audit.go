@@ -1,0 +1,321 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// Config parameterizes an LC-SF audit. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Similarity gates non-protected-attribute similarity at Epsilon.
+	Similarity PairMetric
+	// Dissimilarity gates protected-attribute dissimilarity at Delta.
+	Dissimilarity PairMetric
+	// Epsilon is Definition 3.3's similarity threshold. Its direction is the
+	// Similarity metric's; for the default Mann–Whitney metric a pair is
+	// similar when the test's p-value is at least Epsilon.
+	Epsilon float64
+	// Delta is Definition 3.3's dissimilarity threshold; for the default
+	// z-score metric a pair is dissimilar when the test's p-value is at most
+	// Delta.
+	Delta float64
+	// Eta is Definition 3.3's outcome-similarity threshold, used as a fast
+	// path: a candidate pair whose positive rates differ by at most Eta is
+	// fair without running the likelihood-ratio test. Zero disables the fast
+	// path and every candidate pair is tested.
+	Eta float64
+	// Alpha is the significance level of the Monte-Carlo likelihood-ratio
+	// test; a candidate pair with p-value <= Alpha is spatially unfair.
+	Alpha float64
+	// FDR, when positive, replaces per-pair Alpha flagging with
+	// Benjamini–Hochberg control of the false-discovery rate at level FDR
+	// across all candidate pairs — an extension beyond the paper for
+	// auditors who need the flagged list itself to be mostly real
+	// discoveries. Exact (non-early-stopped) Monte-Carlo p-values are
+	// computed for every candidate, so FDR audits cost more.
+	FDR float64
+	// MCWorlds is the number of Monte-Carlo "alternative worlds" (the
+	// paper's m).
+	MCWorlds int
+	// MinRegionSize excludes regions with fewer individuals from every
+	// comparison; tiny regions carry no statistical signal.
+	MinRegionSize int
+	// Seed drives Monte-Carlo simulation. Audits are deterministic in
+	// (input, Config) regardless of parallelism.
+	Seed uint64
+	// Workers bounds audit parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the configuration of the paper's mortgage
+// experiments: Mann–Whitney similarity and z-score dissimilarity, both at
+// the strict 0.001 threshold, an outcome-similarity threshold Eta of five
+// percentage points, significance 0.01 with 999 Monte-Carlo worlds, and a
+// minimum region size of 100 individuals (smaller regions carry rate
+// estimates too noisy for the pairwise test to be meaningful).
+func DefaultConfig() Config {
+	return Config{
+		Similarity:    MannWhitneySimilarity{},
+		Dissimilarity: ZScoreDissimilarity{},
+		Epsilon:       0.001,
+		Delta:         0.001,
+		Eta:           0.05,
+		Alpha:         0.01,
+		MCWorlds:      999,
+		MinRegionSize: 100,
+		Seed:          1,
+	}
+}
+
+// EthicalConfig returns the relaxed configuration of the paper's
+// healthy-food-access use case ("ethical spatial fairness"): similarity and
+// dissimilarity thresholds of 0.01 rather than 0.001, and an outcome
+// threshold of ten percentage points — an agency offering incentives cares
+// about substantively large disparities, not any statistically resolvable
+// one.
+func EthicalConfig() Config {
+	c := DefaultConfig()
+	c.Epsilon = 0.01
+	c.Delta = 0.01
+	c.Eta = 0.10
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Similarity == nil || c.Dissimilarity == nil {
+		return fmt.Errorf("core: Config requires Similarity and Dissimilarity metrics")
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("core: Alpha %v outside (0,1)", c.Alpha)
+	}
+	if c.MCWorlds < 1 {
+		return fmt.Errorf("core: MCWorlds %d < 1", c.MCWorlds)
+	}
+	if c.MinRegionSize < 1 {
+		return fmt.Errorf("core: MinRegionSize %d < 1", c.MinRegionSize)
+	}
+	return nil
+}
+
+// UnfairPair is one spatially unfair pair of regions: similar in the
+// non-protected attribute, dissimilar in the protected attribute, with
+// significantly different outcomes.
+type UnfairPair struct {
+	I, J         int     // region indices; I has the lower positive rate
+	SimScore     float64 // similarity-metric score
+	DissScore    float64 // dissimilarity-metric score
+	RateI, RateJ float64 // local positive rates
+	SharedI      float64 // protected share of region I
+	SharedJ      float64 // protected share of region J
+	Tau          float64 // likelihood-ratio statistic
+	P            float64 // Monte-Carlo p-value
+}
+
+// Result is the outcome of one LC-SF audit.
+type Result struct {
+	// Pairs holds the spatially unfair pairs, most unfair first (largest
+	// likelihood-ratio statistic, ties broken by smaller p-value).
+	Pairs []UnfairPair
+	// Candidates is the number of pairs that passed both gates and were
+	// tested.
+	Candidates int
+	// EligibleRegions is the number of regions large enough to compare.
+	EligibleRegions int
+	// GlobalRate is the overall positive rate of the audited data.
+	GlobalRate float64
+}
+
+// UnfairRegionSet returns the distinct region indices appearing in any
+// unfair pair.
+func (r *Result) UnfairRegionSet() map[int]bool {
+	out := make(map[int]bool, 2*len(r.Pairs))
+	for _, pr := range r.Pairs {
+		out[pr.I] = true
+		out[pr.J] = true
+	}
+	return out
+}
+
+// Top returns the k most unfair pairs (fewer when the result has fewer).
+func (r *Result) Top(k int) []UnfairPair {
+	if k > len(r.Pairs) {
+		k = len(r.Pairs)
+	}
+	return r.Pairs[:k]
+}
+
+// Audit runs the LC-SF audit over a partitioning. It enumerates all pairs of
+// eligible regions, applies the dissimilarity gate first (it is O(1) per
+// pair, while the similarity test sorts income samples), then the similarity
+// gate, then the Monte-Carlo likelihood-ratio test of Section 3.2 on the
+// surviving candidates. The audit is deterministic in (p, cfg): each pair's
+// Monte-Carlo stream is seeded from the pair's identity, so results do not
+// depend on goroutine scheduling.
+func Audit(p *partition.Partitioning, cfg Config) (*Result, error) {
+	return AuditContext(context.Background(), p, cfg)
+}
+
+// AuditContext is Audit with cancellation: a dense audit over thousands of
+// regions can take seconds, and callers such as the HTTP service need to
+// abandon it when the client goes away. Cancellation is checked between
+// outer-loop rows; on cancellation the context's error is returned and the
+// partial result discarded.
+func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eligible := p.NonEmpty(cfg.MinRegionSize)
+	res := &Result{EligibleRegions: len(eligible), GlobalRate: p.GlobalRate()}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(eligible) {
+		workers = 1
+	}
+
+	fdr := cfg.FDR > 0
+	type shard struct {
+		pairs      []UnfairPair
+		candidates int
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := &shards[w]
+			// Striped assignment of the outer index keeps shards balanced.
+			for ii := w; ii < len(eligible); ii += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				a := &p.Regions[eligible[ii]]
+				for jj := ii + 1; jj < len(eligible); jj++ {
+					b := &p.Regions[eligible[jj]]
+					if pr, ok := auditPair(a, b, cfg, fdr); ok {
+						sh.candidates++
+						if fdr || pr.P <= cfg.Alpha {
+							sh.pairs = append(sh.pairs, pr)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, sh := range shards {
+		res.Candidates += sh.candidates
+		res.Pairs = append(res.Pairs, sh.pairs...)
+	}
+	if fdr {
+		// Under FDR control every candidate was collected with its exact
+		// p-value; keep only the Benjamini–Hochberg rejections.
+		pvals := make([]float64, len(res.Pairs))
+		for i, pr := range res.Pairs {
+			pvals[i] = pr.P
+		}
+		keep := stats.BenjaminiHochberg(pvals, cfg.FDR)
+		kept := res.Pairs[:0]
+		for i, pr := range res.Pairs {
+			if keep[i] {
+				kept = append(kept, pr)
+			}
+		}
+		res.Pairs = kept
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		a, b := res.Pairs[i], res.Pairs[j]
+		if a.Tau != b.Tau {
+			return a.Tau > b.Tau
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.I != b.I {
+			return a.I < b.I
+		}
+		return a.J < b.J
+	})
+	return res, nil
+}
+
+// prescreenTau is the likelihood-ratio statistic below which a candidate
+// pair is never significant at practical Alpha levels (chi-square(1) upper
+// tail at tau = 2 is ~0.157) and the Monte-Carlo simulation is skipped.
+const prescreenTau = 2.0
+
+// auditPair applies the gates and, for candidates, the Monte-Carlo LRT.
+// ok reports whether the pair was a candidate (passed both gates and the Eta
+// fast path). When exact is true the Monte-Carlo p-value is computed without
+// early stopping (required for FDR control over the candidate set).
+func auditPair(a, b *partition.Region, cfg Config, exact bool) (UnfairPair, bool) {
+	diss := cfg.Dissimilarity.Score(a, b)
+	if !cfg.Dissimilarity.Pass(diss, cfg.Delta) {
+		return UnfairPair{}, false
+	}
+	sim := cfg.Similarity.Score(a, b)
+	if !cfg.Similarity.Pass(sim, cfg.Epsilon) {
+		return UnfairPair{}, false
+	}
+	rateA, rateB := a.PositiveRate(), b.PositiveRate()
+	if cfg.Eta > 0 && math.Abs(rateA-rateB) <= cfg.Eta {
+		return UnfairPair{}, false
+	}
+
+	tau := stats.PairLRT(a.Positives, a.N, b.Positives, b.N)
+	pooled := float64(a.Positives+b.Positives) / float64(a.N+b.N)
+	var pval float64
+	if tau <= prescreenTau {
+		// Asymptotically tau ~ chi-square(1) under H0, so tau <= 2
+		// corresponds to p ~ 0.157, far above any usable Alpha; the pair is
+		// a candidate but cannot be significant. Record the asymptotic
+		// p-value and skip the simulation.
+		pval = stats.ChiSquareSF(math.Max(tau, 0), 1)
+	} else {
+		rng := stats.NewRNG(pairSeed(cfg.Seed, a.Index, b.Index))
+		sim := stats.PairNullSimulator(rng, a.N, b.N, pooled)
+		if exact {
+			pval = stats.MonteCarloP(tau, cfg.MCWorlds, sim)
+		} else {
+			pval, _ = stats.AdaptiveMonteCarloP(tau, cfg.MCWorlds, cfg.Alpha, sim)
+		}
+	}
+
+	pr := UnfairPair{
+		I: a.Index, J: b.Index,
+		SimScore: sim, DissScore: diss,
+		RateI: rateA, RateJ: rateB,
+		SharedI: a.ProtectedShare(), SharedJ: b.ProtectedShare(),
+		Tau: tau, P: pval,
+	}
+	// Orient the pair so I is the disadvantaged region.
+	if pr.RateI > pr.RateJ {
+		pr.I, pr.J = pr.J, pr.I
+		pr.RateI, pr.RateJ = pr.RateJ, pr.RateI
+		pr.SharedI, pr.SharedJ = pr.SharedJ, pr.SharedI
+	}
+	return pr, true
+}
+
+// pairSeed derives a deterministic per-pair Monte-Carlo seed.
+func pairSeed(seed uint64, i, j int) uint64 {
+	h := seed ^ 0xA11D17
+	h = h*0x100000001b3 ^ uint64(i)
+	h = h*0x100000001b3 ^ uint64(j)
+	return h
+}

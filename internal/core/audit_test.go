@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+func TestAuditFlagsPlantedPair(t *testing.T) {
+	p := makeRegions(t, 500)
+	cfg := DefaultConfig()
+	res, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EligibleRegions != 3 {
+		t.Fatalf("eligible = %d", res.EligibleRegions)
+	}
+	if len(res.Pairs) != 1 {
+		t.Fatalf("unfair pairs = %d, want exactly the planted one: %+v", len(res.Pairs), res.Pairs)
+	}
+	pr := res.Pairs[0]
+	if pr.I != 0 || pr.J != 1 {
+		t.Errorf("pair = (%d,%d), want (0,1)", pr.I, pr.J)
+	}
+	if pr.RateI >= pr.RateJ {
+		t.Errorf("pair should be oriented disadvantaged-first: %v vs %v", pr.RateI, pr.RateJ)
+	}
+	if pr.SharedI <= pr.SharedJ {
+		t.Errorf("disadvantaged region should be the minority one: %v vs %v", pr.SharedI, pr.SharedJ)
+	}
+	if pr.P > cfg.Alpha || pr.Tau <= 0 {
+		t.Errorf("pair stats: tau=%v p=%v", pr.Tau, pr.P)
+	}
+}
+
+func TestAuditFairDataFindsLittle(t *testing.T) {
+	// Same composition structure but no outcome gap: nothing should be
+	// significant (beyond rare Monte-Carlo flukes).
+	rng := stats.NewRNG(7)
+	var obs []partition.Observation
+	for cell := 0; cell < 10; cell++ {
+		minorityP := 0.1
+		if cell%2 == 0 {
+			minorityP = 0.8
+		}
+		for i := 0; i < 300; i++ {
+			obs = append(obs, partition.Observation{
+				Loc:       geo.Pt(float64(cell)+0.5, 0.5),
+				Positive:  rng.Bernoulli(0.62),
+				Protected: rng.Bernoulli(minorityP),
+				Income:    50000 + 9000*rng.NormFloat64(),
+			})
+		}
+	}
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(10, 1)), 10, 1)
+	p := partition.ByGrid(grid, obs, partition.Options{Seed: 3})
+	res, err := Audit(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 candidate pairs (every odd-even combination), alpha=0.05: expect
+	// ~1 false positive; allow up to 4.
+	if len(res.Pairs) > 4 {
+		t.Errorf("fair data produced %d unfair pairs of %d candidates", len(res.Pairs), res.Candidates)
+	}
+	if res.Candidates == 0 {
+		t.Error("gates rejected everything; expected odd-even candidates")
+	}
+}
+
+func TestAuditDeterministicAcrossWorkers(t *testing.T) {
+	p := makeRegions(t, 300)
+	cfg := DefaultConfig()
+	results := make([]*Result, 0, 3)
+	for _, w := range []int{1, 2, 8} {
+		cfg.Workers = w
+		res, err := Audit(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if len(results[i].Pairs) != len(results[0].Pairs) {
+			t.Fatalf("worker counts changed result size")
+		}
+		for j := range results[0].Pairs {
+			if results[i].Pairs[j] != results[0].Pairs[j] {
+				t.Fatalf("worker counts changed pair %d: %+v vs %+v",
+					j, results[0].Pairs[j], results[i].Pairs[j])
+			}
+		}
+	}
+}
+
+func TestAuditEtaFastPath(t *testing.T) {
+	p := makeRegions(t, 500)
+	cfg := DefaultConfig()
+	cfg.Eta = 0.9 // any rate gap below 90% counts as similar outcomes
+	res, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 || res.Candidates != 0 {
+		t.Errorf("eta=0.9 should suppress all candidates, got %d pairs %d candidates",
+			len(res.Pairs), res.Candidates)
+	}
+}
+
+func TestAuditMinRegionSize(t *testing.T) {
+	p := makeRegions(t, 30)
+	cfg := DefaultConfig()
+	cfg.MinRegionSize = 100
+	res, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EligibleRegions != 0 || len(res.Pairs) != 0 {
+		t.Errorf("min size should exclude all regions: %+v", res)
+	}
+}
+
+func TestAuditConfigValidation(t *testing.T) {
+	p := makeRegions(t, 50)
+	bad := []Config{
+		{},
+		func() Config { c := DefaultConfig(); c.Alpha = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.Alpha = 1; return c }(),
+		func() Config { c := DefaultConfig(); c.MCWorlds = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.MinRegionSize = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.Similarity = nil; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := Audit(p, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res := &Result{Pairs: []UnfairPair{
+		{I: 3, J: 7, Tau: 10},
+		{I: 3, J: 9, Tau: 8},
+		{I: 1, J: 2, Tau: 5},
+	}}
+	set := res.UnfairRegionSet()
+	for _, want := range []int{1, 2, 3, 7, 9} {
+		if !set[want] {
+			t.Errorf("region %d missing from set", want)
+		}
+	}
+	if len(set) != 5 {
+		t.Errorf("set size = %d", len(set))
+	}
+	if top := res.Top(2); len(top) != 2 || top[0].Tau != 10 {
+		t.Errorf("Top(2) = %+v", top)
+	}
+	if top := res.Top(99); len(top) != 3 {
+		t.Errorf("Top(99) = %d pairs", len(top))
+	}
+}
+
+func TestAuditPairsSortedByTau(t *testing.T) {
+	// Two planted unfair pairs of different strengths.
+	rng := stats.NewRNG(13)
+	var obs []partition.Observation
+	add := func(x float64, minorityP, approveP float64) {
+		for i := 0; i < 500; i++ {
+			obs = append(obs, partition.Observation{
+				Loc:       geo.Pt(x, 0.5),
+				Positive:  rng.Bernoulli(approveP),
+				Protected: rng.Bernoulli(minorityP),
+				Income:    50000 + 8000*rng.NormFloat64(),
+			})
+		}
+	}
+	add(0.5, 0.8, 0.20) // extreme disadvantage
+	add(1.5, 0.1, 0.75)
+	add(2.5, 0.8, 0.55) // milder disadvantage
+	add(3.5, 0.1, 0.72)
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(4, 1)), 4, 1)
+	p := partition.ByGrid(grid, obs, partition.Options{Seed: 2})
+	res, err := Audit(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) < 2 {
+		t.Fatalf("expected at least 2 unfair pairs, got %d", len(res.Pairs))
+	}
+	for i := 1; i < len(res.Pairs); i++ {
+		if res.Pairs[i].Tau > res.Pairs[i-1].Tau {
+			t.Errorf("pairs not sorted by tau: %v after %v", res.Pairs[i].Tau, res.Pairs[i-1].Tau)
+		}
+	}
+	// The most unfair pair must involve the extreme region (cell 0).
+	if res.Pairs[0].I != 0 {
+		t.Errorf("most unfair pair = (%d,%d), want region 0 first", res.Pairs[0].I, res.Pairs[0].J)
+	}
+}
+
+func TestEthicalConfig(t *testing.T) {
+	c := EthicalConfig()
+	if c.Epsilon != 0.01 || c.Delta != 0.01 {
+		t.Errorf("ethical thresholds = %v/%v", c.Epsilon, c.Delta)
+	}
+}

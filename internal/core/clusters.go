@@ -1,0 +1,98 @@
+package core
+
+import "sort"
+
+// Cluster groups the regions of an audit result that are linked through
+// unfair pairs: the connected components of the pair graph. The paper's
+// Figure 6 observes that flagged partitions cluster geographically; the
+// cluster view gives a regulator the unit of action ("this metro corridor")
+// instead of hundreds of individual pairs.
+type Cluster struct {
+	// Regions are the member region indices, ascending.
+	Regions []int
+	// Pairs is the number of unfair pairs internal to the cluster.
+	Pairs int
+	// Disadvantaged are the members that appear on the disadvantaged side
+	// of at least one pair, ascending.
+	Disadvantaged []int
+	// MaxTau is the strongest pair statistic in the cluster.
+	MaxTau float64
+}
+
+// Clusters computes the connected components of the result's unfair-pair
+// graph, largest component first (ties broken by stronger MaxTau, then by
+// smallest member index).
+func (r *Result) Clusters() []Cluster {
+	parent := make(map[int]int)
+	var find func(int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, pr := range r.Pairs {
+		union(pr.I, pr.J)
+	}
+
+	type agg struct {
+		members map[int]bool
+		disadv  map[int]bool
+		pairs   int
+		maxTau  float64
+	}
+	groups := make(map[int]*agg)
+	for _, pr := range r.Pairs {
+		root := find(pr.I)
+		g, ok := groups[root]
+		if !ok {
+			g = &agg{members: map[int]bool{}, disadv: map[int]bool{}}
+			groups[root] = g
+		}
+		g.members[pr.I] = true
+		g.members[pr.J] = true
+		g.disadv[pr.I] = true
+		g.pairs++
+		if pr.Tau > g.maxTau {
+			g.maxTau = pr.Tau
+		}
+	}
+
+	out := make([]Cluster, 0, len(groups))
+	for _, g := range groups {
+		c := Cluster{Pairs: g.pairs, MaxTau: g.maxTau}
+		for m := range g.members {
+			c.Regions = append(c.Regions, m)
+		}
+		for d := range g.disadv {
+			c.Disadvantaged = append(c.Disadvantaged, d)
+		}
+		sort.Ints(c.Regions)
+		sort.Ints(c.Disadvantaged)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if len(a.Regions) != len(b.Regions) {
+			return len(a.Regions) > len(b.Regions)
+		}
+		if a.MaxTau != b.MaxTau {
+			return a.MaxTau > b.MaxTau
+		}
+		return a.Regions[0] < b.Regions[0]
+	})
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import "testing"
+
+func TestClustersBasic(t *testing.T) {
+	res := &Result{Pairs: []UnfairPair{
+		// Component A: 1-2, 1-3 (1 disadvantaged in both).
+		{I: 1, J: 2, Tau: 10},
+		{I: 1, J: 3, Tau: 20},
+		// Component B: 7-8.
+		{I: 8, J: 7, Tau: 5},
+	}}
+	clusters := res.Clusters()
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	a := clusters[0]
+	if len(a.Regions) != 3 || a.Regions[0] != 1 || a.Regions[2] != 3 {
+		t.Errorf("cluster A regions = %v", a.Regions)
+	}
+	if a.Pairs != 2 || a.MaxTau != 20 {
+		t.Errorf("cluster A stats: %+v", a)
+	}
+	if len(a.Disadvantaged) != 1 || a.Disadvantaged[0] != 1 {
+		t.Errorf("cluster A disadvantaged = %v", a.Disadvantaged)
+	}
+	b := clusters[1]
+	if len(b.Regions) != 2 || b.Pairs != 1 {
+		t.Errorf("cluster B = %+v", b)
+	}
+	if len(b.Disadvantaged) != 1 || b.Disadvantaged[0] != 8 {
+		t.Errorf("cluster B disadvantaged = %v", b.Disadvantaged)
+	}
+}
+
+func TestClustersChainMerges(t *testing.T) {
+	// 1-2, 2-3, 3-4 must be one component.
+	res := &Result{Pairs: []UnfairPair{
+		{I: 1, J: 2, Tau: 1},
+		{I: 2, J: 3, Tau: 2},
+		{I: 3, J: 4, Tau: 3},
+	}}
+	clusters := res.Clusters()
+	if len(clusters) != 1 {
+		t.Fatalf("chain should merge into 1 cluster, got %d", len(clusters))
+	}
+	if len(clusters[0].Regions) != 4 || clusters[0].Pairs != 3 {
+		t.Errorf("cluster = %+v", clusters[0])
+	}
+}
+
+func TestClustersEmpty(t *testing.T) {
+	if got := (&Result{}).Clusters(); len(got) != 0 {
+		t.Errorf("empty result clusters = %v", got)
+	}
+}
+
+func TestClustersOrdering(t *testing.T) {
+	res := &Result{Pairs: []UnfairPair{
+		{I: 10, J: 11, Tau: 99}, // size-2 cluster, strong
+		{I: 1, J: 2, Tau: 1},    // size-3 cluster, weak
+		{I: 2, J: 3, Tau: 1},
+	}}
+	clusters := res.Clusters()
+	if len(clusters[0].Regions) != 3 {
+		t.Error("largest cluster should come first regardless of tau")
+	}
+}
+
+func TestClustersOnRealAudit(t *testing.T) {
+	p := makeRegions(t, 500)
+	res, err := Audit(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := res.Clusters()
+	if len(clusters) != 1 {
+		t.Fatalf("planted single pair should give one cluster: %d", len(clusters))
+	}
+	totalRegions := 0
+	for _, c := range clusters {
+		totalRegions += len(c.Regions)
+	}
+	if totalRegions != len(res.UnfairRegionSet()) {
+		t.Errorf("cluster members %d != unfair region set %d",
+			totalRegions, len(res.UnfairRegionSet()))
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// buildPair constructs a two-region partitioning where region 0's and region
+// 1's (income, outcome) structure is controlled by the caller.
+func buildPair(n int, gen func(rng *stats.RNG, region int) (income float64, positive bool)) *partition.Partitioning {
+	rng := stats.NewRNG(61)
+	var obs []partition.Observation
+	for region := 0; region < 2; region++ {
+		for i := 0; i < n; i++ {
+			income, pos := gen(rng, region)
+			obs = append(obs, partition.Observation{
+				Loc:      geo.Pt(float64(region)+0.5, 0.5),
+				Positive: pos,
+				Income:   income,
+			})
+		}
+	}
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(2, 1)), 2, 1)
+	return partition.ByGrid(grid, obs, partition.Options{Seed: 4, IncomeSampleCap: 2000})
+}
+
+func TestExplainPureIncomeGap(t *testing.T) {
+	// Outcomes depend only on income; region 1 is richer. The whole gap
+	// should be income-explained.
+	p := buildPair(2000, func(rng *stats.RNG, region int) (float64, bool) {
+		income := 40000 + 15000*rng.NormFloat64()
+		if region == 1 {
+			income += 30000
+		}
+		prob := 0.2
+		if income > 55000 {
+			prob = 0.8
+		}
+		return income, rng.Bernoulli(prob)
+	})
+	e := Explain(&p.Regions[0], &p.Regions[1], 0)
+	if e.ObservedGap < 0.2 {
+		t.Fatalf("fixture should have a large gap, got %v", e.ObservedGap)
+	}
+	if frac := e.ExplainedFraction(); frac < 0.8 {
+		t.Errorf("income should explain most of the gap: explained fraction %v (%+v)", frac, e)
+	}
+	if math.Abs(e.Residual) > 0.4*e.ObservedGap {
+		t.Errorf("residual %v too large for a pure income gap %v", e.Residual, e.ObservedGap)
+	}
+}
+
+func TestExplainPureBiasGap(t *testing.T) {
+	// Identical income distributions; region 0 is simply treated worse. The
+	// gap should be almost entirely residual.
+	p := buildPair(2000, func(rng *stats.RNG, region int) (float64, bool) {
+		income := 50000 + 10000*rng.NormFloat64()
+		prob := 0.7
+		if region == 0 {
+			prob = 0.45
+		}
+		return income, rng.Bernoulli(prob)
+	})
+	e := Explain(&p.Regions[0], &p.Regions[1], 0)
+	if e.ObservedGap < 0.15 {
+		t.Fatalf("fixture should have a large gap, got %v", e.ObservedGap)
+	}
+	if frac := e.ExplainedFraction(); frac > 0.25 {
+		t.Errorf("income should explain almost nothing: explained fraction %v (%+v)", frac, e)
+	}
+}
+
+func TestExplainMixedGap(t *testing.T) {
+	// Half the gap from income, half from bias: the decomposition should
+	// attribute a middling fraction to income.
+	p := buildPair(4000, func(rng *stats.RNG, region int) (float64, bool) {
+		income := 45000 + 12000*rng.NormFloat64()
+		if region == 1 {
+			income += 12000
+		}
+		prob := 0.35 + 0.3*sigmoid((income-50000)/15000)
+		if region == 0 {
+			prob -= 0.10 // planted bias
+		}
+		return income, rng.Bernoulli(clamp(prob))
+	})
+	e := Explain(&p.Regions[0], &p.Regions[1], 0)
+	frac := e.ExplainedFraction()
+	if frac < 0.15 || frac > 0.85 {
+		t.Errorf("mixed gap should be partially explained: fraction %v (%+v)", frac, e)
+	}
+	if e.Residual < 0.03 {
+		t.Errorf("planted bias should leave a residual: %v", e.Residual)
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func clamp(p float64) float64 {
+	if p < 0.02 {
+		return 0.02
+	}
+	if p > 0.98 {
+		return 0.98
+	}
+	return p
+}
+
+func TestExplainEmptyRegions(t *testing.T) {
+	e := Explain(&partition.Region{}, &partition.Region{}, 5)
+	if e != (Explanation{}) {
+		t.Errorf("empty regions should give zero explanation: %+v", e)
+	}
+	if e.ExplainedFraction() != 0 {
+		t.Error("zero gap fraction should be 0")
+	}
+}
+
+func TestExplainSmallSamplesReduceBins(t *testing.T) {
+	p := buildPair(12, func(rng *stats.RNG, region int) (float64, bool) {
+		return 50000 + 1000*rng.NormFloat64(), rng.Bernoulli(0.5)
+	})
+	e := Explain(&p.Regions[0], &p.Regions[1], 50)
+	if e.Bins > 3 {
+		t.Errorf("bins should shrink with tiny samples: %d", e.Bins)
+	}
+	if e.Bins < 1 {
+		t.Errorf("bins must stay >= 1: %d", e.Bins)
+	}
+}
+
+func TestExplainPairUsesOrientation(t *testing.T) {
+	p := makeRegions(t, 500)
+	res, err := Audit(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	e := ExplainPair(p, res.Pairs[0], 0)
+	// The planted pair has equal incomes and pure bias: positive observed
+	// gap, almost all residual.
+	if e.ObservedGap <= 0 {
+		t.Errorf("observed gap should be positive with pair orientation: %v", e.ObservedGap)
+	}
+	if e.ExplainedFraction() > 0.35 {
+		t.Errorf("planted pure-bias pair should be mostly unexplained: %+v", e)
+	}
+}
+
+func TestExplainedFractionClamps(t *testing.T) {
+	if f := (Explanation{ObservedGap: 0.1, IncomeExplained: 0.2}).ExplainedFraction(); f != 1 {
+		t.Errorf("over-explained should clamp to 1, got %v", f)
+	}
+	if f := (Explanation{ObservedGap: 0.1, IncomeExplained: -0.05}).ExplainedFraction(); f != 0 {
+		t.Errorf("counter-explained should clamp to 0, got %v", f)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// makeRegions builds a 3-cell custom partitioning:
+//
+//	cell 0: poor, heavily minority, low approval
+//	cell 1: poor, heavily white, high approval
+//	cell 2: rich, heavily white, high approval
+//
+// so (0,1) is the textbook unfair pair, while (0,2) and (1,2) fail the
+// income-similarity gate.
+func makeRegions(t testing.TB, perRegion int) *partition.Partitioning {
+	t.Helper()
+	rng := stats.NewRNG(99)
+	var obs []partition.Observation
+	add := func(x float64, income func() float64, minorityP, approveP float64) {
+		for i := 0; i < perRegion; i++ {
+			obs = append(obs, partition.Observation{
+				Loc:       geo.Pt(x, 0.5),
+				Positive:  rng.Bernoulli(approveP),
+				Protected: rng.Bernoulli(minorityP),
+				Income:    income(),
+			})
+		}
+	}
+	poor := func() float64 { return 45000 + 8000*rng.NormFloat64() }
+	rich := func() float64 { return 150000 + 20000*rng.NormFloat64() }
+	add(0.5, poor, 0.8, 0.40) // cell 0
+	add(1.5, poor, 0.1, 0.70) // cell 1
+	add(2.5, rich, 0.1, 0.72) // cell 2
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(3, 1)), 3, 1)
+	return partition.ByGrid(grid, obs, partition.Options{Seed: 5})
+}
+
+func TestMannWhitneySimilarity(t *testing.T) {
+	p := makeRegions(t, 400)
+	m := MannWhitneySimilarity{}
+	if m.Name() != "mann-whitney-u" {
+		t.Error("name")
+	}
+	samePoor := m.Score(&p.Regions[0], &p.Regions[1])
+	poorRich := m.Score(&p.Regions[0], &p.Regions[2])
+	if !m.Pass(samePoor, 0.001) {
+		t.Errorf("same-income regions should pass: score %v", samePoor)
+	}
+	if m.Pass(poorRich, 0.001) {
+		t.Errorf("poor-vs-rich should fail: score %v", poorRich)
+	}
+	if m.Pass(math.NaN(), 0.001) {
+		t.Error("NaN must not pass")
+	}
+}
+
+func TestMeanGapSimilarity(t *testing.T) {
+	p := makeRegions(t, 400)
+	m := MeanGapSimilarity{}
+	if !m.Pass(m.Score(&p.Regions[0], &p.Regions[1]), 0.1) {
+		t.Error("similar means should pass at 10% gap")
+	}
+	if m.Pass(m.Score(&p.Regions[0], &p.Regions[2]), 0.1) {
+		t.Error("poor-vs-rich should fail at 10% gap")
+	}
+	empty := &partition.Region{}
+	if !math.IsNaN(m.Score(empty, &p.Regions[0])) {
+		t.Error("empty region should be NaN")
+	}
+}
+
+func TestZScoreDissimilarity(t *testing.T) {
+	p := makeRegions(t, 400)
+	m := ZScoreDissimilarity{}
+	if m.Name() != "z-score" {
+		t.Error("name")
+	}
+	diff := m.Score(&p.Regions[0], &p.Regions[1])
+	same := m.Score(&p.Regions[1], &p.Regions[2])
+	if !m.Pass(diff, 0.001) {
+		t.Errorf("different composition should pass: p = %v", diff)
+	}
+	if m.Pass(same, 0.001) {
+		t.Errorf("same composition should fail: p = %v", same)
+	}
+	if m.Pass(math.NaN(), 0.001) {
+		t.Error("NaN must not pass")
+	}
+}
+
+func TestStatParityDissimilarity(t *testing.T) {
+	p := makeRegions(t, 400)
+	m := StatParityDissimilarity{}
+	gap := m.Score(&p.Regions[0], &p.Regions[1])
+	if gap < 0.5 {
+		t.Errorf("share gap = %v, want ~0.7", gap)
+	}
+	if !m.Pass(gap, 0.01) {
+		t.Error("large gap should pass")
+	}
+	if m.Pass(m.Score(&p.Regions[1], &p.Regions[2]), 0.2) {
+		t.Error("similar shares should fail at 0.2")
+	}
+	empty := &partition.Region{}
+	if !math.IsNaN(m.Score(empty, &p.Regions[0])) {
+		t.Error("empty region should be NaN")
+	}
+}
+
+func TestDisparateImpactDissimilarity(t *testing.T) {
+	p := makeRegions(t, 400)
+	m := DisparateImpactDissimilarity{}
+	ratio := m.Score(&p.Regions[0], &p.Regions[1])
+	if ratio > 0.5 {
+		t.Errorf("composition DI ratio = %v, want small", ratio)
+	}
+	if !m.Pass(ratio, 0.8) {
+		t.Error("small ratio should pass the 80% rule gate")
+	}
+	if m.Pass(m.Score(&p.Regions[1], &p.Regions[2]), 0.5) {
+		t.Error("similar shares should fail")
+	}
+	zeroA := &partition.Region{N: 10}
+	zeroB := &partition.Region{N: 10}
+	if got := m.Score(zeroA, zeroB); got != 1 {
+		t.Errorf("both-zero shares should score 1, got %v", got)
+	}
+}

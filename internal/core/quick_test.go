@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// Property: for random two-region datasets, the audit's output invariants
+// hold — orientation (I is the lower-rate side), p in (0, 1], tau >= 0, and
+// determinism across repeated runs.
+func TestAuditInvariantsQuick(t *testing.T) {
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(2, 1)), 2, 1)
+	cfg := DefaultConfig()
+	cfg.MCWorlds = 99
+	cfg.MinRegionSize = 50
+
+	f := func(seed uint16, rateA8, rateB8, minA8, minB8 uint8) bool {
+		rng := stats.NewRNG(uint64(seed) + 1000)
+		rateA := 0.1 + 0.8*float64(rateA8)/255
+		rateB := 0.1 + 0.8*float64(rateB8)/255
+		minA := float64(minA8) / 255
+		minB := float64(minB8) / 255
+		var obs []partition.Observation
+		for i := 0; i < 300; i++ {
+			obs = append(obs,
+				partition.Observation{
+					Loc: geo.Pt(0.5, 0.5), Positive: rng.Bernoulli(rateA),
+					Protected: rng.Bernoulli(minA), Income: 50000 + 5000*rng.NormFloat64(),
+				},
+				partition.Observation{
+					Loc: geo.Pt(1.5, 0.5), Positive: rng.Bernoulli(rateB),
+					Protected: rng.Bernoulli(minB), Income: 50000 + 5000*rng.NormFloat64(),
+				},
+			)
+		}
+		p := partition.ByGrid(grid, obs, partition.Options{Seed: uint64(seed)})
+		r1, err := Audit(p, cfg)
+		if err != nil {
+			return false
+		}
+		r2, err := Audit(p, cfg)
+		if err != nil {
+			return false
+		}
+		if len(r1.Pairs) != len(r2.Pairs) {
+			return false
+		}
+		for i, pr := range r1.Pairs {
+			if pr != r2.Pairs[i] {
+				return false // determinism
+			}
+			if pr.RateI > pr.RateJ {
+				return false // orientation
+			}
+			if pr.Tau < 0 || math.IsNaN(pr.Tau) {
+				return false
+			}
+			if !(pr.P > 0 && pr.P <= cfg.Alpha) {
+				return false // flagged pairs are significant with valid p
+			}
+		}
+		return r1.Candidates == r2.Candidates
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: relabeling the two regions (swapping their spatial positions)
+// yields the same pair up to index swap — the test is symmetric in its
+// inputs.
+func TestAuditSymmetricUnderRegionSwapQuick(t *testing.T) {
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(2, 1)), 2, 1)
+	cfg := DefaultConfig()
+	cfg.MCWorlds = 199
+	cfg.MinRegionSize = 50
+	// Pair RNG streams are seeded by (min,max) region index, so the swap
+	// keeps the Monte-Carlo draw identical.
+	f := func(seed uint16) bool {
+		rng := stats.NewRNG(uint64(seed) + 77)
+		build := func(swap bool) *partition.Partitioning {
+			var obs []partition.Observation
+			xA, xB := 0.5, 1.5
+			if swap {
+				xA, xB = xB, xA
+			}
+			r2 := stats.NewRNG(uint64(seed) + 78)
+			for i := 0; i < 400; i++ {
+				obs = append(obs,
+					partition.Observation{
+						Loc: geo.Pt(xA, 0.5), Positive: r2.Bernoulli(0.45),
+						Protected: r2.Bernoulli(0.8), Income: 50000 + 4000*r2.NormFloat64(),
+					},
+					partition.Observation{
+						Loc: geo.Pt(xB, 0.5), Positive: r2.Bernoulli(0.7),
+						Protected: r2.Bernoulli(0.1), Income: 50000 + 4000*r2.NormFloat64(),
+					},
+				)
+			}
+			return partition.ByGrid(grid, obs, partition.Options{Seed: uint64(seed)})
+		}
+		a, err := Audit(build(false), cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Audit(build(true), cfg)
+		if err != nil {
+			return false
+		}
+		if len(a.Pairs) != len(b.Pairs) {
+			return false
+		}
+		for i := range a.Pairs {
+			pa, pb := a.Pairs[i], b.Pairs[i]
+			// The disadvantaged region moved from cell 0 to cell 1, but the
+			// oriented rates, shares, tau, and p must match.
+			if math.Abs(pa.RateI-pb.RateI) > 1e-12 || math.Abs(pa.RateJ-pb.RateJ) > 1e-12 {
+				return false
+			}
+			if math.Abs(pa.Tau-pb.Tau) > 1e-9 || pa.P != pb.P {
+				return false
+			}
+			if pa.I+pa.J != pb.I+pb.J {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

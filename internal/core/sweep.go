@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+)
+
+// GridSpec names one grid resolution in the paper's ColsxRows notation.
+type GridSpec struct {
+	Cols, Rows int
+}
+
+// String implements fmt.Stringer.
+func (g GridSpec) String() string { return fmt.Sprintf("%dx%d", g.Cols, g.Rows) }
+
+// Table2Grids is the partitioning sweep of the paper's Table 2 (and Table 4),
+// in the paper's row order.
+func Table2Grids() []GridSpec {
+	return []GridSpec{
+		{10, 10}, {10, 20}, {10, 30}, {20, 20}, {10, 50}, {20, 30}, {20, 40},
+		{50, 20}, {40, 30}, {30, 50}, {40, 40}, {90, 30}, {70, 40}, {90, 40},
+		{80, 50}, {90, 50}, {100, 50},
+	}
+}
+
+// Table3Grids is the partitioning sweep of the paper's Table 3 (the paper
+// lists 90x50 twice; both rows are kept to mirror it).
+func Table3Grids() []GridSpec {
+	return []GridSpec{
+		{10, 10}, {10, 20}, {10, 30}, {10, 40}, {20, 20}, {10, 50}, {30, 20},
+		{40, 20}, {50, 50}, {90, 50}, {70, 40}, {100, 30}, {90, 50}, {100, 50},
+	}
+}
+
+// SweepRow is one row of a partitioning sweep: the grid resolution and the
+// number of unfair region pairs the audit found at that resolution.
+type SweepRow struct {
+	Grid        GridSpec
+	UnfairPairs int
+	Candidates  int
+	Eligible    int
+}
+
+// Sweep runs the LC-SF audit at each grid resolution over the same
+// observations, reproducing the "Different Partitionings" experiments
+// (Section 5.2). bounds is the audited region R.
+func Sweep(bounds geo.BBox, obs []partition.Observation, grids []GridSpec, cfg Config, popts partition.Options) ([]SweepRow, error) {
+	rows := make([]SweepRow, 0, len(grids))
+	for _, gs := range grids {
+		grid := geo.NewGrid(bounds, gs.Cols, gs.Rows)
+		part := partition.ByGrid(grid, obs, popts)
+		res, err := Audit(part, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at %s: %w", gs, err)
+		}
+		rows = append(rows, SweepRow{
+			Grid:        gs,
+			UnfairPairs: len(res.Pairs),
+			Candidates:  res.Candidates,
+			Eligible:    res.EligibleRegions,
+		})
+	}
+	return rows, nil
+}

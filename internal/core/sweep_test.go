@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+func TestSweepRunsAllGrids(t *testing.T) {
+	rng := stats.NewRNG(17)
+	bounds := geo.NewBBox(geo.Pt(0, 0), geo.Pt(10, 10))
+	var obs []partition.Observation
+	for i := 0; i < 8000; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		minority := x < 5 // west half minority
+		approveP := 0.7
+		if minority {
+			approveP = 0.5
+		}
+		obs = append(obs, partition.Observation{
+			Loc:       geo.Pt(x, y),
+			Positive:  rng.Bernoulli(approveP),
+			Protected: rng.Bernoulli(map[bool]float64{true: 0.8, false: 0.1}[minority]),
+			Income:    55000 + 9000*rng.NormFloat64(),
+		})
+	}
+	grids := []GridSpec{{2, 2}, {4, 4}, {6, 6}}
+	cfg := DefaultConfig()
+	cfg.MCWorlds = 199
+	rows, err := Sweep(bounds, obs, grids, cfg, partition.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	foundAny := false
+	for i, r := range rows {
+		if r.Grid != grids[i] {
+			t.Errorf("row %d grid = %v", i, r.Grid)
+		}
+		if r.UnfairPairs > 0 {
+			foundAny = true
+		}
+		if r.Eligible == 0 {
+			t.Errorf("row %d has no eligible regions", i)
+		}
+	}
+	if !foundAny {
+		t.Error("planted east-west bias found at no resolution")
+	}
+}
+
+func TestSweepPropagatesConfigError(t *testing.T) {
+	bounds := geo.NewBBox(geo.Pt(0, 0), geo.Pt(1, 1))
+	_, err := Sweep(bounds, nil, []GridSpec{{2, 2}}, Config{}, partition.Options{})
+	if err == nil {
+		t.Error("invalid config should propagate an error")
+	}
+}
+
+func TestPaperGridLists(t *testing.T) {
+	t2 := Table2Grids()
+	if len(t2) != 17 {
+		t.Errorf("Table2Grids = %d rows, want 17", len(t2))
+	}
+	if t2[0] != (GridSpec{10, 10}) || t2[len(t2)-1] != (GridSpec{100, 50}) {
+		t.Errorf("Table2Grids endpoints wrong: %v ... %v", t2[0], t2[len(t2)-1])
+	}
+	t3 := Table3Grids()
+	if len(t3) != 14 {
+		t.Errorf("Table3Grids = %d rows, want 14", len(t3))
+	}
+	if (GridSpec{3, 4}).String() != "3x4" {
+		t.Error("GridSpec.String wrong")
+	}
+}

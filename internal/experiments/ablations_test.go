@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunAblationEta(t *testing.T) {
+	rows, err := RunAblationEta(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Candidates and pairs must be non-increasing as eta grows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Candidates > rows[i-1].Candidates {
+			t.Errorf("candidates grew with eta: %v", rows)
+		}
+		if rows[i].UnfairPairs > rows[i-1].UnfairPairs {
+			t.Errorf("unfair pairs grew with eta: %v", rows)
+		}
+	}
+	if rows[0].UnfairPairs == 0 {
+		t.Error("eta=0 should find the planted unfairness")
+	}
+}
+
+func TestRunAblationSignificance(t *testing.T) {
+	rows, err := RunAblationSignificance(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]int{}
+	for _, r := range rows {
+		byName[r.Name] = r.UnfairPairs
+	}
+	if byName["per-pair alpha=0.01"] > byName["per-pair alpha=0.05"] {
+		t.Error("stricter alpha should not find more pairs")
+	}
+	if byName["BH FDR q=0.01"] > byName["BH FDR q=0.05"] {
+		t.Error("stricter FDR should not find more pairs")
+	}
+	// With the strong planted signal most discoveries are real, so BH at q
+	// keeps at least as many pairs as per-pair alpha at the same level.
+	if byName["BH FDR q=0.05"] == 0 {
+		t.Error("FDR control should still flag the planted bias")
+	}
+}
+
+func TestRunAblationMetrics(t *testing.T) {
+	rows, err := RunAblationMetrics(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.UnfairPairs == 0 {
+			t.Errorf("%s found nothing; every metric combination should expose the planted bias", r.Name)
+		}
+		if r.UnfairPairs > r.Candidates {
+			t.Errorf("%s flagged more than its candidates", r.Name)
+		}
+	}
+	// The similarity-gate variants (MW-U, KS, Welch) probe the same income
+	// structure; their candidate sets should be of the same order (the KS
+	// asymptotic p-value is conservative at these sizes, so it can sit
+	// slightly above MW-U).
+	for _, i := range []int{1, 2} {
+		lo, hi := rows[0].Candidates/2, rows[0].Candidates*2
+		if rows[i].Candidates < lo || rows[i].Candidates > hi {
+			t.Errorf("%s candidates (%d) far from MW-U's (%d)",
+				rows[i].Name, rows[i].Candidates, rows[0].Candidates)
+		}
+	}
+}

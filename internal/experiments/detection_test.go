@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+func TestRunDetectionAccuracy(t *testing.T) {
+	res, err := RunDetectionAccuracy(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrulyBiasedRegions == 0 {
+		t.Fatal("ground truth should contain planted regions")
+	}
+	// The extension's claim: LC-SF recovers the planted bias better than the
+	// local-vs-global baseline on both axes that matter.
+	if res.LCSF.F1 <= res.Sacharidis.F1 {
+		t.Errorf("LC-SF F1 %.2f should beat baseline %.2f", res.LCSF.F1, res.Sacharidis.F1)
+	}
+	if res.LCSF.Precision <= res.Sacharidis.Precision {
+		t.Errorf("LC-SF precision %.2f should beat baseline %.2f",
+			res.LCSF.Precision, res.Sacharidis.Precision)
+	}
+	if res.LCSF.Recall < 0.5 {
+		t.Errorf("LC-SF recall %.2f should recover most planted regions", res.LCSF.Recall)
+	}
+	// Metric sanity.
+	for name, m := range map[string]DetectionMetrics{"lcsf": res.LCSF, "sach": res.Sacharidis} {
+		if m.TruePositives > m.Flagged || m.TruePositives > res.TrulyBiasedRegions {
+			t.Errorf("%s metrics inconsistent: %+v", name, m)
+		}
+		if m.Precision < 0 || m.Precision > 1 || m.Recall < 0 || m.Recall > 1 {
+			t.Errorf("%s metrics out of range: %+v", name, m)
+		}
+	}
+}
+
+func TestComputeMetricsEdgeCases(t *testing.T) {
+	empty := computeMetrics(map[int]bool{}, map[int]bool{1: true})
+	if empty.Precision != 0 || empty.Recall != 0 || empty.F1 != 0 {
+		t.Errorf("empty flagged set: %+v", empty)
+	}
+	noTruth := computeMetrics(map[int]bool{1: true}, map[int]bool{})
+	if noTruth.Recall != 0 || noTruth.Precision != 0 {
+		t.Errorf("empty truth: %+v", noTruth)
+	}
+	perfect := computeMetrics(map[int]bool{1: true, 2: true}, map[int]bool{1: true, 2: true})
+	if perfect.F1 != 1 {
+		t.Errorf("perfect detection F1 = %v", perfect.F1)
+	}
+}
+
+func TestWriteFigureSVGs(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := WriteFigureSVGs(dir, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() < 200 {
+			t.Errorf("%s suspiciously small (%d bytes)", p, info.Size())
+		}
+	}
+}

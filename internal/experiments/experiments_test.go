@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"lcsf/internal/core"
+)
+
+// The suite is expensive to build (full paper-scale data volumes), so the
+// tests share one.
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+)
+
+func sharedSuite() *Suite {
+	suiteOnce.Do(func() { suite = NewSuite(DefaultSeed) })
+	return suite
+}
+
+func TestRunDisparateImpactBaseline(t *testing.T) {
+	res, err := RunDisparateImpactBaseline(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point: the global DI sits above the 80% threshold — no
+	// bias according to the aspatial rule — while LC-SF finds hundreds of
+	// unfair pairs in the same data.
+	if res.DI < 0.85 || res.DI > 1.05 {
+		t.Errorf("global DI = %v, want near 1 (paper: %v)", res.DI, res.Paper)
+	}
+	if res.FlaggedByRule {
+		t.Error("80% rule should NOT flag the globally-washed-out bias")
+	}
+	if res.PlantedUnfairPairs < 100 {
+		t.Errorf("LC-SF found only %d pairs; the planted bias should yield hundreds", res.PlantedUnfairPairs)
+	}
+}
+
+func TestRunBaselineComparisonShape(t *testing.T) {
+	res, err := RunBaselineComparison(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape assertions from Section 5.1.2: LC-SF identifies significantly
+	// more spatial unfairness than the baseline, and the two methods flag
+	// substantially different regions.
+	if res.LCSFPairs <= 2*res.SacharidisUnfair {
+		t.Errorf("LC-SF (%d pairs) should dwarf Sacharidis (%d regions)",
+			res.LCSFPairs, res.SacharidisUnfair)
+	}
+	if res.SacharidisUnfair < 10 || res.SacharidisUnfair > 300 {
+		t.Errorf("Sacharidis = %d, want the paper's order of magnitude (59)", res.SacharidisUnfair)
+	}
+	if res.LCSFOnly == 0 || res.SacharidisOnly == 0 {
+		t.Error("the methods should each flag regions the other does not")
+	}
+}
+
+func TestRunTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full four-lender audit in -short mode")
+	}
+	var buf strings.Builder
+	rows, err := RunTable1(&buf, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLender := map[string]int{}
+	for _, r := range rows {
+		byLender[r.Lender] = r.Unfair
+		if r.Unfair == 0 {
+			t.Errorf("%s found no unfairness", r.Lender)
+		}
+	}
+	// Table 1's ordering: Loan Depot most unfair regions, UWM fewest.
+	if !(byLender["Loan Depot"] > byLender["Wells Fargo"] &&
+		byLender["Wells Fargo"] > byLender["United Wholesale Mortgage"] &&
+		byLender["Bank of America"] > byLender["United Wholesale Mortgage"]) {
+		t.Errorf("lender ordering does not match Table 1: %v", byLender)
+	}
+	if !strings.Contains(buf.String(), "Loan Depot") {
+		t.Error("output missing lender rows")
+	}
+}
+
+func TestRunFigure1MAUP(t *testing.T) {
+	rows := RunFigure1MAUP(io.Discard)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fair := map[string]bool{}
+	for _, r := range rows {
+		fair[r.Name[:3]] = r.LooksFair
+	}
+	if !fair["(b)"] || !fair["(e)"] {
+		t.Error("partitionings (b) and (e) should appear fair")
+	}
+	if fair["(c)"] || fair["(d)"] {
+		t.Error("partitionings (c) and (d) should appear unfair")
+	}
+}
+
+func TestRunFigure2Adversary(t *testing.T) {
+	res, err := RunFigure2Adversary(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SacharidisBefore < 2 {
+		t.Errorf("baseline should flag the planted pair before: %d", res.SacharidisBefore)
+	}
+	if res.SacharidisAfter != 0 {
+		t.Errorf("the Figure 2 attack should silence the baseline: %d", res.SacharidisAfter)
+	}
+	if res.LCSFBefore == 0 {
+		t.Error("LC-SF should flag the planted pair")
+	}
+	if res.Case1 == 0 {
+		t.Error("case 1 (jiggle) should leave the pair flagged")
+	}
+	if res.Case2 == 0 {
+		t.Error("case 2 should resurface the unfairness in fresh comparisons")
+	}
+	if res.Case3Finer == 0 {
+		t.Error("re-auditing after case 3 should recover the evidence")
+	}
+	if res.Case4 == 0 {
+		t.Error("case 4 should resurface the unfairness")
+	}
+}
+
+func TestRunFigures4And5Narrative(t *testing.T) {
+	res, err := RunFigures4And5(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4: the baseline's most unfair region deviates upward from the
+	// global rate (a legally explainable affluent region).
+	if res.SacharidisRate <= res.GlobalRate {
+		t.Errorf("baseline top region rate %v should exceed global %v",
+			res.SacharidisRate, res.GlobalRate)
+	}
+	// Figure 5: LC-SF's most unfair pair is a minority region disadvantaged
+	// relative to a less-minority region.
+	pr := res.LCSFPair.Pair
+	if pr.SharedI <= pr.SharedJ {
+		t.Errorf("disadvantaged region should be the more-minority one: %v vs %v",
+			pr.SharedI, pr.SharedJ)
+	}
+	if pr.RateI >= pr.RateJ {
+		t.Error("pair should be oriented disadvantaged-first")
+	}
+	if res.LCSFPair.PlaceI == "" || res.LCSFPair.PlaceJ == "" {
+		t.Error("places should be named")
+	}
+}
+
+func TestRunFigure3And6(t *testing.T) {
+	var buf strings.Builder
+	descs, err := RunFigure3(&buf, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 5 {
+		t.Fatalf("top pairs = %d, want 5", len(descs))
+	}
+	for i := 1; i < len(descs); i++ {
+		if descs[i].Pair.Tau > descs[i-1].Pair.Tau {
+			t.Error("pairs not in decreasing unfairness order")
+		}
+	}
+	if !strings.Contains(buf.String(), "pair 1:") {
+		t.Error("figure output missing pair descriptions")
+	}
+
+	f6, err := RunFigure6(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.Both) == 0 {
+		t.Error("some regions should be flagged by both methods")
+	}
+	if f6.LCSFOnly == 0 {
+		t.Error("LC-SF should flag regions the baseline misses")
+	}
+}
+
+func TestRunFoodAccessHeadline(t *testing.T) {
+	res, err := RunFoodAccessHeadline(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.UnfairRegions) / float64(res.TotalCells)
+	// The paper reports ~10% of the 400 cells.
+	if frac < 0.03 || frac > 0.25 {
+		t.Errorf("unfair fraction = %v, want around the paper's 10%%", frac)
+	}
+}
+
+func TestRunTable2And4Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full partitioning sweeps in -short mode")
+	}
+	t2, err := RunTable2(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGrid := map[core.GridSpec]int{}
+	for _, r := range t2.Rows {
+		byGrid[r.Grid] = r.UnfairPairs
+	}
+	// Shape: counts grow from the coarsest resolution and stay of the same
+	// order at high resolutions (no collapse for the dense mortgage data).
+	if byGrid[core.GridSpec{Cols: 10, Rows: 10}] >= byGrid[core.GridSpec{Cols: 100, Rows: 50}] {
+		t.Errorf("Table 2 shape: coarse %d should be below fine %d",
+			byGrid[core.GridSpec{Cols: 10, Rows: 10}], byGrid[core.GridSpec{Cols: 100, Rows: 50}])
+	}
+
+	t4, err := RunTable4(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGrid4 := map[core.GridSpec]int{}
+	for _, r := range t4.Rows {
+		byGrid4[r.Grid] = r.UnfairPairs
+	}
+	// Shape from Section 5.3: at fine resolutions the statistical-parity
+	// dissimilarity admits more pairs than the power-limited z-test.
+	fine := core.GridSpec{Cols: 100, Rows: 50}
+	if byGrid4[fine] < byGrid[fine] {
+		t.Errorf("Table 4 at %s (%d) should be >= Table 2 (%d)", fine, byGrid4[fine], byGrid[fine])
+	}
+}
+
+func TestRunTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("food sweep in -short mode")
+	}
+	t3, err := RunTable3(io.Discard, sharedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGrid := map[core.GridSpec]int{}
+	var peak int
+	for _, r := range t3.Rows {
+		byGrid[r.Grid] = r.UnfairPairs
+		if r.UnfairPairs > peak {
+			peak = r.UnfairPairs
+		}
+	}
+	coarse := byGrid[core.GridSpec{Cols: 10, Rows: 10}]
+	fine := byGrid[core.GridSpec{Cols: 100, Rows: 50}]
+	// Shape from Table 3: few findings at the coarsest grid, a peak at
+	// medium resolutions, a pronounced drop at the finest.
+	if coarse >= peak {
+		t.Errorf("coarse grid count %d should be below the peak %d", coarse, peak)
+	}
+	if fine >= peak {
+		t.Errorf("finest grid count %d should be below the peak %d (sparsity collapse)", fine, peak)
+	}
+}
+
+func TestSuiteCachesDatasets(t *testing.T) {
+	s := sharedSuite()
+	a, err := s.LenderObservations("Bank of America")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.LenderObservations("Bank of America")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("lender observations should be cached")
+	}
+	if _, err := s.LenderObservations("No Such Bank"); err == nil {
+		t.Error("unknown lender should error")
+	}
+	f1 := s.FoodObservations()
+	f2 := s.FoodObservations()
+	if &f1[0] != &f2[0] {
+		t.Error("food observations should be cached")
+	}
+}
+
+func TestNearestMetroName(t *testing.T) {
+	if got := nearestMetroName(sharedSuite().Bounds().Center()); got == "" {
+		t.Error("center should name something")
+	}
+	// A point far from every metro is rural.
+	if got := nearestMetroName(sharedSuite().Bounds().Min); got != "rural" {
+		t.Errorf("remote corner = %q, want rural", got)
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"lcsf/internal/baseline/sacharidis"
+	"lcsf/internal/census"
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/viz"
+)
+
+// nearestMetroName returns the name of the metro whose center is closest to
+// p, and the distance in degrees; distant points report "rural".
+func nearestMetroName(p geo.Point) string {
+	best, bestD := "", math.Inf(1)
+	for _, m := range census.DefaultMetros() {
+		if d := m.Center.DistanceTo(p); d < bestD {
+			best, bestD = m.Name, d
+		}
+	}
+	if bestD > 3 {
+		return "rural"
+	}
+	return best
+}
+
+// PairDescription describes one unfair pair in figure output.
+type PairDescription struct {
+	Pair   core.UnfairPair
+	PlaceI string // metro nearest the disadvantaged region
+	PlaceJ string // metro nearest the comparison region
+}
+
+// RunFigure3 reproduces Figure 3: the five most spatially unfair pairs of
+// regions, rendered as a terminal map (digit k marks the two regions of the
+// k-th most unfair pair) plus a per-pair description.
+func RunFigure3(w io.Writer, s *Suite) ([]PairDescription, error) {
+	res, _, err := auditLenderAt(s, "Bank of America", Table1Grid, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	grid := geo.NewGrid(s.Bounds(), Table1Grid.Cols, Table1Grid.Rows)
+	top := res.Top(5)
+	sets := make([]map[int]bool, len(top))
+	descs := make([]PairDescription, len(top))
+	for i, pr := range top {
+		sets[i] = map[int]bool{pr.I: true, pr.J: true}
+		descs[i] = PairDescription{
+			Pair:   pr,
+			PlaceI: nearestMetroName(grid.CellCenter(pr.I)),
+			PlaceJ: nearestMetroName(grid.CellCenter(pr.J)),
+		}
+	}
+	fmt.Fprintln(w, "Figure 3: the 5 most spatially unfair pairs (digit k = pair k)")
+	fmt.Fprint(w, viz.HighlightMap(grid, sets))
+	for i, d := range descs {
+		fmt.Fprintf(w, "  pair %d: %s (rate %.2f, minority share %.2f) vs %s (rate %.2f, minority share %.2f), tau=%.1f p=%.3f\n",
+			i+1, d.PlaceI, d.Pair.RateI, d.Pair.SharedI,
+			d.PlaceJ, d.Pair.RateJ, d.Pair.SharedJ, d.Pair.Tau, d.Pair.P)
+	}
+	return descs, nil
+}
+
+// Figures45Result captures the Figure 4 / Figure 5 contrast: the region each
+// method considers most unfair.
+type Figures45Result struct {
+	// SacharidisPlace is the metro of the baseline's most unfair region —
+	// in the paper, an affluent Bay Area region whose high approval rate has
+	// a legally valid explanation.
+	SacharidisPlace string
+	SacharidisRate  float64
+	GlobalRate      float64
+	// LCSFPair is the framework's most unfair pair — in the paper, a
+	// majority-minority Detroit region versus a majority-white Florida
+	// region of similar income.
+	LCSFPair PairDescription
+}
+
+// RunFigures4And5 reproduces Figures 4 and 5: the most spatially unfair
+// region according to the baseline (a high-income region whose elevated
+// approval rate is legally explainable) versus the most unfair pair
+// according to LC-SF (equal-income, racially different regions with
+// significantly different outcomes).
+func RunFigures4And5(w io.Writer, s *Suite) (*Figures45Result, error) {
+	res, p, err := auditLenderAt(s, "Bank of America", Table1Grid, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	scfg := sacharidis.DefaultConfig()
+	scfg.Alpha = core.DefaultConfig().Alpha
+	scfg.MinRegionSize = core.DefaultConfig().MinRegionSize
+	sres, err := sacharidis.Audit(p, scfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(sres.Regions) == 0 || len(res.Pairs) == 0 {
+		return nil, fmt.Errorf("experiments: audits found nothing to contrast")
+	}
+	grid := geo.NewGrid(s.Bounds(), Table1Grid.Cols, Table1Grid.Rows)
+	topS := sres.Regions[0]
+	topL := res.Pairs[0]
+	out := &Figures45Result{
+		SacharidisPlace: nearestMetroName(grid.CellCenter(topS.Index)),
+		SacharidisRate:  topS.Rate,
+		GlobalRate:      sres.GlobalRate,
+		LCSFPair: PairDescription{
+			Pair:   topL,
+			PlaceI: nearestMetroName(grid.CellCenter(topL.I)),
+			PlaceJ: nearestMetroName(grid.CellCenter(topL.J)),
+		},
+	}
+	fmt.Fprintln(w, "Figure 4: most unfair region per Sacharidis et al.")
+	fmt.Fprintf(w, "  %s: local rate %.2f vs global %.2f — high-income area, legally explainable\n",
+		out.SacharidisPlace, out.SacharidisRate, out.GlobalRate)
+	fmt.Fprintln(w, "Figure 5: most unfair pair per LC-SF")
+	fmt.Fprintf(w, "  %s (rate %.2f, minority share %.2f) vs %s (rate %.2f, minority share %.2f): similar income, different race, different outcomes\n",
+		out.LCSFPair.PlaceI, topL.RateI, topL.SharedI,
+		out.LCSFPair.PlaceJ, topL.RateJ, topL.SharedJ)
+	return out, nil
+}
+
+// Figure6Result captures the region overlap between the two methods.
+type Figure6Result struct {
+	Both           []int // regions flagged by both methods
+	LCSFOnly       int
+	SacharidisOnly int
+}
+
+// RunFigure6 reproduces Figure 6: the regions flagged as spatially unfair by
+// both methodologies, rendered on the grid map ('1' = flagged by both).
+func RunFigure6(w io.Writer, s *Suite) (*Figure6Result, error) {
+	res, p, err := auditLenderAt(s, "Bank of America", Table1Grid, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	scfg := sacharidis.DefaultConfig()
+	scfg.Alpha = core.DefaultConfig().Alpha
+	scfg.MinRegionSize = core.DefaultConfig().MinRegionSize
+	sres, err := sacharidis.Audit(p, scfg)
+	if err != nil {
+		return nil, err
+	}
+	lcsfSet := res.UnfairRegionSet()
+	out := &Figure6Result{}
+	both := map[int]bool{}
+	for _, u := range sres.Regions {
+		if lcsfSet[u.Index] {
+			both[u.Index] = true
+			out.Both = append(out.Both, u.Index)
+		} else {
+			out.SacharidisOnly++
+		}
+	}
+	out.LCSFOnly = len(lcsfSet) - len(out.Both)
+	grid := geo.NewGrid(s.Bounds(), Table1Grid.Cols, Table1Grid.Rows)
+	fmt.Fprintln(w, "Figure 6: regions flagged by BOTH methods ('1')")
+	fmt.Fprint(w, viz.HighlightMap(grid, []map[int]bool{both}))
+	fmt.Fprintf(w, "  flagged by both: %d;  LC-SF only: %d;  Sacharidis only: %d\n",
+		len(out.Both), out.LCSFOnly, out.SacharidisOnly)
+	return out, nil
+}

@@ -1,0 +1,93 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sections 4 and 5) on the synthetic substrate. Each RunXxx
+// function regenerates one artifact: it prints the same rows or map the
+// paper reports — side by side with the paper's published numbers — and
+// returns the measured values for tests and benchmarks to assert on.
+//
+// Absolute counts are not expected to match the paper (the data is a
+// calibrated synthetic substitute; see DESIGN.md), but the shapes are: which
+// method finds more unfairness, how counts move with grid resolution, where
+// the sparsity collapse sets in, and which regions are implicated.
+package experiments
+
+import (
+	"sync"
+
+	"lcsf/internal/census"
+	"lcsf/internal/geo"
+	"lcsf/internal/hmda"
+	"lcsf/internal/partition"
+	"lcsf/internal/poi"
+)
+
+// DefaultSeed reproduces the calibrated experiment universe.
+const DefaultSeed = 2020
+
+// Suite carries the shared synthetic universe of one experiment run: the
+// census model and lazily generated, cached datasets. A Suite is safe for
+// concurrent use.
+type Suite struct {
+	Model *census.Model
+	Seed  uint64
+
+	mu        sync.Mutex
+	lenderObs map[string][]partition.Observation
+	foodObs   []partition.Observation
+}
+
+// NewSuite generates the synthetic universe for the given seed.
+func NewSuite(seed uint64) *Suite {
+	return &Suite{
+		Model:     census.Generate(census.Config{Seed: seed}),
+		Seed:      seed,
+		lenderObs: make(map[string][]partition.Observation),
+	}
+}
+
+// LenderObservations returns the decisioned-application observations of the
+// named default lender, generating and caching them on first use.
+func (s *Suite) LenderObservations(name string) ([]partition.Observation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obs, ok := s.lenderObs[name]; ok {
+		return obs, nil
+	}
+	l, err := hmda.LenderByName(name)
+	if err != nil {
+		return nil, err
+	}
+	obs := hmda.ToObservations(hmda.Generate(s.Model, l))
+	s.lenderObs[name] = obs
+	return obs, nil
+}
+
+// LenderRecords returns the full decisioned record set of the named lender
+// (not cached; used where record-level fields such as race are needed).
+func (s *Suite) LenderRecords(name string) ([]hmda.Record, error) {
+	l, err := hmda.LenderByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return hmda.FilterDecisioned(hmda.Generate(s.Model, l)), nil
+}
+
+// FoodObservations returns the food-access observations (fast-food and
+// grocery outlets over the census model), generating and caching them on
+// first use.
+func (s *Suite) FoodObservations() []partition.Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.foodObs == nil {
+		places := poi.Generate(s.Model, poi.Config{Seed: s.Seed + 55})
+		s.foodObs = poi.ToObservations(s.Model, places, s.Seed+56)
+	}
+	return s.foodObs
+}
+
+// Bounds returns the audited region R.
+func (s *Suite) Bounds() geo.BBox { return s.Model.Bounds }
+
+// PartitionOptions returns the aggregation options all experiments share.
+func (s *Suite) PartitionOptions() partition.Options {
+	return partition.Options{Seed: s.Seed + 1}
+}

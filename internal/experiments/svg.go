@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lcsf/internal/baseline/sacharidis"
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/viz"
+)
+
+// WriteFigureSVGs renders SVG versions of the paper's map figures into dir
+// (created if missing): figure3.svg (the five most unfair pairs), figure45.svg
+// (the most unfair region per method), figure6.svg (regions flagged by both
+// methods), and rates.svg (an approval-rate heat map). It returns the paths
+// written.
+func WriteFigureSVGs(dir string, s *Suite) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	res, p, err := auditLenderAt(s, "Bank of America", Table1Grid, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	scfg := sacharidis.DefaultConfig()
+	scfg.Alpha = core.DefaultConfig().Alpha
+	scfg.MinRegionSize = core.DefaultConfig().MinRegionSize
+	sres, err := sacharidis.Audit(p, scfg)
+	if err != nil {
+		return nil, err
+	}
+	grid := geo.NewGrid(s.Bounds(), Table1Grid.Cols, Table1Grid.Rows)
+
+	var written []string
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	// Figure 3: top five pairs, one palette color per pair.
+	var cells []viz.SVGCell
+	for i, pr := range res.Top(5) {
+		color := viz.PaletteColor(i)
+		cells = append(cells,
+			viz.SVGCell{Index: pr.I, Fill: color,
+				Title: fmt.Sprintf("pair %d (disadvantaged): rate %.2f, minority %.2f", i+1, pr.RateI, pr.SharedI)},
+			viz.SVGCell{Index: pr.J, Fill: color,
+				Title: fmt.Sprintf("pair %d (comparison): rate %.2f, minority %.2f", i+1, pr.RateJ, pr.SharedJ)},
+		)
+	}
+	if err := write("figure3.svg", viz.SVGGridMap(grid, cells, 1000)); err != nil {
+		return written, err
+	}
+
+	// Figures 4 and 5: the baseline's top region versus LC-SF's top pair.
+	cells = cells[:0]
+	if len(sres.Regions) > 0 {
+		cells = append(cells, viz.SVGCell{
+			Index: sres.Regions[0].Index, Fill: viz.PaletteColor(1),
+			Title: fmt.Sprintf("Sacharidis top region: rate %.2f vs global %.2f", sres.Regions[0].Rate, sres.GlobalRate),
+		})
+	}
+	if len(res.Pairs) > 0 {
+		pr := res.Pairs[0]
+		cells = append(cells,
+			viz.SVGCell{Index: pr.I, Fill: viz.PaletteColor(0),
+				Title: fmt.Sprintf("LC-SF top pair, disadvantaged: rate %.2f", pr.RateI)},
+			viz.SVGCell{Index: pr.J, Fill: viz.PaletteColor(2),
+				Title: fmt.Sprintf("LC-SF top pair, comparison: rate %.2f", pr.RateJ)},
+		)
+	}
+	if err := write("figure45.svg", viz.SVGGridMap(grid, cells, 1000)); err != nil {
+		return written, err
+	}
+
+	// Figure 6: regions flagged by both methods.
+	cells = cells[:0]
+	lcsfSet := res.UnfairRegionSet()
+	for _, u := range sres.Regions {
+		if lcsfSet[u.Index] {
+			cells = append(cells, viz.SVGCell{
+				Index: u.Index, Fill: viz.PaletteColor(3),
+				Title: fmt.Sprintf("flagged by both: rate %.2f", u.Rate),
+			})
+		}
+	}
+	if err := write("figure6.svg", viz.SVGGridMap(grid, cells, 1000)); err != nil {
+		return written, err
+	}
+
+	// Approval-rate heat map over all eligible regions (context figure).
+	cells = cells[:0]
+	minSize := core.DefaultConfig().MinRegionSize
+	for i := range p.Regions {
+		r := &p.Regions[i]
+		if r.N < minSize {
+			continue
+		}
+		cells = append(cells, viz.SVGCell{
+			Index: i, Fill: viz.SVGHeat(r.PositiveRate()),
+			Title: fmt.Sprintf("rate %.2f, n %d", r.PositiveRate(), r.N),
+		})
+	}
+	if err := write("rates.svg", viz.SVGGridMap(grid, cells, 1000)); err != nil {
+		return written, err
+	}
+	return written, nil
+}

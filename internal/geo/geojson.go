@@ -1,0 +1,118 @@
+package geo
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// GeoJSON (RFC 7946) encoding for the geometry types, so audit reports and
+// the synthetic geography can be dropped onto any web map.
+
+// geoJSONGeometry is the wire form of a GeoJSON geometry object.
+type geoJSONGeometry struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+// MarshalJSON encodes the point as a GeoJSON Point geometry.
+func (p Point) MarshalJSON() ([]byte, error) {
+	coords, err := json.Marshal([2]float64{p.X, p.Y})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(geoJSONGeometry{Type: "Point", Coordinates: coords})
+}
+
+// UnmarshalJSON decodes a GeoJSON Point geometry.
+func (p *Point) UnmarshalJSON(data []byte) error {
+	var g geoJSONGeometry
+	if err := json.Unmarshal(data, &g); err != nil {
+		return fmt.Errorf("geo: decoding GeoJSON point: %w", err)
+	}
+	if g.Type != "Point" {
+		return fmt.Errorf("geo: expected GeoJSON Point, got %q", g.Type)
+	}
+	var coords [2]float64
+	if err := json.Unmarshal(g.Coordinates, &coords); err != nil {
+		return fmt.Errorf("geo: decoding GeoJSON point coordinates: %w", err)
+	}
+	p.X, p.Y = coords[0], coords[1]
+	return nil
+}
+
+// MarshalJSON encodes the polygon as a GeoJSON Polygon geometry with one
+// linear ring, closed per the RFC (first position repeated at the end).
+func (pg Polygon) MarshalJSON() ([]byte, error) {
+	ring := make([][2]float64, 0, len(pg.Ring)+1)
+	for _, p := range pg.Ring {
+		ring = append(ring, [2]float64{p.X, p.Y})
+	}
+	if len(pg.Ring) > 0 && pg.Ring[0] != pg.Ring[len(pg.Ring)-1] {
+		ring = append(ring, [2]float64{pg.Ring[0].X, pg.Ring[0].Y})
+	}
+	coords, err := json.Marshal([][][2]float64{ring})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(geoJSONGeometry{Type: "Polygon", Coordinates: coords})
+}
+
+// UnmarshalJSON decodes a GeoJSON Polygon geometry; only the outer ring is
+// kept (the pipeline has no holes), and the RFC's closing position is
+// stripped.
+func (pg *Polygon) UnmarshalJSON(data []byte) error {
+	var g geoJSONGeometry
+	if err := json.Unmarshal(data, &g); err != nil {
+		return fmt.Errorf("geo: decoding GeoJSON polygon: %w", err)
+	}
+	if g.Type != "Polygon" {
+		return fmt.Errorf("geo: expected GeoJSON Polygon, got %q", g.Type)
+	}
+	var rings [][][2]float64
+	if err := json.Unmarshal(g.Coordinates, &rings); err != nil {
+		return fmt.Errorf("geo: decoding GeoJSON polygon coordinates: %w", err)
+	}
+	if len(rings) == 0 {
+		pg.Ring = nil
+		return nil
+	}
+	outer := rings[0]
+	ring := make([]Point, 0, len(outer))
+	for _, c := range outer {
+		ring = append(ring, Point{X: c[0], Y: c[1]})
+	}
+	if len(ring) >= 2 && ring[0] == ring[len(ring)-1] {
+		ring = ring[:len(ring)-1]
+	}
+	pg.Ring = ring
+	return nil
+}
+
+// FeatureCollection renders named polygons with properties as a GeoJSON
+// FeatureCollection — the shape web maps ingest directly.
+func FeatureCollection(polys []Polygon, properties []map[string]any) ([]byte, error) {
+	if properties != nil && len(properties) != len(polys) {
+		return nil, fmt.Errorf("geo: FeatureCollection got %d property sets for %d polygons",
+			len(properties), len(polys))
+	}
+	type feature struct {
+		Type       string         `json:"type"`
+		Geometry   Polygon        `json:"geometry"`
+		Properties map[string]any `json:"properties"`
+	}
+	features := make([]feature, len(polys))
+	for i, pg := range polys {
+		var props map[string]any
+		if properties != nil {
+			props = properties[i]
+		}
+		if props == nil {
+			props = map[string]any{}
+		}
+		features[i] = feature{Type: "Feature", Geometry: pg, Properties: props}
+	}
+	return json.Marshal(struct {
+		Type     string    `json:"type"`
+		Features []feature `json:"features"`
+	}{Type: "FeatureCollection", Features: features})
+}

@@ -1,0 +1,53 @@
+package geo
+
+import "sort"
+
+// ConvexHull returns the convex hull of the points as a counter-clockwise
+// polygon (Andrew's monotone chain, O(n log n)). Collinear boundary points
+// are dropped. Inputs with fewer than three distinct points return a
+// degenerate polygon containing the distinct points in sorted order.
+//
+// The pipeline uses hulls to summarize the footprint of a set of flagged
+// regions for reporting.
+func ConvexHull(pts []Point) Polygon {
+	if len(pts) == 0 {
+		return Polygon{}
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return Polygon{Ring: append([]Point(nil), uniq...)}
+	}
+
+	cross := func(o, a, b Point) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	var lower, upper []Point
+	for _, p := range uniq {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(uniq) - 1; i >= 0; i-- {
+		p := uniq[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return Polygon{Ring: hull}
+}

@@ -1,0 +1,81 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquareWithInterior(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4), // corners
+		Pt(2, 2), Pt(1, 3), Pt(3, 1), // interior
+		Pt(2, 0), Pt(0, 2), // edge points (collinear, dropped)
+	}
+	hull := ConvexHull(pts)
+	if len(hull.Ring) != 4 {
+		t.Fatalf("hull = %v, want the 4 corners", hull.Ring)
+	}
+	corners := map[Point]bool{Pt(0, 0): true, Pt(4, 0): true, Pt(4, 4): true, Pt(0, 4): true}
+	for _, p := range hull.Ring {
+		if !corners[p] {
+			t.Errorf("unexpected hull vertex %v", p)
+		}
+	}
+	// Counter-clockwise orientation: positive signed area via the shoelace
+	// sum (Area() is absolute, so recompute signed).
+	var signed float64
+	n := len(hull.Ring)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := hull.Ring[j], hull.Ring[i]
+		signed += a.X*b.Y - b.X*a.Y
+	}
+	if signed <= 0 {
+		t.Errorf("hull should be counter-clockwise, signed area %v", signed)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if got := ConvexHull(nil); len(got.Ring) != 0 {
+		t.Errorf("empty hull = %v", got.Ring)
+	}
+	if got := ConvexHull([]Point{Pt(1, 1), Pt(1, 1)}); len(got.Ring) != 1 {
+		t.Errorf("duplicate-point hull = %v", got.Ring)
+	}
+	if got := ConvexHull([]Point{Pt(0, 0), Pt(1, 1)}); len(got.Ring) != 2 {
+		t.Errorf("two-point hull = %v", got.Ring)
+	}
+	// Collinear points: hull is the two extremes.
+	col := ConvexHull([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)})
+	if len(col.Ring) != 2 {
+		t.Errorf("collinear hull = %v", col.Ring)
+	}
+}
+
+// Property: every input point is inside (or on) the hull, and hull vertices
+// are input points.
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(200)
+		pts := make([]Point, n)
+		inputSet := make(map[Point]bool, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*50, rng.Float64()*50)
+			inputSet[pts[i]] = true
+		}
+		hull := ConvexHull(pts)
+		if len(hull.Ring) < 3 {
+			t.Fatalf("trial %d: degenerate hull for %d random points", trial, n)
+		}
+		for _, v := range hull.Ring {
+			if !inputSet[v] {
+				t.Fatalf("hull vertex %v is not an input point", v)
+			}
+		}
+		for _, p := range pts {
+			if !hull.Contains(p) {
+				t.Fatalf("trial %d: input point %v outside hull", trial, p)
+			}
+		}
+	}
+}

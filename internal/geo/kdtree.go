@@ -1,0 +1,198 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// KDTree is a static 2-d tree over points supporting nearest-neighbor and
+// k-nearest-neighbor queries in planar (degree-space) distance. The
+// experiments use it to name the metro nearest a flagged region; it is
+// general enough for any point-proximity need in the pipeline.
+type KDTree struct {
+	pts   []Point
+	ids   []int
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	point       int // index into pts
+	left, right int // node indices, -1 when absent
+	axis        uint8
+}
+
+// BuildKDTree constructs a balanced tree over the points. ids[i] is the
+// caller identifier returned for pts[i]; nil means the position index. It
+// panics on a length mismatch, which is a programming error.
+func BuildKDTree(pts []Point, ids []int) *KDTree {
+	if ids != nil && len(ids) != len(pts) {
+		panic("geo: BuildKDTree ids length mismatch")
+	}
+	t := &KDTree{
+		pts:  append([]Point(nil), pts...),
+		root: -1,
+	}
+	if ids == nil {
+		t.ids = make([]int, len(pts))
+		for i := range t.ids {
+			t.ids[i] = i
+		}
+	} else {
+		t.ids = append([]int(nil), ids...)
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(order, 0)
+	return t
+}
+
+func (t *KDTree) build(order []int, depth int) int {
+	if len(order) == 0 {
+		return -1
+	}
+	axis := uint8(depth % 2)
+	sort.Slice(order, func(a, b int) bool {
+		return coord(t.pts[order[a]], axis) < coord(t.pts[order[b]], axis)
+	})
+	mid := len(order) / 2
+	node := kdNode{point: order[mid], axis: axis}
+	t.nodes = append(t.nodes, node)
+	idx := len(t.nodes) - 1
+	left := t.build(order[:mid], depth+1)
+	right := t.build(order[mid+1:], depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+func coord(p Point, axis uint8) float64 {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Nearest returns the id of the point closest to q and its distance. ok is
+// false for an empty tree.
+func (t *KDTree) Nearest(q Point) (id int, dist float64, ok bool) {
+	if t.root < 0 {
+		return 0, 0, false
+	}
+	best, bestD := -1, math.Inf(1)
+	t.nearest(t.root, q, &best, &bestD)
+	return t.ids[best], bestD, true
+}
+
+func (t *KDTree) nearest(n int, q Point, best *int, bestD *float64) {
+	node := &t.nodes[n]
+	p := t.pts[node.point]
+	if d := p.DistanceTo(q); d < *bestD {
+		*bestD = d
+		*best = node.point
+	}
+	diff := coord(q, node.axis) - coord(p, node.axis)
+	near, far := node.left, node.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	if near >= 0 {
+		t.nearest(near, q, best, bestD)
+	}
+	if far >= 0 && math.Abs(diff) < *bestD {
+		t.nearest(far, q, best, bestD)
+	}
+}
+
+// KNearest returns the ids of the k points closest to q, nearest first
+// (fewer when the tree is smaller than k).
+func (t *KDTree) KNearest(q Point, k int) []int {
+	if t.root < 0 || k <= 0 {
+		return nil
+	}
+	h := &kdHeap{} // max-heap of the current best k
+	t.kNearest(t.root, q, k, h)
+	// Extract in increasing distance.
+	out := make([]int, len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = t.ids[h.pop().point]
+	}
+	return out
+}
+
+func (t *KDTree) kNearest(n int, q Point, k int, h *kdHeap) {
+	node := &t.nodes[n]
+	p := t.pts[node.point]
+	d := p.DistanceTo(q)
+	if len(h.items) < k {
+		h.push(kdItem{point: node.point, dist: d})
+	} else if d < h.items[0].dist {
+		h.pop()
+		h.push(kdItem{point: node.point, dist: d})
+	}
+	diff := coord(q, node.axis) - coord(p, node.axis)
+	near, far := node.left, node.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	if near >= 0 {
+		t.kNearest(near, q, k, h)
+	}
+	if far >= 0 && (len(h.items) < k || math.Abs(diff) < h.items[0].dist) {
+		t.kNearest(far, q, k, h)
+	}
+}
+
+// kdHeap is a small max-heap keyed on distance.
+type kdItem struct {
+	point int
+	dist  float64
+}
+
+type kdHeap struct{ items []kdItem }
+
+func (h *kdHeap) push(it kdItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist >= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *kdHeap) pop() kdItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.items) && h.items[l].dist > h.items[largest].dist {
+			largest = l
+		}
+		if r < len(h.items) && h.items[r].dist > h.items[largest].dist {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+	return top
+}

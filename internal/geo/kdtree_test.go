@@ -1,0 +1,147 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKDTreeEmptyAndSingle(t *testing.T) {
+	empty := BuildKDTree(nil, nil)
+	if _, _, ok := empty.Nearest(Pt(0, 0)); ok {
+		t.Error("empty tree should report not-ok")
+	}
+	if got := empty.KNearest(Pt(0, 0), 3); got != nil {
+		t.Errorf("empty KNearest = %v", got)
+	}
+
+	single := BuildKDTree([]Point{Pt(1, 1)}, []int{7})
+	id, d, ok := single.Nearest(Pt(4, 5))
+	if !ok || id != 7 || math.Abs(d-5) > 1e-12 {
+		t.Errorf("single nearest = (%d, %v, %v)", id, d, ok)
+	}
+}
+
+func TestKDTreePanicsOnIDMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BuildKDTree(make([]Point, 3), []int{1})
+}
+
+func randomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return pts
+}
+
+func TestKDTreeNearestMatchesLinearScan(t *testing.T) {
+	pts := randomPoints(800, 1)
+	tree := BuildKDTree(pts, nil)
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 300; q++ {
+		query := Pt(rng.Float64()*110-5, rng.Float64()*110-5)
+		wantIdx, wantD := -1, math.Inf(1)
+		for i, p := range pts {
+			if d := p.DistanceTo(query); d < wantD {
+				wantIdx, wantD = i, d
+			}
+		}
+		gotID, gotD, ok := tree.Nearest(query)
+		if !ok {
+			t.Fatal("nearest not found")
+		}
+		// Ties can pick either point; compare distances.
+		if math.Abs(gotD-wantD) > 1e-12 {
+			t.Fatalf("query %v: got dist %v (id %d), want %v (id %d)",
+				query, gotD, gotID, wantD, wantIdx)
+		}
+	}
+}
+
+func TestKDTreeKNearestMatchesLinearScan(t *testing.T) {
+	pts := randomPoints(500, 3)
+	tree := BuildKDTree(pts, nil)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 100; q++ {
+		query := Pt(rng.Float64()*100, rng.Float64()*100)
+		k := 1 + rng.Intn(10)
+		got := tree.KNearest(query, k)
+		if len(got) != k {
+			t.Fatalf("KNearest returned %d, want %d", len(got), k)
+		}
+		// Verify sorted by distance and matching the k-th smallest linear-scan
+		// distance.
+		prev := -1.0
+		for _, id := range got {
+			d := pts[id].DistanceTo(query)
+			if d < prev {
+				t.Fatalf("KNearest not sorted: %v after %v", d, prev)
+			}
+			prev = d
+		}
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = p.DistanceTo(query)
+		}
+		// prev is the max returned distance; exactly k-1 linear distances may
+		// be strictly below it and none of the excluded ones may be below the
+		// smallest excluded... simpler: compare the sum of the k smallest.
+		sumGot := 0.0
+		for _, id := range got {
+			sumGot += pts[id].DistanceTo(query)
+		}
+		sumWant := sumKSmallest(dists, k)
+		if math.Abs(sumGot-sumWant) > 1e-9 {
+			t.Fatalf("k=%d: sum of distances %v, want %v", k, sumGot, sumWant)
+		}
+	}
+}
+
+func sumKSmallest(xs []float64, k int) float64 {
+	cp := append([]float64(nil), xs...)
+	// Selection via partial sort (small k).
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[min] {
+				min = j
+			}
+		}
+		cp[i], cp[min] = cp[min], cp[i]
+	}
+	var s float64
+	for i := 0; i < k; i++ {
+		s += cp[i]
+	}
+	return s
+}
+
+func TestKDTreeKNearestMoreThanSize(t *testing.T) {
+	pts := randomPoints(5, 5)
+	tree := BuildKDTree(pts, nil)
+	got := tree.KNearest(Pt(50, 50), 10)
+	if len(got) != 5 {
+		t.Errorf("KNearest(10) on 5 points = %d results", len(got))
+	}
+	if got2 := tree.KNearest(Pt(0, 0), 0); got2 != nil {
+		t.Errorf("k=0 should be nil")
+	}
+}
+
+func TestKDTreeCustomIDs(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 10)}
+	tree := BuildKDTree(pts, []int{100, 200})
+	id, _, _ := tree.Nearest(Pt(9, 9))
+	if id != 200 {
+		t.Errorf("id = %d, want 200", id)
+	}
+	if tree.Len() != 2 {
+		t.Errorf("Len = %d", tree.Len())
+	}
+}

@@ -1,0 +1,109 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolygonContainsSquare(t *testing.T) {
+	sq := NewRect(NewBBox(Pt(0, 0), Pt(4, 4)))
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(2, 2), true},
+		{Pt(0, 0), true}, // corner on boundary counts
+		{Pt(4, 2), true}, // edge on boundary counts
+		{Pt(2, 4), true}, // edge on boundary counts
+		{Pt(5, 2), false},
+		{Pt(-0.001, 2), false},
+		{Pt(2, 4.001), false},
+	}
+	for _, c := range cases {
+		if got := sq.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// L-shaped polygon.
+	l := Polygon{Ring: []Point{
+		Pt(0, 0), Pt(4, 0), Pt(4, 1), Pt(1, 1), Pt(1, 4), Pt(0, 4),
+	}}
+	if !l.Contains(Pt(0.5, 3)) {
+		t.Error("point in the vertical arm should be inside")
+	}
+	if !l.Contains(Pt(3, 0.5)) {
+		t.Error("point in the horizontal arm should be inside")
+	}
+	if l.Contains(Pt(3, 3)) {
+		t.Error("point in the notch should be outside")
+	}
+}
+
+func TestPolygonAreaCentroid(t *testing.T) {
+	sq := NewRect(NewBBox(Pt(1, 1), Pt(3, 5)))
+	if got := sq.Area(); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Area = %v, want 8", got)
+	}
+	c := sq.Centroid()
+	if math.Abs(c.X-2) > 1e-12 || math.Abs(c.Y-3) > 1e-12 {
+		t.Errorf("Centroid = %v, want (2,3)", c)
+	}
+	tri := Polygon{Ring: []Point{Pt(0, 0), Pt(6, 0), Pt(0, 6)}}
+	if got := tri.Area(); math.Abs(got-18) > 1e-12 {
+		t.Errorf("triangle Area = %v, want 18", got)
+	}
+	tc := tri.Centroid()
+	if math.Abs(tc.X-2) > 1e-12 || math.Abs(tc.Y-2) > 1e-12 {
+		t.Errorf("triangle Centroid = %v, want (2,2)", tc)
+	}
+}
+
+func TestPolygonDegenerate(t *testing.T) {
+	if (Polygon{}).Contains(Pt(0, 0)) {
+		t.Error("empty polygon contains nothing")
+	}
+	if (Polygon{Ring: []Point{Pt(0, 0), Pt(1, 1)}}).Contains(Pt(0.5, 0.5)) {
+		t.Error("2-vertex polygon contains nothing")
+	}
+	if got := (Polygon{Ring: []Point{Pt(0, 0), Pt(1, 1)}}).Area(); got != 0 {
+		t.Errorf("degenerate area = %v", got)
+	}
+	// Centroid of a zero-area polygon falls back to vertex mean.
+	z := Polygon{Ring: []Point{Pt(0, 0), Pt(2, 0), Pt(4, 0)}}
+	c := z.Centroid()
+	if math.Abs(c.X-2) > 1e-9 || math.Abs(c.Y) > 1e-9 {
+		t.Errorf("degenerate centroid = %v, want (2,0)", c)
+	}
+}
+
+// Property: for random rectangles, Polygon.Contains agrees with
+// BBox.ContainsClosed on interior and exterior points.
+func TestRectContainsMatchesBBoxProperty(t *testing.T) {
+	f := func(x0, y0, w, h, px, py float64) bool {
+		norm := func(v, lim float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, lim)
+		}
+		x0, y0 = norm(x0, 100), norm(y0, 100)
+		w, h = math.Abs(norm(w, 50))+0.1, math.Abs(norm(h, 50))+0.1
+		b := NewBBox(Pt(x0, y0), Pt(x0+w, y0+h))
+		p := Pt(norm(px, 200), norm(py, 200))
+		// Skip points right on the boundary where float paths differ.
+		const margin = 1e-9
+		nearEdge := math.Abs(p.X-b.Min.X) < margin || math.Abs(p.X-b.Max.X) < margin ||
+			math.Abs(p.Y-b.Min.Y) < margin || math.Abs(p.Y-b.Max.Y) < margin
+		if nearEdge {
+			return true
+		}
+		return NewRect(b).Contains(p) == b.ContainsClosed(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package hmda
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"lcsf/internal/census"
+	"lcsf/internal/stats"
+)
+
+func testModel() *census.Model {
+	return census.Generate(census.Config{NumTracts: 2000, Seed: 42})
+}
+
+func testLender(n int, bias float64) Lender {
+	return Lender{Name: "Test Bank", Decisioned: n, Bias: bias, Seed: 7}
+}
+
+func TestGenerateVolumes(t *testing.T) {
+	m := testModel()
+	recs := Generate(m, testLender(10000, 0.1))
+	dec := FilterDecisioned(recs)
+	if len(dec) != 10000 {
+		t.Fatalf("decisioned = %d, want 10000", len(dec))
+	}
+	other := len(recs) - len(dec)
+	wantOther := int(10000 * otherActionFraction)
+	if other != wantOther {
+		t.Errorf("other actions = %d, want %d", other, wantOther)
+	}
+	if got := Generate(m, testLender(0, 0.1)); got != nil {
+		t.Errorf("zero volume should generate nil, got %d records", len(got))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := testModel()
+	a := Generate(m, testLender(5000, 0.1))
+	b := Generate(m, testLender(5000, 0.1))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGlobalApprovalRateNearPaper(t *testing.T) {
+	m := testModel()
+	dec := FilterDecisioned(Generate(m, testLender(60000, 0.11)))
+	approved := 0
+	for _, r := range dec {
+		if r.Action == Approved {
+			approved++
+		}
+	}
+	rate := float64(approved) / float64(len(dec))
+	// The paper's global positive rate is 0.62.
+	if rate < 0.55 || rate < 0.0 || rate > 0.70 {
+		t.Errorf("approval rate = %v, want in [0.55, 0.70] around the paper's 0.62", rate)
+	}
+}
+
+func TestBiasIsLocalizedToSegregatedMetros(t *testing.T) {
+	m := testModel()
+	dec := FilterDecisioned(Generate(m, testLender(120000, 0.15)))
+
+	type agg struct{ minApproved, minTotal, majApproved, majTotal int }
+	var segregated, elsewhere agg
+	for _, r := range dec {
+		tr := m.Tracts[r.Tract]
+		a := &elsewhere
+		if tr.Segregation >= 0.55 {
+			a = &segregated
+		}
+		if r.Minority {
+			a.minTotal++
+			if r.Action == Approved {
+				a.minApproved++
+			}
+		} else {
+			a.majTotal++
+			if r.Action == Approved {
+				a.majApproved++
+			}
+		}
+	}
+	rate := func(a, n int) float64 { return float64(a) / float64(n) }
+	segGap := rate(segregated.majApproved, segregated.majTotal) -
+		rate(segregated.minApproved, segregated.minTotal)
+	elseGap := rate(elsewhere.majApproved, elsewhere.majTotal) -
+		rate(elsewhere.minApproved, elsewhere.minTotal)
+	if segGap < 0.05 {
+		t.Errorf("segregated-metro approval gap = %v, want a planted gap", segGap)
+	}
+	if segGap < elseGap+0.03 {
+		t.Errorf("gap should be concentrated in segregated metros: seg=%v else=%v", segGap, elseGap)
+	}
+}
+
+func TestZeroBiasLenderHasNoRacialGapGivenIncome(t *testing.T) {
+	m := testModel()
+	dec := FilterDecisioned(Generate(m, testLender(100000, 0)))
+	// Compare approval rates for minority vs non-minority applicants within
+	// a narrow income band: with zero bias they must be statistically equal.
+	lo, hi := 60000.0, 80000.0
+	minA, minN, majA, majN := 0, 0, 0, 0
+	for _, r := range dec {
+		if r.Income < lo || r.Income > hi {
+			continue
+		}
+		if r.Minority {
+			minN++
+			if r.Action == Approved {
+				minA++
+			}
+		} else {
+			majN++
+			if r.Action == Approved {
+				majA++
+			}
+		}
+	}
+	res := stats.TwoProportionZ(minA, minN, majA, majN)
+	if res.P < 0.001 {
+		t.Errorf("zero-bias lender shows racial gap: z=%v p=%v", res.Z, res.P)
+	}
+}
+
+func TestIncomeDrivesApproval(t *testing.T) {
+	m := testModel()
+	dec := FilterDecisioned(Generate(m, testLender(80000, 0)))
+	lowA, lowN, highA, highN := 0, 0, 0, 0
+	for _, r := range dec {
+		switch {
+		case r.Income < 40000:
+			lowN++
+			if r.Action == Approved {
+				lowA++
+			}
+		case r.Income > 110000:
+			highN++
+			if r.Action == Approved {
+				highA++
+			}
+		}
+	}
+	lowRate := float64(lowA) / float64(lowN)
+	highRate := float64(highA) / float64(highN)
+	if highRate-lowRate < 0.15 {
+		t.Errorf("income effect too weak: low=%v high=%v", lowRate, highRate)
+	}
+}
+
+func TestDefaultLendersMatchPaperVolumes(t *testing.T) {
+	want := map[string]int{
+		"Bank of America":           224145,
+		"Wells Fargo":               311375,
+		"United Wholesale Mortgage": 687772,
+		"Loan Depot":                225495,
+	}
+	lenders := DefaultLenders()
+	if len(lenders) != 4 {
+		t.Fatalf("lenders = %d", len(lenders))
+	}
+	for _, l := range lenders {
+		if want[l.Name] != l.Decisioned {
+			t.Errorf("%s volume = %d, want %d", l.Name, l.Decisioned, want[l.Name])
+		}
+	}
+	// Bias ordering reproduces Table 1's shape.
+	byName := map[string]Lender{}
+	for _, l := range lenders {
+		byName[l.Name] = l
+	}
+	if !(byName["Loan Depot"].Bias > byName["Wells Fargo"].Bias &&
+		byName["Wells Fargo"].Bias > byName["United Wholesale Mortgage"].Bias) {
+		t.Error("bias ordering should be Loan Depot > Wells Fargo > UWM")
+	}
+	if _, err := LenderByName("Bank of America"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LenderByName("Nope"); err == nil {
+		t.Error("unknown lender should error")
+	}
+}
+
+func TestToObservations(t *testing.T) {
+	m := testModel()
+	recs := Generate(m, testLender(3000, 0.1))
+	obs := ToObservations(recs)
+	dec := FilterDecisioned(recs)
+	if len(obs) != len(dec) {
+		t.Fatalf("observations = %d, want %d", len(obs), len(dec))
+	}
+	for i, o := range obs {
+		if o.Loc != dec[i].Loc || o.Income != dec[i].Income ||
+			o.Protected != dec[i].Minority || o.Positive != (dec[i].Action == Approved) {
+			t.Fatalf("observation %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := testModel()
+	recs := Generate(m, testLender(500, 0.1))
+	path := filepath.Join(t.TempDir(), "lar.csv")
+	if err := WriteCSV(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d changed in round trip: %+v vs %+v", i, recs[i], back[i])
+		}
+	}
+	if _, err := ReadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for a, want := range map[Action]string{
+		Approved:            "approved",
+		ApprovedNotAccepted: "approved-not-accepted",
+		Denied:              "denied",
+		Withdrawn:           "withdrawn",
+		Incomplete:          "incomplete",
+		Action(99):          "Action(99)",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("Action(%d).String() = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestIncomesArePlausible(t *testing.T) {
+	m := testModel()
+	dec := FilterDecisioned(Generate(m, testLender(20000, 0.1)))
+	var sum float64
+	for _, r := range dec {
+		if r.Income < 12000 {
+			t.Fatalf("income %v below floor", r.Income)
+		}
+		sum += r.Income
+	}
+	mean := sum / float64(len(dec))
+	if math.Abs(mean-70000) > 25000 {
+		t.Errorf("mean income = %v, want within a plausible band of 70k", mean)
+	}
+}

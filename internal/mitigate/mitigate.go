@@ -1,0 +1,180 @@
+// Package mitigate implements a post-processing bias-mitigation step on top
+// of the LC-SF audit — the "enforce corrective measures" use the paper
+// assigns to regulators, realized in the post-processing style of the
+// fair-ML literature the paper reviews (Section 2.2): the model's outputs
+// are adjusted after the fact, without access to the model itself.
+//
+// The strategy is pairwise rate equalization: for every region that appears
+// as the disadvantaged side of an unfair pair, the mitigation raises its
+// positive rate toward the rates of the regions it was unfairly compared
+// with, by flipping the required number of negative outcomes to positive
+// (selected uniformly at random among the region's negative outcomes).
+// Repeating audit-and-adjust rounds converges: each round removes the
+// outcome gaps the audit could still certify.
+package mitigate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// Adjustment prescribes the correction for one region.
+type Adjustment struct {
+	Region      int     // region index within the partitioning
+	CurrentRate float64 // the region's positive rate before mitigation
+	TargetRate  float64 // the rate the mitigation aims for
+	Flips       int     // negative outcomes to flip to positive
+}
+
+// Plan derives per-region adjustments from an audit result: each
+// disadvantaged region's target is the population-weighted mean rate of its
+// comparison partners, and the flip count moves the region to that target.
+// Regions never appearing as the disadvantaged side need no adjustment.
+func Plan(p *partition.Partitioning, res *core.Result) []Adjustment {
+	type accum struct {
+		weighted float64
+		weight   float64
+	}
+	targets := make(map[int]accum)
+	for _, pr := range res.Pairs {
+		// Pairs are oriented disadvantaged-first (I has the lower rate).
+		a := targets[pr.I]
+		w := float64(p.Regions[pr.J].N)
+		a.weighted += pr.RateJ * w
+		a.weight += w
+		targets[pr.I] = a
+	}
+
+	adjustments := make([]Adjustment, 0, len(targets))
+	for idx, a := range targets {
+		r := &p.Regions[idx]
+		target := a.weighted / a.weight
+		cur := r.PositiveRate()
+		if target <= cur {
+			continue
+		}
+		flips := int(math.Ceil((target - cur) * float64(r.N)))
+		if max := r.N - r.Positives; flips > max {
+			flips = max
+		}
+		if flips <= 0 {
+			continue
+		}
+		adjustments = append(adjustments, Adjustment{
+			Region:      idx,
+			CurrentRate: cur,
+			TargetRate:  target,
+			Flips:       flips,
+		})
+	}
+	sort.Slice(adjustments, func(i, j int) bool {
+		return adjustments[i].Region < adjustments[j].Region
+	})
+	return adjustments
+}
+
+// TotalFlips returns the number of outcome corrections a plan prescribes —
+// the mitigation's "cost" in changed decisions.
+func TotalFlips(plan []Adjustment) int {
+	total := 0
+	for _, a := range plan {
+		total += a.Flips
+	}
+	return total
+}
+
+// Apply executes a plan on the observations: within each adjusted region,
+// the prescribed number of negative outcomes (chosen uniformly at random,
+// deterministically from seed) are flipped to positive. cellOf must be the
+// same assignment the partitioning was built with (for a grid partitioning,
+// Grid.CellIndex). The input is not modified; a corrected copy is returned.
+func Apply(obs []partition.Observation, cellOf func(geo.Point) (int, bool), plan []Adjustment, seed uint64) []partition.Observation {
+	out := append([]partition.Observation(nil), obs...)
+	byRegion := make(map[int]*Adjustment, len(plan))
+	for i := range plan {
+		byRegion[plan[i].Region] = &plan[i]
+	}
+	// Collect the indices of negative outcomes per adjusted region.
+	negatives := make(map[int][]int)
+	for i := range out {
+		idx, ok := cellOf(out[i].Loc)
+		if !ok {
+			continue
+		}
+		if _, adjusted := byRegion[idx]; adjusted && !out[i].Positive {
+			negatives[idx] = append(negatives[idx], i)
+		}
+	}
+	rng := stats.NewRNG(seed ^ 0x317164)
+	for region, adj := range byRegion {
+		cand := negatives[region]
+		rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		n := adj.Flips
+		if n > len(cand) {
+			n = len(cand)
+		}
+		for _, i := range cand[:n] {
+			out[i].Positive = true
+		}
+	}
+	return out
+}
+
+// Round is the record of one audit-and-adjust iteration.
+type Round struct {
+	UnfairPairs int // pairs found by the audit at the start of the round
+	Flips       int // corrections applied
+}
+
+// Report is the outcome of an iterative mitigation.
+type Report struct {
+	Rounds []Round
+	// Final is the audit result on the fully mitigated data.
+	Final *core.Result
+	// Observations is the mitigated dataset.
+	Observations []partition.Observation
+}
+
+// Iterate alternates LC-SF audits and pairwise rate equalization on a grid
+// partitioning until the audit comes back clean or maxRounds is reached.
+func Iterate(grid geo.Grid, obs []partition.Observation, cfg core.Config, popts partition.Options, maxRounds int, seed uint64) (*Report, error) {
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("mitigate: maxRounds %d < 1", maxRounds)
+	}
+	rep := &Report{Observations: obs}
+	for round := 0; round < maxRounds; round++ {
+		p := partition.ByGrid(grid, rep.Observations, popts)
+		res, err := core.Audit(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Final = res
+		if len(res.Pairs) == 0 {
+			rep.Rounds = append(rep.Rounds, Round{UnfairPairs: 0, Flips: 0})
+			return rep, nil
+		}
+		plan := Plan(p, res)
+		rep.Rounds = append(rep.Rounds, Round{
+			UnfairPairs: len(res.Pairs),
+			Flips:       TotalFlips(plan),
+		})
+		if TotalFlips(plan) == 0 {
+			return rep, nil
+		}
+		rep.Observations = Apply(rep.Observations, grid.CellIndex, plan, seed+uint64(round))
+	}
+	// Final audit after the last round of corrections.
+	p := partition.ByGrid(grid, rep.Observations, popts)
+	res, err := core.Audit(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Final = res
+	return rep, nil
+}

@@ -1,0 +1,179 @@
+package mitigate
+
+import (
+	"testing"
+
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// biasedObs builds four column regions where region 0 (minority, poor) is
+// unfairly disadvantaged against regions 1-2 (white, poor) and region 3 is
+// rich (never compared).
+func biasedObs(perRegion int) []partition.Observation {
+	rng := stats.NewRNG(71)
+	var obs []partition.Observation
+	add := func(x float64, minorityP, approveP, income float64) {
+		for i := 0; i < perRegion; i++ {
+			obs = append(obs, partition.Observation{
+				Loc:       geo.Pt(x, 0.5),
+				Positive:  rng.Bernoulli(approveP),
+				Protected: rng.Bernoulli(minorityP),
+				Income:    income + income/6*rng.NormFloat64(),
+			})
+		}
+	}
+	add(0.5, 0.85, 0.45, 48000)
+	add(1.5, 0.10, 0.70, 48000)
+	add(2.5, 0.10, 0.72, 48000)
+	add(3.5, 0.10, 0.85, 150000)
+	return obs
+}
+
+func testGrid() geo.Grid {
+	return geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(4, 1)), 4, 1)
+}
+
+func TestPlanTargetsDisadvantagedRegions(t *testing.T) {
+	obs := biasedObs(800)
+	p := partition.ByGrid(testGrid(), obs, partition.Options{Seed: 2})
+	res, err := core.Audit(p, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("fixture found no unfair pairs")
+	}
+	plan := Plan(p, res)
+	if len(plan) != 1 {
+		t.Fatalf("plan = %+v, want exactly region 0", plan)
+	}
+	adj := plan[0]
+	if adj.Region != 0 {
+		t.Errorf("adjusted region = %d, want 0", adj.Region)
+	}
+	if adj.TargetRate <= adj.CurrentRate {
+		t.Errorf("target %v should exceed current %v", adj.TargetRate, adj.CurrentRate)
+	}
+	wantFlips := int(float64(p.Regions[0].N) * (adj.TargetRate - adj.CurrentRate))
+	if adj.Flips < wantFlips || adj.Flips > wantFlips+1 {
+		t.Errorf("flips = %d, want ~%d", adj.Flips, wantFlips)
+	}
+	if TotalFlips(plan) != adj.Flips {
+		t.Error("TotalFlips mismatch")
+	}
+}
+
+func TestPlanEmptyOnCleanAudit(t *testing.T) {
+	obs := biasedObs(800)
+	p := partition.ByGrid(testGrid(), obs, partition.Options{Seed: 2})
+	if plan := Plan(p, &core.Result{}); len(plan) != 0 {
+		t.Errorf("clean audit should need no plan, got %+v", plan)
+	}
+}
+
+func TestApplyFlipsExactlyPlannedCount(t *testing.T) {
+	obs := biasedObs(800)
+	grid := testGrid()
+	p := partition.ByGrid(grid, obs, partition.Options{Seed: 2})
+	res, err := core.Audit(p, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan(p, res)
+	fixed := Apply(obs, grid.CellIndex, plan, 9)
+
+	if len(fixed) != len(obs) {
+		t.Fatalf("length changed: %d vs %d", len(fixed), len(obs))
+	}
+	flipped := 0
+	for i := range obs {
+		if obs[i].Positive != fixed[i].Positive {
+			if obs[i].Positive {
+				t.Fatal("mitigation must never flip positive to negative")
+			}
+			idx, _ := grid.CellIndex(obs[i].Loc)
+			if idx != plan[0].Region {
+				t.Fatalf("flip outside the planned region: %d", idx)
+			}
+			flipped++
+		}
+		// Everything else unchanged.
+		if obs[i].Loc != fixed[i].Loc || obs[i].Income != fixed[i].Income ||
+			obs[i].Protected != fixed[i].Protected {
+			t.Fatal("mitigation must only change outcomes")
+		}
+	}
+	if flipped != TotalFlips(plan) {
+		t.Errorf("flipped %d, plan says %d", flipped, TotalFlips(plan))
+	}
+	// Input untouched.
+	reAudit := partition.ByGrid(grid, obs, partition.Options{Seed: 2})
+	if reAudit.Regions[0].PositiveRate() != p.Regions[0].PositiveRate() {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestIterateConverges(t *testing.T) {
+	obs := biasedObs(800)
+	grid := testGrid()
+	cfg := core.DefaultConfig()
+	rep, err := Iterate(grid, obs, cfg, partition.Options{Seed: 2}, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds[0].UnfairPairs == 0 {
+		t.Fatal("first round should find the planted unfairness")
+	}
+	if len(rep.Final.Pairs) != 0 {
+		t.Errorf("mitigation did not converge: %d pairs remain after %d rounds",
+			len(rep.Final.Pairs), len(rep.Rounds))
+	}
+	// Pair counts may fluctuate between rounds (equalizing one pair can
+	// create fresh comparisons), but the trend must be downward: the last
+	// round strictly below the first.
+	last := rep.Rounds[len(rep.Rounds)-1]
+	if last.UnfairPairs >= rep.Rounds[0].UnfairPairs {
+		t.Errorf("no downward trend: first %d, last %d",
+			rep.Rounds[0].UnfairPairs, last.UnfairPairs)
+	}
+}
+
+func TestIterateRejectsBadRounds(t *testing.T) {
+	if _, err := Iterate(testGrid(), nil, core.DefaultConfig(), partition.Options{}, 0, 1); err == nil {
+		t.Error("maxRounds 0 should error")
+	}
+}
+
+func TestIterateCleanDataNoChanges(t *testing.T) {
+	// Fair data: mitigation should stop immediately with zero flips.
+	rng := stats.NewRNG(81)
+	var obs []partition.Observation
+	for cell := 0; cell < 4; cell++ {
+		minorityP := 0.1
+		if cell%2 == 0 {
+			minorityP = 0.8
+		}
+		for i := 0; i < 500; i++ {
+			obs = append(obs, partition.Observation{
+				Loc:       geo.Pt(float64(cell)+0.5, 0.5),
+				Positive:  rng.Bernoulli(0.62),
+				Protected: rng.Bernoulli(minorityP),
+				Income:    50000 + 8000*rng.NormFloat64(),
+			})
+		}
+	}
+	rep, err := Iterate(testGrid(), obs, core.DefaultConfig(), partition.Options{Seed: 3}, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalFlips := 0
+	for _, r := range rep.Rounds {
+		totalFlips += r.Flips
+	}
+	if totalFlips > 60 {
+		t.Errorf("fair data should need (almost) no corrections, got %d flips", totalFlips)
+	}
+}

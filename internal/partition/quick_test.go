@@ -1,0 +1,114 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcsf/internal/geo"
+)
+
+// Property: ByGrid and ByAssign with the grid's own CellIndex produce
+// identical aggregates for any observation set.
+func TestByGridMatchesByAssignQuick(t *testing.T) {
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(8, 4)), 8, 4)
+	f := func(raw []struct {
+		X, Y   float64
+		Pos    bool
+		Prot   bool
+		Income float64
+	}) bool {
+		obs := make([]Observation, 0, len(raw))
+		for _, r := range raw {
+			norm := func(v, lim float64) float64 {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return 0.5
+				}
+				return math.Abs(math.Mod(v, lim))
+			}
+			obs = append(obs, Observation{
+				Loc:       geo.Pt(norm(r.X, 10), norm(r.Y, 6)), // some out of bounds
+				Positive:  r.Pos,
+				Protected: r.Prot,
+				Income:    norm(r.Income, 1e6),
+			})
+		}
+		a := ByGrid(grid, obs, Options{Seed: 7})
+		b := ByAssign(grid.NumCells(), func(p geo.Point) int {
+			idx, ok := grid.CellIndex(p)
+			if !ok {
+				return -1
+			}
+			return idx
+		}, obs, Options{Seed: 7})
+		if a.TotalN != b.TotalN || a.TotalPositives != b.TotalPositives {
+			return false
+		}
+		for i := range a.Regions {
+			ra, rb := &a.Regions[i], &b.Regions[i]
+			if ra.N != rb.N || ra.Positives != rb.Positives ||
+				ra.Protected != rb.Protected || ra.NonProtected != rb.NonProtected {
+				return false
+			}
+			sa, sb := ra.IncomeSample(), rb.IncomeSample()
+			if len(sa) != len(sb) {
+				return false
+			}
+			for j := range sa {
+				if sa[j] != sb[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paired outcome sample stays index-aligned with the income
+// sample — the count of positive outcomes among sampled observations never
+// exceeds the region's positive count.
+func TestPairedSampleAlignmentQuick(t *testing.T) {
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(2, 1)), 2, 1)
+	f := func(raw []float64, seed uint16) bool {
+		obs := make([]Observation, 0, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			obs = append(obs, Observation{
+				Loc:      geo.Pt(math.Abs(math.Mod(v, 2)), 0.5),
+				Positive: i%3 == 0,
+				Income:   float64(i),
+			})
+		}
+		p := ByGrid(grid, obs, Options{Seed: uint64(seed), IncomeSampleCap: 8})
+		for i := range p.Regions {
+			r := &p.Regions[i]
+			inc, out := r.IncomeSample(), r.OutcomeSample()
+			if len(inc) != len(out) {
+				return false
+			}
+			pos := 0
+			for j := range out {
+				if out[j] {
+					pos++
+				}
+				// Incomes were set to the observation index; the paired
+				// outcome must match that index's rule.
+				if out[j] != (int(inc[j])%3 == 0) {
+					return false
+				}
+			}
+			if pos > r.Positives {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

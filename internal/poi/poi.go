@@ -1,0 +1,349 @@
+// Package poi implements a synthetic point-of-interest dataset standing in
+// for the SafeGraph Places data of the paper's healthy-food-access use case.
+//
+// It places the paper's count of fast-food outlets (106,091 across the top 15
+// US fast-food brands) plus grocery stores over the synthetic census
+// geography, with a planted food-desert structure: low-income, high-minority
+// tracts receive disproportionately many fast-food outlets and
+// disproportionately few grocery stores. The audit's outcome measure for a
+// region is the share of its food outlets that are fast food, so the planted
+// structure is exactly the signal the framework should recover.
+package poi
+
+import (
+	"fmt"
+	"math"
+
+	"lcsf/internal/census"
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+	"lcsf/internal/table"
+)
+
+// Category classifies a place.
+type Category int
+
+// Supported categories.
+const (
+	FastFood Category = iota
+	Grocery
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case FastFood:
+		return "fast-food"
+	case Grocery:
+		return "grocery"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// FastFoodBrands is the paper's roster: the 15 biggest US fast-food chains.
+var FastFoodBrands = []string{
+	"McDonald's", "Starbucks", "Chick-fil-A", "Taco Bell", "Wendy's",
+	"Dunkin'", "Burger King", "Subway", "Domino's", "Chipotle",
+	"Sonic", "Panera Bread", "Pizza Hut", "KFC", "Popeyes",
+}
+
+// GroceryBrands is the synthetic grocery roster.
+var GroceryBrands = []string{
+	"Kroger", "Albertsons", "Publix", "Safeway", "Aldi",
+	"Whole Foods", "Trader Joe's", "H-E-B", "Wegmans", "Food Lion",
+}
+
+// Place is one point of interest after the census spatial join.
+type Place struct {
+	ID       int64
+	Loc      geo.Point
+	Tract    int // census tract index within the generating model
+	Brand    string
+	Category Category
+}
+
+// PaperFastFoodCount is the number of fast-food outlets the paper's
+// pre-processing retains (Section 4.2.1).
+const PaperFastFoodCount = 106091
+
+// Config controls generation.
+type Config struct {
+	// NumFastFood outlets to place; 0 means PaperFastFoodCount.
+	NumFastFood int
+	// NumGrocery stores to place; 0 means 40% of NumFastFood.
+	NumGrocery int
+	// DesertStrength in [0,1] controls how strongly fast food concentrates
+	// (and groceries thin out) in low-income minority tracts; 0 disables the
+	// planted structure. The default (when negative or zero) is 0.8.
+	DesertStrength float64
+	// JitterFraction is the share of outlets displaced away from their tract
+	// along catchment corridors; defaults to 0.9 when zero. Set negative to
+	// disable jitter entirely.
+	JitterFraction float64
+	// JitterSigmaX and JitterSigmaY are the displacement scales in degrees;
+	// they default to 1.4 and 0.9 when zero.
+	JitterSigmaX, JitterSigmaY float64
+	// Seed drives placement.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumFastFood == 0 {
+		c.NumFastFood = PaperFastFoodCount
+	}
+	if c.NumGrocery == 0 {
+		c.NumGrocery = c.NumFastFood * 4 / 10
+	}
+	if c.DesertStrength <= 0 {
+		c.DesertStrength = 0.8
+	}
+	if c.JitterFraction == 0 {
+		c.JitterFraction = 0.9
+	}
+	if c.JitterFraction < 0 {
+		c.JitterFraction = 0
+	}
+	if c.JitterSigmaX == 0 {
+		c.JitterSigmaX = 1.4
+	}
+	if c.JitterSigmaY == 0 {
+		c.JitterSigmaY = 0.9
+	}
+	return c
+}
+
+// Generate places fast-food outlets and grocery stores over the census
+// model. Output is deterministic in (model, cfg).
+func Generate(model *census.Model, cfg Config) []Place {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed ^ 0x90170A)
+
+	// Per-tract placement weights. lowIncome rises as tract income falls
+	// below the national base; desertFactor couples it with minority share.
+	// Outlet counts grow sublinearly with tract population (a metro tract
+	// does not hold proportionally more chain outlets than a small town —
+	// chains saturate), which keeps the national footprint dispersed the way
+	// real chain locations are.
+	// The food-desert structure is deliberately localized: only deeply
+	// segregated, genuinely low-income tracts (the USDA definition is a
+	// neighborhood-scale phenomenon) receive the fast-food boost and grocery
+	// suppression. This is what gives the audit its resolution profile: the
+	// pockets are invisible at coarse grids (aggregated away) and
+	// statistically unreachable at very fine grids (too few outlets per
+	// cell), peaking at the medium resolutions of the paper's Table 3.
+	ff := make([]float64, len(model.Tracts))
+	gr := make([]float64, len(model.Tracts))
+	for i, tr := range model.Tracts {
+		desert := 0.0
+		if tr.MinorityShare > 0.6 && tr.MeanIncome < 52000 {
+			desert = cfg.DesertStrength *
+				clamp01((tr.MinorityShare-0.6)/0.4) *
+				clamp01((52000-tr.MeanIncome)/34000)
+		}
+		pop := math.Pow(float64(tr.Population), 0.6)
+		ff[i] = pop * (1 + 2.0*desert)
+		gr[i] = pop * (0.35 + clamp01(tr.MeanIncome/110000)) * (1 - 0.6*desert)
+	}
+	ffSampler := newWeightedSampler(ff)
+	grSampler := newWeightedSampler(gr)
+
+	// Outlets serve a catchment, not a single tract: a share of them sit
+	// along corridors away from the tract core. The jitter disperses the
+	// national footprint (chains line highways and town strips), which is
+	// what makes fine partitionings data-sparse, as in the paper's Table 3.
+	locate := func(ti int) geo.Point {
+		p := model.SamplePointIn(rng, ti)
+		if rng.Float64() < cfg.JitterFraction {
+			p = geo.Pt(
+				p.X+cfg.JitterSigmaX*rng.NormFloat64(),
+				p.Y+cfg.JitterSigmaY*rng.NormFloat64(),
+			)
+			p = clampToBounds(p, model.Bounds)
+		}
+		return p
+	}
+
+	places := make([]Place, 0, cfg.NumFastFood+cfg.NumGrocery)
+	var id int64
+	for i := 0; i < cfg.NumFastFood; i++ {
+		id++
+		ti := ffSampler.sample(rng)
+		places = append(places, Place{
+			ID:       id,
+			Loc:      locate(ti),
+			Tract:    ti,
+			Brand:    FastFoodBrands[rng.Intn(len(FastFoodBrands))],
+			Category: FastFood,
+		})
+	}
+	for i := 0; i < cfg.NumGrocery; i++ {
+		id++
+		ti := grSampler.sample(rng)
+		places = append(places, Place{
+			ID:       id,
+			Loc:      locate(ti),
+			Tract:    ti,
+			Brand:    GroceryBrands[rng.Intn(len(GroceryBrands))],
+			Category: Grocery,
+		})
+	}
+	return places
+}
+
+func clampToBounds(p geo.Point, b geo.BBox) geo.Point {
+	const margin = 1e-6
+	if p.X < b.Min.X {
+		p.X = b.Min.X + margin
+	}
+	if p.X > b.Max.X {
+		p.X = b.Max.X - margin
+	}
+	if p.Y < b.Min.Y {
+		p.Y = b.Min.Y + margin
+	}
+	if p.Y > b.Max.Y {
+		p.Y = b.Max.Y - margin
+	}
+	return p
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// weightedSampler draws indices proportionally to fixed non-negative weights
+// via binary search on the cumulative sum.
+type weightedSampler struct {
+	cum   []float64
+	total float64
+}
+
+func newWeightedSampler(weights []float64) *weightedSampler {
+	s := &weightedSampler{cum: make([]float64, len(weights))}
+	var c float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			w = 0
+		}
+		c += w
+		s.cum[i] = c
+	}
+	s.total = c
+	return s
+}
+
+func (s *weightedSampler) sample(rng *stats.RNG) int {
+	target := rng.Float64() * s.total
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ToObservations converts places to the partition layer's observation form
+// for the food-access audit: each outlet is one observation, positive when
+// it is fast food. The protected flag and income attribute describe the
+// outlet's neighborhood — a draw from the surrounding tract's demography —
+// so region aggregates reflect the residents the outlets serve.
+func ToObservations(model *census.Model, places []Place, seed uint64) []partition.Observation {
+	rng := stats.NewRNG(seed ^ 0x0B5E7A)
+	out := make([]partition.Observation, len(places))
+	for i, p := range places {
+		tr := &model.Tracts[p.Tract]
+		out[i] = partition.Observation{
+			Loc:       p.Loc,
+			Positive:  p.Category == FastFood,
+			Protected: rng.Bernoulli(tr.MinorityShare),
+			Income:    math.Max(12000, tr.MeanIncome+tr.IncomeSD*rng.NormFloat64()),
+		}
+	}
+	return out
+}
+
+// Schema is the tabular schema of a places file.
+func Schema() table.Schema {
+	return table.Schema{
+		{Name: "id", Type: table.Int64},
+		{Name: "lon", Type: table.Float64},
+		{Name: "lat", Type: table.Float64},
+		{Name: "tract", Type: table.Int64},
+		{Name: "brand", Type: table.String},
+		{Name: "category", Type: table.String},
+	}
+}
+
+// ToTable converts places to a columnar table with Schema.
+func ToTable(places []Place) (*table.Table, error) {
+	t := table.New(Schema())
+	for _, p := range places {
+		err := t.AppendRow(p.ID, p.Loc.X, p.Loc.Y, int64(p.Tract), p.Brand, p.Category.String())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// FromTable converts a columnar table with Schema back to places. Unknown
+// category strings produce an error.
+func FromTable(t *table.Table) ([]Place, error) {
+	n := t.NumRows()
+	ids := t.Int64s("id")
+	lons := t.Floats("lon")
+	lats := t.Floats("lat")
+	tracts := t.Int64s("tract")
+	brands := t.Strings("brand")
+	cats := t.Strings("category")
+	out := make([]Place, n)
+	for i := 0; i < n; i++ {
+		var cat Category
+		switch cats[i] {
+		case "fast-food":
+			cat = FastFood
+		case "grocery":
+			cat = Grocery
+		default:
+			return nil, fmt.Errorf("poi: row %d: unknown category %q", i, cats[i])
+		}
+		out[i] = Place{
+			ID:       ids[i],
+			Loc:      geo.Pt(lons[i], lats[i]),
+			Tract:    int(tracts[i]),
+			Brand:    brands[i],
+			Category: cat,
+		}
+	}
+	return out, nil
+}
+
+// WriteCSV writes places as CSV to the named file.
+func WriteCSV(path string, places []Place) error {
+	t, err := ToTable(places)
+	if err != nil {
+		return err
+	}
+	return t.WriteCSVFile(path)
+}
+
+// ReadCSV reads places from the named CSV file.
+func ReadCSV(path string) ([]Place, error) {
+	t, err := table.ReadCSVFile(path, Schema())
+	if err != nil {
+		return nil, err
+	}
+	return FromTable(t)
+}

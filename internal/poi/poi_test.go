@@ -1,0 +1,216 @@
+package poi
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lcsf/internal/census"
+)
+
+func testModel() *census.Model {
+	return census.Generate(census.Config{NumTracts: 1500, Seed: 42})
+}
+
+func TestGenerateCounts(t *testing.T) {
+	m := testModel()
+	places := Generate(m, Config{NumFastFood: 5000, NumGrocery: 3000, Seed: 1})
+	ff, gr := 0, 0
+	for _, p := range places {
+		switch p.Category {
+		case FastFood:
+			ff++
+		case Grocery:
+			gr++
+		}
+	}
+	if ff != 5000 || gr != 3000 {
+		t.Fatalf("counts = %d fast food, %d grocery", ff, gr)
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.NumFastFood != PaperFastFoodCount {
+		t.Errorf("default fast food = %d, want %d", cfg.NumFastFood, PaperFastFoodCount)
+	}
+	if cfg.NumGrocery != PaperFastFoodCount*4/10 {
+		t.Errorf("default grocery = %d", cfg.NumGrocery)
+	}
+	if cfg.DesertStrength != 0.8 {
+		t.Errorf("default desert strength = %v", cfg.DesertStrength)
+	}
+	if len(FastFoodBrands) != 15 {
+		t.Errorf("fast food brands = %d, want the paper's top 15", len(FastFoodBrands))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := testModel()
+	a := Generate(m, Config{NumFastFood: 2000, NumGrocery: 1000, Seed: 5})
+	b := Generate(m, Config{NumFastFood: 2000, NumGrocery: 1000, Seed: 5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("place %d differs", i)
+		}
+	}
+}
+
+func TestPlacesLieNearTheirTract(t *testing.T) {
+	m := testModel()
+	places := Generate(m, Config{NumFastFood: 1000, NumGrocery: 500, Seed: 2})
+	inTract := 0
+	for _, p := range places {
+		if p.Tract < 0 || p.Tract >= len(m.Tracts) {
+			t.Fatalf("place %d has tract %d", p.ID, p.Tract)
+		}
+		if !m.Bounds.ContainsClosed(p.Loc) {
+			t.Fatalf("place %d at %v outside model bounds", p.ID, p.Loc)
+		}
+		box := m.Tracts[p.Tract].Box
+		if box.ContainsClosed(p.Loc) {
+			inTract++
+			continue
+		}
+		// Jittered outlets must still be within the catchment radius.
+		if d := box.Center().DistanceTo(p.Loc); d > 6 {
+			t.Fatalf("place %d at %v too far from tract %d (%.2f deg)", p.ID, p.Loc, p.Tract, d)
+		}
+	}
+	// The majority (55% plus the jitters that happen to land inside) stays
+	// in-tract.
+	if frac := float64(inTract) / float64(len(places)); frac < 0.03 {
+		t.Errorf("in-tract fraction = %v, want >= 0.03", frac)
+	}
+}
+
+func TestFoodDesertStructurePlanted(t *testing.T) {
+	m := testModel()
+	places := Generate(m, Config{NumFastFood: 40000, NumGrocery: 24000, Seed: 3})
+	// Compute the fast-food share among outlets in "desert-prone" tracts
+	// (low income, high minority) versus affluent low-minority tracts.
+	type agg struct{ ff, tot int }
+	var desert, affluent agg
+	for _, p := range places {
+		tr := m.Tracts[p.Tract]
+		var a *agg
+		switch {
+		case tr.MeanIncome < 55000 && tr.MinorityShare > 0.6:
+			a = &desert
+		case tr.MeanIncome > 90000 && tr.MinorityShare < 0.3:
+			a = &affluent
+		default:
+			continue
+		}
+		a.tot++
+		if p.Category == FastFood {
+			a.ff++
+		}
+	}
+	if desert.tot == 0 || affluent.tot == 0 {
+		t.Fatal("test strata empty; adjust thresholds")
+	}
+	dShare := float64(desert.ff) / float64(desert.tot)
+	aShare := float64(affluent.ff) / float64(affluent.tot)
+	if dShare-aShare < 0.1 {
+		t.Errorf("food desert structure too weak: desert=%v affluent=%v", dShare, aShare)
+	}
+}
+
+func TestDesertStrengthZeroRemovesStructure(t *testing.T) {
+	m := testModel()
+	// DesertStrength cannot be exactly zero (defaulted); use a tiny value.
+	places := Generate(m, Config{NumFastFood: 40000, NumGrocery: 24000, DesertStrength: 1e-9, Seed: 3})
+	var desert, affluent struct{ ff, tot int }
+	for _, p := range places {
+		tr := m.Tracts[p.Tract]
+		switch {
+		case tr.MeanIncome < 55000 && tr.MinorityShare > 0.6:
+			desert.tot++
+			if p.Category == FastFood {
+				desert.ff++
+			}
+		case tr.MeanIncome > 90000 && tr.MinorityShare < 0.3:
+			affluent.tot++
+			if p.Category == FastFood {
+				affluent.ff++
+			}
+		}
+	}
+	dShare := float64(desert.ff) / float64(desert.tot)
+	aShare := float64(affluent.ff) / float64(affluent.tot)
+	// Without the planted structure the gap shrinks substantially; grocery
+	// placement still follows income, so a residual gap remains.
+	if dShare-aShare > 0.25 {
+		t.Errorf("unplanted gap suspiciously large: desert=%v affluent=%v", dShare, aShare)
+	}
+}
+
+func TestToObservations(t *testing.T) {
+	m := testModel()
+	places := Generate(m, Config{NumFastFood: 1000, NumGrocery: 600, Seed: 4})
+	obs := ToObservations(m, places, 9)
+	if len(obs) != len(places) {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	positives := 0
+	for i, o := range obs {
+		if o.Loc != places[i].Loc {
+			t.Fatal("location mismatch")
+		}
+		if o.Positive != (places[i].Category == FastFood) {
+			t.Fatal("positive flag mismatch")
+		}
+		if o.Income < 12000 {
+			t.Fatalf("income %v below floor", o.Income)
+		}
+		if o.Positive {
+			positives++
+		}
+	}
+	if positives != 1000 {
+		t.Errorf("positives = %d, want 1000", positives)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := testModel()
+	places := Generate(m, Config{NumFastFood: 300, NumGrocery: 200, Seed: 6})
+	path := filepath.Join(t.TempDir(), "places.csv")
+	if err := WriteCSV(path, places); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(places) {
+		t.Fatalf("round trip length = %d", len(back))
+	}
+	for i := range places {
+		if back[i] != places[i] {
+			t.Fatalf("place %d changed: %+v vs %+v", i, places[i], back[i])
+		}
+	}
+}
+
+func TestFromTableRejectsUnknownCategory(t *testing.T) {
+	m := testModel()
+	places := Generate(m, Config{NumFastFood: 5, NumGrocery: 5, Seed: 7})
+	tb, err := ToTable(places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Strings("category")[0] = "casino"
+	if _, err := FromTable(tb); err == nil {
+		t.Error("unknown category should error")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if FastFood.String() != "fast-food" || Grocery.String() != "grocery" {
+		t.Error("category strings wrong")
+	}
+	if Category(9).String() != "Category(9)" {
+		t.Error("unknown category string wrong")
+	}
+}

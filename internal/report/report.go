@@ -1,0 +1,231 @@
+// Package report serializes LC-SF audit results for downstream consumers: a
+// regulator's analyst wants a CSV to sort in a spreadsheet, a service wants
+// JSON, a case file wants a readable Markdown summary. Each exporter
+// enriches the raw pairs with region coordinates and the income-
+// decomposition of the gap.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/table"
+	"lcsf/internal/viz"
+)
+
+// PairRecord is one unfair pair enriched for reporting.
+type PairRecord struct {
+	Rank            int     `json:"rank"`
+	RegionI         int     `json:"region_i"`
+	RegionJ         int     `json:"region_j"`
+	LonI            float64 `json:"lon_i"`
+	LatI            float64 `json:"lat_i"`
+	LonJ            float64 `json:"lon_j"`
+	LatJ            float64 `json:"lat_j"`
+	RateI           float64 `json:"rate_i"`
+	RateJ           float64 `json:"rate_j"`
+	ProtectedShareI float64 `json:"protected_share_i"`
+	ProtectedShareJ float64 `json:"protected_share_j"`
+	Tau             float64 `json:"tau"`
+	P               float64 `json:"p"`
+	ObservedGap     float64 `json:"observed_gap"`
+	IncomeExplained float64 `json:"income_explained"`
+	Residual        float64 `json:"residual"`
+}
+
+// Document is the full serializable audit report.
+type Document struct {
+	Grid            string       `json:"grid"`
+	GlobalRate      float64      `json:"global_rate"`
+	EligibleRegions int          `json:"eligible_regions"`
+	CandidatePairs  int          `json:"candidate_pairs"`
+	UnfairPairs     int          `json:"unfair_pairs"`
+	Pairs           []PairRecord `json:"pairs"`
+}
+
+// Build assembles a Document from an audit over a grid partitioning.
+func Build(p *partition.Partitioning, grid geo.Grid, res *core.Result) *Document {
+	doc := &Document{
+		Grid:            grid.String(),
+		GlobalRate:      res.GlobalRate,
+		EligibleRegions: res.EligibleRegions,
+		CandidatePairs:  res.Candidates,
+		UnfairPairs:     len(res.Pairs),
+		Pairs:           make([]PairRecord, 0, len(res.Pairs)),
+	}
+	for i, pr := range res.Pairs {
+		ci, cj := grid.CellCenter(pr.I), grid.CellCenter(pr.J)
+		e := core.ExplainPair(p, pr, 0)
+		doc.Pairs = append(doc.Pairs, PairRecord{
+			Rank:            i + 1,
+			RegionI:         pr.I,
+			RegionJ:         pr.J,
+			LonI:            ci.X,
+			LatI:            ci.Y,
+			LonJ:            cj.X,
+			LatJ:            cj.Y,
+			RateI:           pr.RateI,
+			RateJ:           pr.RateJ,
+			ProtectedShareI: pr.SharedI,
+			ProtectedShareJ: pr.SharedJ,
+			Tau:             pr.Tau,
+			P:               pr.P,
+			ObservedGap:     e.ObservedGap,
+			IncomeExplained: e.IncomeExplained,
+			Residual:        e.Residual,
+		})
+	}
+	return doc
+}
+
+// WriteJSON writes the document as indented JSON.
+func (d *Document) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadJSON parses a document previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: decoding JSON: %w", err)
+	}
+	return &d, nil
+}
+
+// Schema is the tabular schema of the CSV export.
+func Schema() table.Schema {
+	return table.Schema{
+		{Name: "rank", Type: table.Int64},
+		{Name: "region_i", Type: table.Int64},
+		{Name: "region_j", Type: table.Int64},
+		{Name: "lon_i", Type: table.Float64},
+		{Name: "lat_i", Type: table.Float64},
+		{Name: "lon_j", Type: table.Float64},
+		{Name: "lat_j", Type: table.Float64},
+		{Name: "rate_i", Type: table.Float64},
+		{Name: "rate_j", Type: table.Float64},
+		{Name: "protected_share_i", Type: table.Float64},
+		{Name: "protected_share_j", Type: table.Float64},
+		{Name: "tau", Type: table.Float64},
+		{Name: "p", Type: table.Float64},
+		{Name: "observed_gap", Type: table.Float64},
+		{Name: "income_explained", Type: table.Float64},
+		{Name: "residual", Type: table.Float64},
+	}
+}
+
+// ToTable converts the document's pairs to a columnar table with Schema.
+func (d *Document) ToTable() (*table.Table, error) {
+	t := table.New(Schema())
+	for _, pr := range d.Pairs {
+		err := t.AppendRow(
+			int64(pr.Rank), int64(pr.RegionI), int64(pr.RegionJ),
+			pr.LonI, pr.LatI, pr.LonJ, pr.LatJ,
+			pr.RateI, pr.RateJ, pr.ProtectedShareI, pr.ProtectedShareJ,
+			pr.Tau, pr.P, pr.ObservedGap, pr.IncomeExplained, pr.Residual,
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the document's pairs as CSV.
+func (d *Document) WriteCSV(w io.Writer) error {
+	t, err := d.ToTable()
+	if err != nil {
+		return err
+	}
+	return t.WriteCSV(w)
+}
+
+// GeoJSON renders the flagged regions of an audit as a FeatureCollection of
+// cell polygons, each carrying the region's rates and the worst pair it
+// appears in — ready to drop on a web map.
+func GeoJSON(p *partition.Partitioning, grid geo.Grid, res *core.Result) ([]byte, error) {
+	// Rank regions by their best (most unfair) pair.
+	type info struct {
+		rank     int
+		pair     core.UnfairPair
+		isDisadv bool
+	}
+	regions := make(map[int]info)
+	for i, pr := range res.Pairs {
+		if _, seen := regions[pr.I]; !seen {
+			regions[pr.I] = info{rank: i + 1, pair: pr, isDisadv: true}
+		}
+		if _, seen := regions[pr.J]; !seen {
+			regions[pr.J] = info{rank: i + 1, pair: pr}
+		}
+	}
+	var polys []geo.Polygon
+	var props []map[string]any
+	// Deterministic order: ascending region index.
+	for idx := 0; idx < grid.NumCells(); idx++ {
+		inf, ok := regions[idx]
+		if !ok {
+			continue
+		}
+		r := &p.Regions[idx]
+		polys = append(polys, geo.NewRect(grid.CellBounds(idx)))
+		props = append(props, map[string]any{
+			"region":          idx,
+			"positive_rate":   r.PositiveRate(),
+			"protected_share": r.ProtectedShare(),
+			"n":               r.N,
+			"best_pair_rank":  inf.rank,
+			"best_pair_p":     inf.pair.P,
+			"disadvantaged":   inf.isDisadv,
+		})
+	}
+	return geo.FeatureCollection(polys, props)
+}
+
+// Markdown renders a human-readable report: a summary, the top pairs with
+// their income decomposition, and guidance on reading the residual column.
+func (d *Document) Markdown(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# LC-Spatial Fairness audit report\n\n")
+	fmt.Fprintf(&b, "- grid: %s\n", d.Grid)
+	fmt.Fprintf(&b, "- global positive rate: %.3f\n", d.GlobalRate)
+	fmt.Fprintf(&b, "- eligible regions: %d\n", d.EligibleRegions)
+	fmt.Fprintf(&b, "- candidate pairs (similar income, different protected composition): %d\n", d.CandidatePairs)
+	fmt.Fprintf(&b, "- **spatially unfair pairs: %d**\n\n", d.UnfairPairs)
+
+	if topN > len(d.Pairs) {
+		topN = len(d.Pairs)
+	}
+	if topN > 0 {
+		fmt.Fprintf(&b, "## Top %d pairs\n\n", topN)
+		header := []string{"#", "disadvantaged @", "rate", "prot.", "vs @", "rate", "prot.", "p", "residual"}
+		rows := make([][]string, 0, topN)
+		for _, pr := range d.Pairs[:topN] {
+			rows = append(rows, []string{
+				viz.D(pr.Rank),
+				fmt.Sprintf("(%.2f,%.2f)", pr.LonI, pr.LatI),
+				viz.F(pr.RateI, 2),
+				viz.F(pr.ProtectedShareI, 2),
+				fmt.Sprintf("(%.2f,%.2f)", pr.LonJ, pr.LatJ),
+				viz.F(pr.RateJ, 2),
+				viz.F(pr.ProtectedShareJ, 2),
+				viz.F(pr.P, 3),
+				viz.F(pr.Residual, 3),
+			})
+		}
+		b.WriteString("```\n")
+		b.WriteString(viz.Table(header, rows))
+		b.WriteString("```\n\n")
+		b.WriteString("The residual column is the outcome gap remaining after conditioning on\n")
+		b.WriteString("income: a residual near the observed gap means the legitimate attribute\n")
+		b.WriteString("does not explain the disparity.\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// fixture builds a partitioning with one planted unfair pair and audits it.
+func fixture(t *testing.T) (*partition.Partitioning, geo.Grid, *core.Result) {
+	t.Helper()
+	rng := stats.NewRNG(7)
+	var obs []partition.Observation
+	add := func(x float64, minorityP, approveP float64) {
+		for i := 0; i < 600; i++ {
+			obs = append(obs, partition.Observation{
+				Loc:       geo.Pt(x, 0.5),
+				Positive:  rng.Bernoulli(approveP),
+				Protected: rng.Bernoulli(minorityP),
+				Income:    50000 + 8000*rng.NormFloat64(),
+			})
+		}
+	}
+	add(0.5, 0.8, 0.40)
+	add(1.5, 0.1, 0.70)
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(2, 1)), 2, 1)
+	p := partition.ByGrid(grid, obs, partition.Options{Seed: 8})
+	res, err := core.Audit(p, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("fixture audit found nothing")
+	}
+	return p, grid, res
+}
+
+func TestBuildDocument(t *testing.T) {
+	p, grid, res := fixture(t)
+	doc := Build(p, grid, res)
+	if doc.UnfairPairs != len(res.Pairs) || len(doc.Pairs) != len(res.Pairs) {
+		t.Fatalf("document pair counts wrong: %+v", doc)
+	}
+	if doc.Grid != "2x1" {
+		t.Errorf("grid = %q", doc.Grid)
+	}
+	pr := doc.Pairs[0]
+	if pr.Rank != 1 {
+		t.Errorf("rank = %d", pr.Rank)
+	}
+	if pr.RateI >= pr.RateJ {
+		t.Error("orientation lost in report")
+	}
+	// The planted pair has equal incomes: most of the gap is residual.
+	if pr.Residual < 0.5*pr.ObservedGap {
+		t.Errorf("residual %v should carry most of gap %v", pr.Residual, pr.ObservedGap)
+	}
+	// Coordinates are the cell centers.
+	if pr.LonI != 0.5 && pr.LonI != 1.5 {
+		t.Errorf("lon_i = %v", pr.LonI)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p, grid, res := fixture(t)
+	doc := Build(p, grid, res)
+	var buf strings.Builder
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.UnfairPairs != doc.UnfairPairs || len(back.Pairs) != len(doc.Pairs) {
+		t.Fatalf("round trip mismatch")
+	}
+	if back.Pairs[0] != doc.Pairs[0] {
+		t.Errorf("pair changed in round trip: %+v vs %+v", doc.Pairs[0], back.Pairs[0])
+	}
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON should error")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	p, grid, res := fixture(t)
+	doc := Build(p, grid, res)
+	var buf strings.Builder
+	if err := doc.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(doc.Pairs) {
+		t.Fatalf("csv lines = %d, want header + %d", len(lines), len(doc.Pairs))
+	}
+	if !strings.HasPrefix(lines[0], "rank,region_i,region_j") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	p, grid, res := fixture(t)
+	doc := Build(p, grid, res)
+	md := doc.Markdown(10)
+	for _, want := range []string{
+		"# LC-Spatial Fairness audit report",
+		"spatially unfair pairs",
+		"Top 1 pairs",
+		"residual",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Empty document renders without the pair section.
+	empty := &Document{Grid: "1x1"}
+	md = empty.Markdown(5)
+	if strings.Contains(md, "## Top") {
+		t.Error("empty document should omit the pair table")
+	}
+}
+
+func TestGeoJSONExport(t *testing.T) {
+	p, grid, res := fixture(t)
+	data, err := GeoJSON(p, grid, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Geometry struct {
+				Type string `json:"type"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := jsonUnmarshal(data, &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", fc.Type)
+	}
+	// Both regions of the planted pair appear, exactly once each.
+	if len(fc.Features) != 2 {
+		t.Fatalf("features = %d, want 2", len(fc.Features))
+	}
+	disadv := 0
+	for _, f := range fc.Features {
+		if f.Geometry.Type != "Polygon" {
+			t.Errorf("geometry type = %q", f.Geometry.Type)
+		}
+		for _, key := range []string{"region", "positive_rate", "protected_share", "n", "best_pair_rank", "best_pair_p", "disadvantaged"} {
+			if _, ok := f.Properties[key]; !ok {
+				t.Errorf("missing property %q", key)
+			}
+		}
+		if f.Properties["disadvantaged"] == true {
+			disadv++
+		}
+	}
+	if disadv != 1 {
+		t.Errorf("disadvantaged regions = %d, want 1", disadv)
+	}
+}
+
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }

@@ -1,0 +1,164 @@
+// Package server exposes the LC-SF audit as an HTTP service: POST a Loan
+// Application Register CSV, receive the audit report as JSON or the flagged
+// regions as GeoJSON. The service is stateless — every request carries its
+// own data — so it scales horizontally behind any proxy.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/hmda"
+	"lcsf/internal/partition"
+	"lcsf/internal/report"
+	"lcsf/internal/table"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// MaxBodyBytes bounds request bodies; 0 means 256 MiB.
+	MaxBodyBytes int64
+	// Audit is the base audit configuration; query parameters override its
+	// thresholds per request. The zero value means core.DefaultConfig.
+	Audit core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.Audit.Similarity == nil {
+		c.Audit = core.DefaultConfig()
+	}
+	return c
+}
+
+// New returns the service handler with these routes:
+//
+//	GET  /healthz        liveness probe
+//	POST /audit          LAR CSV body -> JSON audit report
+//	POST /audit/geojson  LAR CSV body -> GeoJSON of flagged regions
+//
+// Both audit routes accept query parameters cols, rows (grid resolution,
+// default 100x50), epsilon, delta, eta, alpha, min_region, ethical=1, and
+// seed.
+func New(cfg Config) http.Handler {
+	cfg = cfg.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /audit", func(w http.ResponseWriter, r *http.Request) {
+		handleAudit(w, r, cfg, false)
+	})
+	mux.HandleFunc("POST /audit/geojson", func(w http.ResponseWriter, r *http.Request) {
+		handleAudit(w, r, cfg, true)
+	})
+	return mux
+}
+
+// httpError writes a JSON error payload.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+	})
+}
+
+func handleAudit(w http.ResponseWriter, r *http.Request, cfg Config, asGeoJSON bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
+	tbl, err := table.ReadCSV(r.Body, hmda.Schema())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing LAR CSV: %v", err)
+		return
+	}
+	obs := hmda.ToObservations(hmda.FromTable(tbl))
+	if len(obs) == 0 {
+		httpError(w, http.StatusBadRequest, "no decisioned (approved/denied) records in input")
+		return
+	}
+
+	q := r.URL.Query()
+	acfg := cfg.Audit
+	if q.Get("ethical") == "1" {
+		acfg = core.EthicalConfig()
+	}
+	cols, rows := 100, 50
+	var paramErr error
+	getInt := func(name string, dst *int) {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				paramErr = fmt.Errorf("parameter %s must be a positive integer", name)
+				return
+			}
+			*dst = n
+		}
+	}
+	getFloat := func(name string, dst *float64) {
+		if v := q.Get(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				paramErr = fmt.Errorf("parameter %s must be a number", name)
+				return
+			}
+			*dst = f
+		}
+	}
+	getInt("cols", &cols)
+	getInt("rows", &rows)
+	getFloat("epsilon", &acfg.Epsilon)
+	getFloat("delta", &acfg.Delta)
+	getFloat("eta", &acfg.Eta)
+	getFloat("alpha", &acfg.Alpha)
+	getInt("min_region", &acfg.MinRegionSize)
+	if v := q.Get("seed"); v != "" {
+		s, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			paramErr = fmt.Errorf("parameter seed must be a non-negative integer")
+		} else {
+			acfg.Seed = s
+		}
+	}
+	if paramErr != nil {
+		httpError(w, http.StatusBadRequest, "%v", paramErr)
+		return
+	}
+	if cols*rows > 1_000_000 {
+		httpError(w, http.StatusBadRequest, "grid %dx%d too large", cols, rows)
+		return
+	}
+
+	grid := geo.NewGrid(geo.ContinentalUS, cols, rows)
+	part := partition.ByGrid(grid, obs, partition.Options{Seed: acfg.Seed})
+	// The request context aborts the audit when the client disconnects.
+	res, err := core.AuditContext(r.Context(), part, acfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "audit: %v", err)
+		return
+	}
+
+	if asGeoJSON {
+		data, err := report.GeoJSON(part, grid, res)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "rendering GeoJSON: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/geo+json")
+		_, _ = w.Write(data)
+		return
+	}
+	doc := report.Build(part, grid, res)
+	w.Header().Set("Content-Type", "application/json")
+	if err := doc.WriteJSON(w); err != nil {
+		// Headers are already out; nothing more to do than log via the
+		// server's error path (the client sees a truncated body).
+		return
+	}
+}

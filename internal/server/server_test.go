@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lcsf/internal/census"
+	"lcsf/internal/hmda"
+	"lcsf/internal/report"
+)
+
+// larBody renders a synthetic LAR as the CSV a client would post.
+func larBody(t *testing.T, n int, bias float64) *bytes.Buffer {
+	t.Helper()
+	model := census.Generate(census.Config{NumTracts: 1500, Seed: 42})
+	recs := hmda.Generate(model, hmda.Lender{Name: "T", Decisioned: n, Bias: bias, Seed: 7})
+	tbl, err := hmda.ToTable(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func newTestServer() http.Handler { return New(Config{}) }
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	srv := newTestServer()
+	req := httptest.NewRequest("POST", "/audit?cols=30&rows=15&seed=1", larBody(t, 40000, 0.15))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	doc, err := report.ReadJSON(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Grid != "30x15" {
+		t.Errorf("grid = %q", doc.Grid)
+	}
+	if doc.UnfairPairs == 0 {
+		t.Error("planted bias should produce unfair pairs")
+	}
+	if doc.GlobalRate < 0.5 || doc.GlobalRate > 0.75 {
+		t.Errorf("global rate = %v", doc.GlobalRate)
+	}
+}
+
+func TestAuditGeoJSONEndpoint(t *testing.T) {
+	srv := newTestServer()
+	req := httptest.NewRequest("POST", "/audit/geojson?cols=20&rows=10", larBody(t, 30000, 0.15))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/geo+json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var fc struct {
+		Type     string            `json:"type"`
+		Features []json.RawMessage `json:"features"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", fc.Type)
+	}
+	if len(fc.Features) == 0 {
+		t.Error("no flagged regions in GeoJSON")
+	}
+}
+
+func TestAuditBadInputs(t *testing.T) {
+	srv := newTestServer()
+	cases := []struct {
+		name string
+		url  string
+		body string
+		want int
+	}{
+		{"garbage csv", "/audit", "not,a,lar\n1,2,3\n", http.StatusBadRequest},
+		{"empty body", "/audit", "", http.StatusBadRequest},
+		{"bad cols", "/audit?cols=zero", validHeaderOnly(), http.StatusBadRequest},
+		{"negative rows", "/audit?rows=-5", validHeaderOnly(), http.StatusBadRequest},
+		{"bad alpha", "/audit?alpha=nope", validHeaderOnly(), http.StatusBadRequest},
+		{"huge grid", "/audit?cols=2000&rows=2000", validHeaderOnly(), http.StatusBadRequest},
+		{"bad seed", "/audit?seed=-1", validHeaderOnly(), http.StatusBadRequest},
+		{"no decisioned rows", "/audit", noDecisionedCSV(), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("POST", c.url, strings.NewReader(c.body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != c.want {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, rec.Code, c.want, rec.Body.String())
+		}
+		var e map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error payload missing: %s", c.name, rec.Body.String())
+		}
+	}
+}
+
+// validHeaderOnly is a LAR CSV with a header and a single decisioned row, so
+// parameter validation (not CSV validation) is exercised.
+func validHeaderOnly() string {
+	return "id,lon,lat,tract,income,minority,action\n1,-100,40,0,50000,false,1\n"
+}
+
+// noDecisionedCSV has only withdrawn applications.
+func noDecisionedCSV() string {
+	return "id,lon,lat,tract,income,minority,action\n1,-100,40,0,50000,false,4\n"
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := newTestServer()
+	req := httptest.NewRequest("GET", "/audit", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /audit = %d, want 405", rec.Code)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	srv := New(Config{MaxBodyBytes: 64})
+	req := httptest.NewRequest("POST", "/audit", larBody(t, 1000, 0.1))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized body = %d, want 400", rec.Code)
+	}
+}
+
+func TestEthicalFlag(t *testing.T) {
+	srv := newTestServer()
+	req := httptest.NewRequest("POST", "/audit?cols=20&rows=10&ethical=1", larBody(t, 20000, 0.15))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import "testing"
+
+// AdaptiveMonteCarloP must agree with MonteCarloP on the significance
+// decision for the same generator stream, and report the exact p-value
+// whenever significant.
+func TestAdaptiveAgreesWithExact(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		seed := uint64(1000 + trial)
+		n1, n2 := 200, 300
+		rate := 0.6
+		gen := NewRNG(seed)
+		k1 := gen.Binomial(n1, rate)
+		// Mix null-like and alternative-like observations.
+		k2 := gen.Binomial(n2, rate)
+		if trial%3 == 0 {
+			k2 = gen.Binomial(n2, 0.35)
+		}
+		obs := PairLRT(k1, n1, k2, n2)
+		m, alpha := 499, 0.05
+
+		exact := MonteCarloP(obs, m, PairNullSimulator(NewRNG(seed+7), n1, n2, rate))
+		adaptP, adaptSig := AdaptiveMonteCarloP(obs, m, alpha, PairNullSimulator(NewRNG(seed+7), n1, n2, rate))
+
+		if adaptSig != (exact <= alpha) {
+			t.Fatalf("trial %d: adaptive sig=%v, exact p=%v", trial, adaptSig, exact)
+		}
+		if adaptSig && adaptP != exact {
+			t.Fatalf("trial %d: significant p mismatch: %v vs %v", trial, adaptP, exact)
+		}
+		if !adaptSig && adaptP > 1 {
+			t.Fatalf("trial %d: p bound %v > 1", trial, adaptP)
+		}
+	}
+}
+
+func TestAdaptiveEdgeCases(t *testing.T) {
+	if p, sig := AdaptiveMonteCarloP(1, 0, 0.05, nil); p != 1 || sig {
+		t.Errorf("m=0: p=%v sig=%v", p, sig)
+	}
+	// Observation above everything: must run the full m and be significant.
+	calls := 0
+	p, sig := AdaptiveMonteCarloP(1e18, 99, 0.05, func() float64 { calls++; return 0 })
+	if !sig || p != 0.01 {
+		t.Errorf("extreme observation: p=%v sig=%v", p, sig)
+	}
+	if calls != 99 {
+		t.Errorf("significant path must run all worlds, ran %d", calls)
+	}
+	// Observation below everything: stops early.
+	calls = 0
+	_, sig = AdaptiveMonteCarloP(-1, 999, 0.05, func() float64 { calls++; return 0 })
+	if sig {
+		t.Error("hopeless observation flagged significant")
+	}
+	if calls >= 999 {
+		t.Errorf("early stop did not trigger: %d calls", calls)
+	}
+}

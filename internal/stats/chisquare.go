@@ -1,0 +1,98 @@
+package stats
+
+import "math"
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with k
+// degrees of freedom, via the regularized lower incomplete gamma function.
+// It returns NaN for k <= 0 and 0 for x <= 0.
+func ChiSquareCDF(x float64, k int) float64 {
+	if k <= 0 {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 0
+	}
+	return regularizedGammaP(float64(k)/2, x/2)
+}
+
+// ChiSquareSF returns the chi-square survival function P(X > x) — the
+// asymptotic p-value of a likelihood-ratio statistic with k degrees of
+// freedom. The framework uses it to prescreen candidate pairs before paying
+// for Monte-Carlo simulation.
+func ChiSquareSF(x float64, k int) float64 {
+	if k <= 0 {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 1
+	}
+	return 1 - regularizedGammaP(float64(k)/2, x/2)
+}
+
+// regularizedGammaP computes P(a, x) = gamma(a, x) / Gamma(a) using the
+// series expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes 6.2).
+func regularizedGammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+	)
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		// Reference values (R: pchisq).
+		{3.841458820694124, 1, 0.95},
+		{6.634896601021213, 1, 0.99},
+		{5.991464547107979, 2, 0.95},
+		{0, 1, 0},
+		{1, 1, 0.6826894921370859}, // P(|Z|<1)
+		{11.070497693516351, 5, 0.95},
+		{18.307038053275146, 10, 0.95},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.x, c.k); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("ChiSquareCDF(%v, %d) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSFComplement(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 20} {
+		for _, x := range []float64{0.1, 1, 5, 20, 50} {
+			if got := ChiSquareCDF(x, k) + ChiSquareSF(x, k); !almostEq(got, 1, 1e-12) {
+				t.Errorf("CDF+SF at (%v,%d) = %v", x, k, got)
+			}
+		}
+	}
+	if ChiSquareSF(0, 3) != 1 || ChiSquareCDF(-1, 3) != 0 {
+		t.Error("boundary values wrong")
+	}
+	if !math.IsNaN(ChiSquareCDF(1, 0)) || !math.IsNaN(ChiSquareSF(1, -2)) {
+		t.Error("k <= 0 should be NaN")
+	}
+}
+
+// Property: chi-square(1) matches the square of a standard normal:
+// P(X <= x) = P(|Z| <= sqrt(x)) = 2*Phi(sqrt(x)) - 1.
+func TestChiSquare1MatchesNormal(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Abs(math.Mod(raw, 40))
+		want := 2*NormalCDF(math.Sqrt(x)) - 1
+		return almostEq(ChiSquareCDF(x, 1), want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the CDF is monotone in x and decreasing in k (for fixed x).
+func TestChiSquareMonotonicity(t *testing.T) {
+	prev := 0.0
+	for x := 0.5; x < 30; x += 0.5 {
+		cur := ChiSquareCDF(x, 4)
+		if cur < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		prev = cur
+	}
+	for k := 1; k < 15; k++ {
+		if ChiSquareCDF(8, k) < ChiSquareCDF(8, k+1)-1e-12 {
+			t.Fatalf("CDF should decrease with k at fixed x (k=%d)", k)
+		}
+	}
+}
+
+// The Monte-Carlo pair test should agree with the chi-square asymptotics at
+// large counts: the prescreen in the core package depends on this.
+func TestPairLRTAsymptoticallyChiSquare(t *testing.T) {
+	rng := NewRNG(77)
+	n := 5000
+	rate := 0.6
+	var below95 int
+	trials := 400
+	for i := 0; i < trials; i++ {
+		k1, k2 := rng.Binomial(n, rate), rng.Binomial(n, rate)
+		tau := PairLRT(k1, n, k2, n)
+		if ChiSquareSF(tau, 1) > 0.05 {
+			below95++
+		}
+	}
+	frac := float64(below95) / float64(trials)
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("null taus within chi-square 95%% band: %v, want ~0.95", frac)
+	}
+}

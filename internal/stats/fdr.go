@@ -1,0 +1,37 @@
+package stats
+
+import "sort"
+
+// BenjaminiHochberg applies the Benjamini–Hochberg step-up procedure to a
+// set of p-values, returning a boolean per input reporting whether that
+// hypothesis is rejected at false-discovery rate q.
+//
+// The LC-SF audit tests thousands of region pairs; the paper controls each
+// test at a fixed significance level, which bounds the per-pair error but
+// not the share of false discoveries among the flagged pairs. FDR control is
+// offered as an extension (Config.FDR in the core package) for auditors who
+// need the flagged list itself to be mostly real.
+func BenjaminiHochberg(pvalues []float64, q float64) []bool {
+	n := len(pvalues)
+	out := make([]bool, n)
+	if n == 0 || q <= 0 {
+		return out
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pvalues[order[a]] < pvalues[order[b]] })
+
+	// Find the largest k with p_(k) <= k/n * q.
+	cut := -1
+	for k := 1; k <= n; k++ {
+		if pvalues[order[k-1]] <= float64(k)/float64(n)*q {
+			cut = k
+		}
+	}
+	for k := 0; k < cut; k++ {
+		out[order[k]] = true
+	}
+	return out
+}

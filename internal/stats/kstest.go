@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult holds the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	D float64 // the KS statistic: sup |F1 - F2|
+	P float64 // asymptotic two-sided p-value
+}
+
+// KolmogorovSmirnov performs the two-sample KS test: H0 says the samples
+// come from the same continuous distribution. It is offered as an
+// alternative similarity metric to the Mann–Whitney U test — sensitive to
+// any distributional difference (spread, shape), not only location shifts.
+// Empty samples give P = NaN.
+func KolmogorovSmirnov(xs, ys []float64) KSResult {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return KSResult{D: math.NaN(), P: math.NaN()}
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+
+	var d float64
+	i, j := 0, 0
+	for i < n1 && j < n2 {
+		v := math.Min(a[i], b[j])
+		for i < n1 && a[i] <= v {
+			i++
+		}
+		for j < n2 && b[j] <= v {
+			j++
+		}
+		f1 := float64(i) / float64(n1)
+		f2 := float64(j) / float64(n2)
+		if diff := math.Abs(f1 - f2); diff > d {
+			d = diff
+		}
+	}
+
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, P: ksProbability(lambda)}
+}
+
+// ksProbability is the asymptotic Kolmogorov distribution tail
+// Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func ksProbability(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const maxTerms = 100
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= maxTerms; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

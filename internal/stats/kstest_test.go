@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res := KolmogorovSmirnov(xs, xs)
+	if res.D != 0 {
+		t.Errorf("D = %v, want 0", res.D)
+	}
+	if res.P < 0.99 {
+		t.Errorf("P = %v, want ~1", res.P)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) + 1000
+	}
+	res := KolmogorovSmirnov(xs, ys)
+	if res.D != 1 {
+		t.Errorf("D = %v, want 1", res.D)
+	}
+	if res.P > 1e-10 {
+		t.Errorf("P = %v, want ~0", res.P)
+	}
+}
+
+func TestKSEmptySample(t *testing.T) {
+	res := KolmogorovSmirnov(nil, []float64{1})
+	if !math.IsNaN(res.P) || !math.IsNaN(res.D) {
+		t.Errorf("empty sample should be NaN: %+v", res)
+	}
+}
+
+func TestKSSymmetric(t *testing.T) {
+	rng := NewRNG(41)
+	xs := make([]float64, 80)
+	ys := make([]float64, 120)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for i := range ys {
+		ys[i] = rng.NormFloat64() + 0.3
+	}
+	a := KolmogorovSmirnov(xs, ys)
+	b := KolmogorovSmirnov(ys, xs)
+	if !almostEq(a.D, b.D, 1e-12) || !almostEq(a.P, b.P, 1e-12) {
+		t.Errorf("not symmetric: %+v vs %+v", a, b)
+	}
+}
+
+func TestKSDetectsSpreadDifference(t *testing.T) {
+	// Same mean, different spread: the U test is blind to this, KS is not —
+	// the reason KS is offered as an alternative similarity gate.
+	rng := NewRNG(42)
+	n := 500
+	narrow := make([]float64, n)
+	wide := make([]float64, n)
+	for i := 0; i < n; i++ {
+		narrow[i] = rng.NormFloat64() * 0.5
+		wide[i] = rng.NormFloat64() * 2.0
+	}
+	ks := KolmogorovSmirnov(narrow, wide)
+	if ks.P > 1e-6 {
+		t.Errorf("KS should detect the spread difference: p = %v", ks.P)
+	}
+	mw := MannWhitneyU(narrow, wide)
+	if mw.P < 0.01 {
+		t.Errorf("U test should NOT detect the pure spread difference: p = %v", mw.P)
+	}
+}
+
+func TestKSFalsePositiveRate(t *testing.T) {
+	rng := NewRNG(43)
+	trials, sig := 300, 0
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 60)
+		ys := make([]float64, 60)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		if KolmogorovSmirnov(xs, ys).P < 0.05 {
+			sig++
+		}
+	}
+	// The asymptotic KS p-value is conservative at these sizes.
+	if frac := float64(sig) / float64(trials); frac > 0.09 {
+		t.Errorf("null rejection rate %v, want <= ~0.09", frac)
+	}
+}
+
+func TestKSWithTies(t *testing.T) {
+	// Heavily tied integer data must not panic and D must be in [0,1].
+	xs := []float64{1, 1, 1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 2, 3, 3}
+	res := KolmogorovSmirnov(xs, ys)
+	if res.D < 0 || res.D > 1 || math.IsNaN(res.P) {
+		t.Errorf("tied result out of range: %+v", res)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult holds the outcome of a Mann–Whitney U test.
+type MannWhitneyResult struct {
+	U float64 // the U statistic for the first sample
+	Z float64 // normal-approximation test statistic (tie-corrected)
+	P float64 // two-sided p-value
+}
+
+// MannWhitneyU performs the two-sided Mann–Whitney U test (Wilcoxon rank-sum)
+// on two independent samples, using the normal approximation with tie
+// correction and continuity correction. This is the similarity metric the
+// paper uses to decide whether two regions have comparable income
+// distributions: a large p-value means the samples are statistically
+// indistinguishable.
+//
+// When either sample is empty the result has P = NaN; callers treat such
+// pairs as non-comparable.
+func MannWhitneyU(xs, ys []float64) MannWhitneyResult {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{U: math.NaN(), Z: math.NaN(), P: math.NaN()}
+	}
+
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, x := range xs {
+		all = append(all, obs{v: x, first: true})
+	}
+	for _, y := range ys {
+		all = append(all, obs{v: y})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks to ties and accumulate the tie-correction term
+	// sum(t^3 - t).
+	var rankSum1, tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		midRank := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			if all[k].first {
+				rankSum1 += midRank
+			}
+		}
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := rankSum1 - fn1*(fn1+1)/2
+	mu := fn1 * fn2 / 2
+	n := fn1 + fn2
+	sigma2 := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations tied: the samples are indistinguishable.
+		return MannWhitneyResult{U: u1, Z: 0, P: 1}
+	}
+	// Continuity correction toward the mean.
+	diff := u1 - mu
+	switch {
+	case diff > 0.5:
+		diff -= 0.5
+	case diff < -0.5:
+		diff += 0.5
+	default:
+		diff = 0
+	}
+	z := diff / math.Sqrt(sigma2)
+	return MannWhitneyResult{U: u1, Z: z, P: TwoSidedP(z)}
+}

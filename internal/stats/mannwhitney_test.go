@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	res := MannWhitneyU(xs, xs)
+	if res.P < 0.9 {
+		t.Errorf("identical samples p = %v, want ~1", res.P)
+	}
+	if res.Z != 0 {
+		t.Errorf("identical samples z = %v, want 0", res.Z)
+	}
+}
+
+func TestMannWhitneyDisjointSamples(t *testing.T) {
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) + 1000
+	}
+	res := MannWhitneyU(xs, ys)
+	if res.P > 1e-10 {
+		t.Errorf("disjoint samples p = %v, want ~0", res.P)
+	}
+	// U for the first sample should be 0: every x ranks below every y.
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0", res.U)
+	}
+}
+
+func TestMannWhitneyEmptySample(t *testing.T) {
+	res := MannWhitneyU(nil, []float64{1, 2})
+	if !math.IsNaN(res.P) {
+		t.Errorf("empty sample p = %v, want NaN", res.P)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	xs := []float64{5, 5, 5}
+	ys := []float64{5, 5, 5, 5}
+	res := MannWhitneyU(xs, ys)
+	if res.P != 1 || res.Z != 0 {
+		t.Errorf("all-tied result = %+v, want P=1, Z=0", res)
+	}
+}
+
+func TestMannWhitneyKnownSmallExample(t *testing.T) {
+	xs := []float64{19, 22, 16, 29, 24}
+	ys := []float64{20, 11, 17, 12}
+	res := MannWhitneyU(xs, ys)
+	// Ranks of xs in the combined sample {11,12,16,17,19,20,22,24,29}:
+	// 16->3, 19->5, 22->7, 24->8, 29->9 => rankSum1 = 32, U1 = 32 - 15 = 17.
+	if res.U != 17 {
+		t.Errorf("U = %v, want 17", res.U)
+	}
+	if res.P < 0.05 || res.P > 0.3 {
+		t.Errorf("p = %v, expected a non-significant mid-range value", res.P)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	xs := []float64{1, 3, 5, 7, 9, 11}
+	ys := []float64{2, 4, 6, 8}
+	a := MannWhitneyU(xs, ys)
+	b := MannWhitneyU(ys, xs)
+	if !almostEq(a.P, b.P, 1e-12) {
+		t.Errorf("p not symmetric: %v vs %v", a.P, b.P)
+	}
+	if !almostEq(a.Z, -b.Z, 1e-12) {
+		t.Errorf("z not antisymmetric: %v vs %v", a.Z, b.Z)
+	}
+	// U1 + U2 = n1*n2.
+	if !almostEq(a.U+b.U, float64(len(xs)*len(ys)), 1e-12) {
+		t.Errorf("U1+U2 = %v, want %d", a.U+b.U, len(xs)*len(ys))
+	}
+}
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	rng := NewRNG(11)
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zsSame := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 1.0 // clearly shifted
+		zsSame[i] = rng.NormFloat64()   // same distribution as xs
+	}
+	if res := MannWhitneyU(xs, ys); res.P > 1e-6 {
+		t.Errorf("shifted distribution p = %v, want tiny", res.P)
+	}
+	if res := MannWhitneyU(xs, zsSame); res.P < 0.001 {
+		t.Errorf("same distribution p = %v, unexpectedly significant", res.P)
+	}
+}
+
+func TestMannWhitneyFalsePositiveRate(t *testing.T) {
+	// Under the null the p-value should be roughly uniform: about 5% of
+	// simulations significant at 0.05.
+	rng := NewRNG(12)
+	trials := 400
+	sig := 0
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 60)
+		ys := make([]float64, 60)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		if MannWhitneyU(xs, ys).P < 0.05 {
+			sig++
+		}
+	}
+	rate := float64(sig) / float64(trials)
+	if rate > 0.11 {
+		t.Errorf("false positive rate %v at alpha=0.05, want <= ~0.11", rate)
+	}
+}

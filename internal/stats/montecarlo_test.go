@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonteCarloPExtremeObservation(t *testing.T) {
+	rng := NewRNG(21)
+	// Observed value far above anything the null produces.
+	p := MonteCarloP(1e9, 999, func() float64 { return rng.Float64() })
+	if !almostEq(p, 1.0/1000, 1e-12) {
+		t.Errorf("p = %v, want 1/1000", p)
+	}
+}
+
+func TestMonteCarloPTypicalObservation(t *testing.T) {
+	rng := NewRNG(22)
+	// Observed at the null median: p should be near 0.5.
+	p := MonteCarloP(0.5, 999, func() float64 { return rng.Float64() })
+	if p < 0.4 || p > 0.6 {
+		t.Errorf("p = %v, want ~0.5", p)
+	}
+}
+
+func TestMonteCarloPNeverZero(t *testing.T) {
+	p := MonteCarloP(math.Inf(1), 99, func() float64 { return 0 })
+	if p <= 0 {
+		t.Errorf("p = %v, must be positive", p)
+	}
+	if p2 := MonteCarloP(1, 0, nil); p2 != 1 {
+		t.Errorf("m=0 should give p=1, got %v", p2)
+	}
+}
+
+func TestPairNullSimulatorCalibration(t *testing.T) {
+	// Under the null, the Monte-Carlo p-value of a null-generated observation
+	// should be approximately uniform: about alpha of trials significant.
+	rng := NewRNG(23)
+	n1, n2 := 300, 400
+	rate := 0.62
+	trials := 200
+	m := 199
+	sig := 0
+	for tr := 0; tr < trials; tr++ {
+		k1 := rng.Binomial(n1, rate)
+		k2 := rng.Binomial(n2, rate)
+		obs := PairLRT(k1, n1, k2, n2)
+		p := MonteCarloP(obs, m, PairNullSimulator(rng, n1, n2, rate))
+		if p <= 0.05 {
+			sig++
+		}
+	}
+	frac := float64(sig) / float64(trials)
+	if frac > 0.12 {
+		t.Errorf("null rejection rate %v at alpha=0.05, want <= ~0.12", frac)
+	}
+}
+
+func TestPairNullSimulatorPower(t *testing.T) {
+	// A genuinely unfair pair should almost always be flagged.
+	rng := NewRNG(24)
+	n1, n2 := 500, 500
+	k1 := 400 // 80% positive rate
+	k2 := 200 // 40% positive rate
+	pooled := float64(k1+k2) / float64(n1+n2)
+	obs := PairLRT(k1, n1, k2, n2)
+	p := MonteCarloP(obs, 999, PairNullSimulator(rng, n1, n2, pooled))
+	if p > 0.01 {
+		t.Errorf("blatant unfairness p = %v, want tiny", p)
+	}
+}
+
+func TestRegionNullSimulatorCalibration(t *testing.T) {
+	rng := NewRNG(25)
+	n, N := 200, 5000
+	rate := 0.62
+	trials := 150
+	sig := 0
+	for tr := 0; tr < trials; tr++ {
+		k := rng.Binomial(n, rate)
+		rest := rng.Binomial(N-n, rate)
+		obs := RegionVsOutsideLRT(k, n, k+rest, N)
+		p := MonteCarloP(obs, 199, RegionNullSimulator(rng, n, N, rate))
+		if p <= 0.05 {
+			sig++
+		}
+	}
+	frac := float64(sig) / float64(trials)
+	if frac > 0.13 {
+		t.Errorf("null rejection rate %v, want <= ~0.13", frac)
+	}
+}

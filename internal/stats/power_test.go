@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoProportionPowerKnownBehavior(t *testing.T) {
+	// No gap: power equals the significance level (size of the test).
+	if got := TwoProportionPower(0.6, 500, 0.6, 500, 0.05); !almostEq(got, 0.05, 0.01) {
+		t.Errorf("null power = %v, want ~alpha", got)
+	}
+	// A huge gap with large samples: power ~1.
+	if got := TwoProportionPower(0.9, 500, 0.5, 500, 0.05); got < 0.999 {
+		t.Errorf("big-gap power = %v, want ~1", got)
+	}
+	// Power grows with n.
+	small := TwoProportionPower(0.7, 50, 0.6, 50, 0.05)
+	large := TwoProportionPower(0.7, 500, 0.6, 500, 0.05)
+	if large <= small {
+		t.Errorf("power should grow with n: %v -> %v", small, large)
+	}
+	// Power shrinks as alpha tightens.
+	loose := TwoProportionPower(0.7, 200, 0.6, 200, 0.05)
+	tight := TwoProportionPower(0.7, 200, 0.6, 200, 0.001)
+	if tight >= loose {
+		t.Errorf("power should shrink with alpha: %v -> %v", loose, tight)
+	}
+}
+
+func TestTwoProportionPowerMatchesSimulation(t *testing.T) {
+	rng := NewRNG(31)
+	p1, p2, n, alpha := 0.70, 0.55, 150, 0.05
+	want := TwoProportionPower(p1, n, p2, n, alpha)
+	trials, rejected := 2000, 0
+	for i := 0; i < trials; i++ {
+		k1 := rng.Binomial(n, p1)
+		k2 := rng.Binomial(n, p2)
+		if TwoProportionZ(k1, n, k2, n).P <= alpha {
+			rejected++
+		}
+	}
+	got := float64(rejected) / float64(trials)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("simulated power %v vs analytic %v", got, want)
+	}
+}
+
+func TestTwoProportionPowerDegenerate(t *testing.T) {
+	if !math.IsNaN(TwoProportionPower(0.5, 0, 0.5, 10, 0.05)) {
+		t.Error("n=0 should be NaN")
+	}
+	if !math.IsNaN(TwoProportionPower(1.5, 10, 0.5, 10, 0.05)) {
+		t.Error("p>1 should be NaN")
+	}
+	if !math.IsNaN(TwoProportionPower(0.5, 10, 0.5, 10, 0)) {
+		t.Error("alpha=0 should be NaN")
+	}
+	// Both proportions at the boundary: se1=0.
+	if got := TwoProportionPower(1, 10, 0, 10, 0.05); got != 1 {
+		t.Errorf("certain gap power = %v, want 1", got)
+	}
+	if got := TwoProportionPower(1, 10, 1, 10, 0.05); got != 0.05 {
+		t.Errorf("certain no-gap power = %v, want alpha", got)
+	}
+}
+
+func TestSampleSizeForGap(t *testing.T) {
+	n := SampleSizeForGap(0.70, 0.55, 0.05, 0.8)
+	if n <= 0 {
+		t.Fatalf("n = %d", n)
+	}
+	// The returned n achieves the power; n-1 does not.
+	if got := TwoProportionPower(0.70, n, 0.55, n, 0.05); got < 0.8 {
+		t.Errorf("power at n=%d is %v, want >= 0.8", n, got)
+	}
+	if got := TwoProportionPower(0.70, n-1, 0.55, n-1, 0.05); got >= 0.8 {
+		t.Errorf("power at n-1=%d is %v, should be < 0.8", n-1, got)
+	}
+	// Standard reference: detecting 0.15 at 80%/5% needs roughly 150-170
+	// per group.
+	if n < 120 || n > 220 {
+		t.Errorf("n = %d, far from the textbook ballpark", n)
+	}
+	// The paper's Table 3 point: at ~42 outlets per region, a 15-point gap
+	// is undetectable.
+	if p := TwoProportionPower(0.70, 42, 0.55, 42, 0.01); p > 0.35 {
+		t.Errorf("power at n=42 = %v; the sparsity collapse needs this low", p)
+	}
+}
+
+func TestSampleSizeForGapDegenerate(t *testing.T) {
+	if SampleSizeForGap(0.5, 0.5, 0.05, 0.8) != -1 {
+		t.Error("no gap should be -1")
+	}
+	if SampleSizeForGap(0.5, 0.6, 0, 0.8) != -1 {
+		t.Error("bad alpha should be -1")
+	}
+	if SampleSizeForGap(0.5, 0.6, 0.05, 1) != -1 {
+		t.Error("power=1 should be -1")
+	}
+}
+
+func TestSampleSizeMonotoneInGap(t *testing.T) {
+	big := SampleSizeForGap(0.70, 0.50, 0.05, 0.8)
+	small := SampleSizeForGap(0.70, 0.65, 0.05, 0.8)
+	if big >= small {
+		t.Errorf("smaller gaps need more samples: gap0.2->%d, gap0.05->%d", big, small)
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// BootstrapCI estimates a percentile confidence interval for a statistic by
+// resampling with replacement: resamples draws of len(xs) observations each,
+// the statistic computed on every draw, and the (alpha/2, 1-alpha/2)
+// quantiles of the resulting distribution returned. It is used to attach
+// uncertainty to per-region rates and income summaries in reports.
+func BootstrapCI(xs []float64, statistic func([]float64) float64, resamples int, alpha float64, rng *RNG) (lo, hi float64) {
+	if len(xs) == 0 || resamples < 1 || alpha <= 0 || alpha >= 1 {
+		return math.NaN(), math.NaN()
+	}
+	draws := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		draws[r] = statistic(buf)
+	}
+	sort.Float64s(draws)
+	return Quantile(draws, alpha/2), Quantile(draws, 1-alpha/2)
+}
+
+// SpearmanRho returns Spearman's rank correlation coefficient of the paired
+// samples (mid-ranks for ties), or NaN for mismatched or short inputs. The
+// census tests use it to verify the planted income/minority-share spatial
+// correlation without assuming linearity.
+func SpearmanRho(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	return pearson(rx, ry)
+}
+
+// ranks returns mid-ranks (1-based) of the sample.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && xs[order[j]] == xs[order[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			out[order[k]] = mid
+		}
+		i = j
+	}
+	return out
+}
+
+// pearson returns the Pearson correlation of the paired samples.
+func pearson(xs, ys []float64) float64 {
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	den := math.Sqrt(sxx * syy)
+	if den == 0 {
+		return math.NaN()
+	}
+	return sxy / den
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples,
+// or NaN for mismatched, short, or constant inputs.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return pearson(xs, ys)
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBootstrapCICoversTrueMean(t *testing.T) {
+	rng := NewRNG(21)
+	covered := 0
+	trials := 100
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = 10 + 2*rng.NormFloat64()
+		}
+		lo, hi := BootstrapCI(xs, Mean, 400, 0.05, rng)
+		if lo <= 10 && 10 <= hi {
+			covered++
+		}
+		if lo > hi {
+			t.Fatalf("lo %v > hi %v", lo, hi)
+		}
+	}
+	// Nominal coverage 95%; allow slack for bootstrap + Monte-Carlo noise.
+	if covered < 85 {
+		t.Errorf("coverage %d/%d, want >= 85", covered, trials)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	rng := NewRNG(22)
+	if lo, hi := BootstrapCI(nil, Mean, 100, 0.05, rng); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("empty sample should be NaN")
+	}
+	if lo, hi := BootstrapCI([]float64{1, 2}, Mean, 0, 0.05, rng); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("zero resamples should be NaN")
+	}
+	if lo, hi := BootstrapCI([]float64{1, 2}, Mean, 10, 0, rng); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("alpha=0 should be NaN")
+	}
+	// A constant sample has a point interval.
+	lo, hi := BootstrapCI([]float64{7, 7, 7}, Mean, 50, 0.05, rng)
+	if lo != 7 || hi != 7 {
+		t.Errorf("constant sample CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestSpearmanRhoPerfectMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25} // monotone but nonlinear
+	if rho := SpearmanRho(xs, ys); !almostEq(rho, 1, 1e-12) {
+		t.Errorf("monotone rho = %v, want 1", rho)
+	}
+	rev := []float64{25, 16, 9, 4, 1}
+	if rho := SpearmanRho(xs, rev); !almostEq(rho, -1, 1e-12) {
+		t.Errorf("reversed rho = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanRhoIndependence(t *testing.T) {
+	rng := NewRNG(23)
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	if rho := SpearmanRho(xs, ys); math.Abs(rho) > 0.05 {
+		t.Errorf("independent rho = %v, want ~0", rho)
+	}
+}
+
+func TestSpearmanRhoTiesAndErrors(t *testing.T) {
+	// Ties are handled through mid-ranks.
+	xs := []float64{1, 1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3, 3}
+	rho := SpearmanRho(xs, ys)
+	if math.IsNaN(rho) || rho <= 0 {
+		t.Errorf("tied positive association rho = %v", rho)
+	}
+	if !math.IsNaN(SpearmanRho([]float64{1}, []float64{2})) {
+		t.Error("short input should be NaN")
+	}
+	if !math.IsNaN(SpearmanRho([]float64{1, 2}, []float64{1})) {
+		t.Error("mismatched input should be NaN")
+	}
+}
+
+func TestPearsonLinear(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // exactly linear
+	if r := Pearson(xs, ys); !almostEq(r, 1, 1e-12) {
+		t.Errorf("linear r = %v", r)
+	}
+	if !math.IsNaN(Pearson(xs, []float64{2, 2, 2, 2})) {
+		t.Error("constant series should be NaN")
+	}
+	if !math.IsNaN(Pearson(nil, nil)) {
+		t.Error("empty should be NaN")
+	}
+}
+
+func TestRanksMidRankTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", got, want)
+			break
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package stats
+
+// Reservoir maintains a uniform random sample of bounded size over a stream
+// of float64 observations (Algorithm R). The framework keeps one reservoir of
+// income observations per region so the Mann–Whitney similarity test stays
+// cheap no matter how many individuals a region contains.
+type Reservoir struct {
+	sample []float64
+	seen   int
+	cap    int
+	rng    *RNG
+}
+
+// NewReservoir returns a reservoir holding at most capacity observations,
+// using the given generator for replacement decisions. It panics when
+// capacity is not positive.
+func NewReservoir(capacity int, rng *RNG) *Reservoir {
+	if capacity <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Reservoir{sample: make([]float64, 0, capacity), cap: capacity, rng: rng}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.sample) < r.cap {
+		r.sample = append(r.sample, x)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.cap {
+		r.sample[j] = x
+	}
+}
+
+// Sample returns the current sample. The returned slice is owned by the
+// reservoir; callers must not modify it.
+func (r *Reservoir) Sample() []float64 { return r.sample }
+
+// Seen returns the number of observations offered so far.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Len returns the current sample size, min(Seen, capacity).
+func (r *Reservoir) Len() int { return len(r.sample) }

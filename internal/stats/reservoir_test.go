@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReservoirBelowCapacityKeepsEverything(t *testing.T) {
+	r := NewReservoir(10, NewRNG(31))
+	for i := 0; i < 5; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 5 || r.Seen() != 5 {
+		t.Fatalf("Len=%d Seen=%d", r.Len(), r.Seen())
+	}
+	for i, v := range r.Sample() {
+		if v != float64(i) {
+			t.Errorf("sample[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestReservoirCapsSize(t *testing.T) {
+	r := NewReservoir(16, NewRNG(32))
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 16 {
+		t.Errorf("Len = %d, want 16", r.Len())
+	}
+	if r.Seen() != 10000 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each element of a 1000-item stream should land in a 100-slot reservoir
+	// with probability ~0.1; check the mean of sampled indices is near the
+	// stream mean.
+	var means []float64
+	for trial := 0; trial < 50; trial++ {
+		r := NewReservoir(100, NewRNG(uint64(100+trial)))
+		for i := 0; i < 1000; i++ {
+			r.Add(float64(i))
+		}
+		means = append(means, Mean(r.Sample()))
+	}
+	grand := Mean(means)
+	if math.Abs(grand-499.5) > 20 {
+		t.Errorf("grand mean of samples = %v, want ~499.5", grand)
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewReservoir(0, NewRNG(1))
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMannKendallMonotoneIncreasing(t *testing.T) {
+	xs := []float64{1, 2, 3, 5, 8, 13, 21, 34}
+	res := MannKendall(xs)
+	n := len(xs)
+	if res.S != n*(n-1)/2 {
+		t.Errorf("S = %d, want all pairs concordant (%d)", res.S, n*(n-1)/2)
+	}
+	if res.Tau != 1 {
+		t.Errorf("tau = %v, want 1", res.Tau)
+	}
+	if res.P > 0.01 {
+		t.Errorf("p = %v, want significant", res.P)
+	}
+	if res.Slope <= 0 {
+		t.Errorf("slope = %v, want positive", res.Slope)
+	}
+}
+
+func TestMannKendallMonotoneDecreasing(t *testing.T) {
+	xs := []float64{900, 700, 650, 500, 420, 300, 150, 80}
+	res := MannKendall(xs)
+	if res.Tau != -1 {
+		t.Errorf("tau = %v, want -1", res.Tau)
+	}
+	if res.P > 0.01 {
+		t.Errorf("p = %v, want significant", res.P)
+	}
+	if res.Slope >= 0 {
+		t.Errorf("slope = %v, want negative", res.Slope)
+	}
+}
+
+func TestMannKendallNoTrend(t *testing.T) {
+	rng := NewRNG(51)
+	trials, sig := 300, 0
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 12)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		if MannKendall(xs).P < 0.05 {
+			sig++
+		}
+	}
+	if rate := float64(sig) / float64(trials); rate > 0.09 {
+		t.Errorf("null rejection rate %v", rate)
+	}
+}
+
+func TestMannKendallConstantSeries(t *testing.T) {
+	res := MannKendall([]float64{5, 5, 5, 5, 5})
+	if res.S != 0 || res.Z != 0 || res.P != 1 {
+		t.Errorf("constant series: %+v", res)
+	}
+	if res.Slope != 0 {
+		t.Errorf("constant slope = %v", res.Slope)
+	}
+}
+
+func TestMannKendallShortSeries(t *testing.T) {
+	if res := MannKendall([]float64{1, 2}); !math.IsNaN(res.P) {
+		t.Errorf("short series should be NaN: %+v", res)
+	}
+}
+
+func TestMannKendallTheilSenRobustSlope(t *testing.T) {
+	// Linear slope 2 with one wild outlier: Theil-Sen stays near 2.
+	xs := []float64{0, 2, 4, 6, 800, 10, 12, 14, 16}
+	res := MannKendall(xs)
+	if math.Abs(res.Slope-2) > 0.8 {
+		t.Errorf("Theil-Sen slope = %v, want ~2 despite the outlier", res.Slope)
+	}
+}

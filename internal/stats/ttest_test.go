@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	res := WelchT(xs, xs)
+	if !almostEq(res.T, 0, 1e-12) || !almostEq(res.P, 1, 1e-9) {
+		t.Errorf("identical samples: %+v", res)
+	}
+}
+
+func TestWelchTKnownValue(t *testing.T) {
+	// Reference values computed independently (hand Welch formulas):
+	// t = -2.70778, df = 26.9527; p ~ 0.0116 at that df.
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5}
+	res := WelchT(a, b)
+	if !almostEq(res.T, -2.7077777791033206, 1e-9) {
+		t.Errorf("t = %v, want -2.70778", res.T)
+	}
+	if !almostEq(res.DF, 26.952746503270305, 1e-9) {
+		t.Errorf("df = %v, want 26.9527", res.DF)
+	}
+	if !almostEq(res.P, 0.0116, 0.001) {
+		t.Errorf("p = %v, want ~0.0116", res.P)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if res := WelchT([]float64{1}, []float64{2, 3}); !math.IsNaN(res.P) {
+		t.Errorf("short sample should be NaN: %+v", res)
+	}
+	// Zero variance, equal means.
+	if res := WelchT([]float64{5, 5, 5}, []float64{5, 5}); res.P != 1 {
+		t.Errorf("constant equal samples: %+v", res)
+	}
+	// Zero variance, different means.
+	if res := WelchT([]float64{5, 5, 5}, []float64{7, 7}); res.P != 0 {
+		t.Errorf("constant different samples: %+v", res)
+	}
+}
+
+func TestWelchTAntisymmetric(t *testing.T) {
+	rng := NewRNG(12)
+	xs := make([]float64, 40)
+	ys := make([]float64, 60)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for i := range ys {
+		ys[i] = 2 * rng.NormFloat64()
+	}
+	a, b := WelchT(xs, ys), WelchT(ys, xs)
+	if !almostEq(a.T, -b.T, 1e-12) || !almostEq(a.P, b.P, 1e-12) {
+		t.Errorf("not antisymmetric: %+v vs %+v", a, b)
+	}
+}
+
+func TestStudentTTwoSidedPKnownValues(t *testing.T) {
+	// t distribution with large df approaches the normal.
+	if p := StudentTTwoSidedP(1.96, 1e6); !almostEq(p, 0.05, 1e-3) {
+		t.Errorf("large-df p = %v, want ~0.05", p)
+	}
+	// df=1 (Cauchy): P(|T| >= 1) = 0.5.
+	if p := StudentTTwoSidedP(1, 1); !almostEq(p, 0.5, 1e-9) {
+		t.Errorf("Cauchy p = %v, want 0.5", p)
+	}
+	// df=2: P(|T| >= 4.303) = 0.05.
+	if p := StudentTTwoSidedP(4.302652729911275, 2); !almostEq(p, 0.05, 1e-6) {
+		t.Errorf("df=2 p = %v, want 0.05", p)
+	}
+	if p := StudentTTwoSidedP(0, 5); !almostEq(p, 1, 1e-12) {
+		t.Errorf("t=0 p = %v, want 1", p)
+	}
+	if p := StudentTTwoSidedP(math.Inf(1), 5); p != 0 {
+		t.Errorf("t=Inf p = %v", p)
+	}
+	if !math.IsNaN(StudentTTwoSidedP(1, 0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestWelchTFalsePositiveRate(t *testing.T) {
+	rng := NewRNG(13)
+	trials, sig := 400, 0
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 30)
+		ys := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		for i := range ys {
+			ys[i] = 3 * rng.NormFloat64() // unequal variances on purpose
+		}
+		if WelchT(xs, ys).P < 0.05 {
+			sig++
+		}
+	}
+	rate := float64(sig) / float64(trials)
+	if rate > 0.095 {
+		t.Errorf("null rejection rate %v at alpha=0.05", rate)
+	}
+}

@@ -1,0 +1,226 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Join computes the inner equi-join of two tables on int64 key columns,
+// using a hash join: the right table is built into a hash index, the left
+// table probes it. The result contains all left columns followed by all
+// right columns except the right key; right columns whose names collide with
+// a left column are prefixed with "right_".
+//
+// Rows with duplicate keys on the right produce one output row per match
+// (standard SQL semantics).
+func Join(left *Table, leftKey string, right *Table, rightKey string) (*Table, error) {
+	lk := left.schema.ColumnIndex(leftKey)
+	if lk < 0 || left.schema[lk].Type != Int64 {
+		return nil, fmt.Errorf("table: join key %q must be an int64 column of the left table", leftKey)
+	}
+	rk := right.schema.ColumnIndex(rightKey)
+	if rk < 0 || right.schema[rk].Type != Int64 {
+		return nil, fmt.Errorf("table: join key %q must be an int64 column of the right table", rightKey)
+	}
+
+	// Output schema: left columns, then right columns minus the key.
+	schema := append(Schema(nil), left.schema...)
+	rightCols := make([]int, 0, len(right.schema)-1)
+	taken := make(map[string]bool, len(schema))
+	for _, f := range schema {
+		taken[f.Name] = true
+	}
+	for i, f := range right.schema {
+		if i == rk {
+			continue
+		}
+		name := f.Name
+		if taken[name] {
+			name = "right_" + name
+			if taken[name] {
+				return nil, fmt.Errorf("table: join column collision on %q", f.Name)
+			}
+		}
+		taken[name] = true
+		schema = append(schema, Field{Name: name, Type: f.Type})
+		rightCols = append(rightCols, i)
+	}
+	out := New(schema)
+
+	// Build side: key -> row indices.
+	build := make(map[int64][]int, right.rows)
+	rkeys := right.cols[rk].ints
+	for r := 0; r < right.rows; r++ {
+		build[rkeys[r]] = append(build[rkeys[r]], r)
+	}
+
+	// Probe side.
+	lkeys := left.cols[lk].ints
+	for lr := 0; lr < left.rows; lr++ {
+		matches, ok := build[lkeys[lr]]
+		if !ok {
+			continue
+		}
+		for _, rr := range matches {
+			// Left columns.
+			for c := range left.schema {
+				out.copyCell(c, left, c, lr)
+			}
+			// Right columns (minus key).
+			for oi, rc := range rightCols {
+				out.copyCell(len(left.schema)+oi, right, rc, rr)
+			}
+			out.rows++
+		}
+	}
+	return out, nil
+}
+
+// copyCell appends the value at (src, srcCol, srcRow) to column dstCol of t.
+// Schemas must line up by construction.
+func (t *Table) copyCell(dstCol int, src *Table, srcCol, srcRow int) {
+	switch t.schema[dstCol].Type {
+	case Int64:
+		t.cols[dstCol].ints = append(t.cols[dstCol].ints, src.cols[srcCol].ints[srcRow])
+	case Float64:
+		t.cols[dstCol].floats = append(t.cols[dstCol].floats, src.cols[srcCol].floats[srcRow])
+	case String:
+		t.cols[dstCol].strings = append(t.cols[dstCol].strings, src.cols[srcCol].strings[srcRow])
+	case Bool:
+		t.cols[dstCol].bools = append(t.cols[dstCol].bools, src.cols[srcCol].bools[srcRow])
+	}
+}
+
+// AggFunc enumerates the aggregate functions of Aggregate.
+type AggFunc int
+
+// Supported aggregates over float64 columns (Count ignores its column).
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Aggregation names one output aggregate: Func applied to the float64 column
+// Col (ignored for Count), emitted as output column As.
+type Aggregation struct {
+	Func AggFunc
+	Col  string
+	As   string
+}
+
+// GroupBy groups rows by an int64 key column and computes the requested
+// aggregates per group. The result has the key column first (sorted
+// ascending) followed by one float64 column per aggregation.
+func (t *Table) GroupBy(keyCol string, aggs ...Aggregation) (*Table, error) {
+	ki := t.schema.ColumnIndex(keyCol)
+	if ki < 0 || t.schema[ki].Type != Int64 {
+		return nil, fmt.Errorf("table: GroupBy key %q must be an int64 column", keyCol)
+	}
+	type state struct {
+		count int
+		sums  []float64
+		mins  []float64
+		maxs  []float64
+	}
+	valCols := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Func == Count {
+			valCols[i] = -1
+			continue
+		}
+		ci := t.schema.ColumnIndex(a.Col)
+		if ci < 0 || t.schema[ci].Type != Float64 {
+			return nil, fmt.Errorf("table: aggregate column %q must be a float64 column", a.Col)
+		}
+		valCols[i] = ci
+	}
+
+	groups := make(map[int64]*state)
+	var keyOrder []int64
+	keys := t.cols[ki].ints
+	for r := 0; r < t.rows; r++ {
+		st, ok := groups[keys[r]]
+		if !ok {
+			st = &state{
+				sums: make([]float64, len(aggs)),
+				mins: make([]float64, len(aggs)),
+				maxs: make([]float64, len(aggs)),
+			}
+			for i := range aggs {
+				st.mins[i] = math.Inf(1)
+				st.maxs[i] = math.Inf(-1)
+			}
+			groups[keys[r]] = st
+			keyOrder = append(keyOrder, keys[r])
+		}
+		st.count++
+		for i, ci := range valCols {
+			if ci < 0 {
+				continue
+			}
+			v := t.cols[ci].floats[r]
+			st.sums[i] += v
+			if v < st.mins[i] {
+				st.mins[i] = v
+			}
+			if v > st.maxs[i] {
+				st.maxs[i] = v
+			}
+		}
+	}
+	sortInt64s(keyOrder)
+
+	schema := Schema{{Name: keyCol, Type: Int64}}
+	for _, a := range aggs {
+		schema = append(schema, Field{Name: a.As, Type: Float64})
+	}
+	out := New(schema)
+	for _, k := range keyOrder {
+		st := groups[k]
+		out.cols[0].ints = append(out.cols[0].ints, k)
+		for i, a := range aggs {
+			var v float64
+			switch a.Func {
+			case Count:
+				v = float64(st.count)
+			case Sum:
+				v = st.sums[i]
+			case Avg:
+				v = st.sums[i] / float64(st.count)
+			case Min:
+				v = st.mins[i]
+			case Max:
+				v = st.maxs[i]
+			}
+			out.cols[1+i].floats = append(out.cols[1+i].floats, v)
+		}
+		out.rows++
+	}
+	return out, nil
+}
+
+func sortInt64s(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

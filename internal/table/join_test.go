@@ -1,0 +1,223 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+func leftTable(t *testing.T) *Table {
+	t.Helper()
+	tb := New(Schema{
+		{Name: "app_id", Type: Int64},
+		{Name: "tract", Type: Int64},
+		{Name: "income", Type: Float64},
+	})
+	rows := [][]any{
+		{int64(1), int64(10), 50000.0},
+		{int64(2), int64(20), 60000.0},
+		{int64(3), int64(10), 55000.0},
+		{int64(4), int64(99), 70000.0}, // no census match
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func rightTable(t *testing.T) *Table {
+	t.Helper()
+	tb := New(Schema{
+		{Name: "tract_id", Type: Int64},
+		{Name: "minority_share", Type: Float64},
+		{Name: "metro", Type: String},
+	})
+	rows := [][]any{
+		{int64(10), 0.8, "Detroit"},
+		{int64(20), 0.2, "Tampa"},
+		{int64(30), 0.5, "Chicago"},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestJoinBasic(t *testing.T) {
+	out, err := Join(leftTable(t), "tract", rightTable(t), "tract_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3 (row with tract 99 dropped)", out.NumRows())
+	}
+	if out.NumCols() != 5 {
+		t.Fatalf("cols = %d, want 5", out.NumCols())
+	}
+	// Row order follows the probe (left) side.
+	ids := out.Int64s("app_id")
+	metros := out.Strings("metro")
+	shares := out.Floats("minority_share")
+	want := []struct {
+		id    int64
+		metro string
+		share float64
+	}{
+		{1, "Detroit", 0.8},
+		{2, "Tampa", 0.2},
+		{3, "Detroit", 0.8},
+	}
+	for i, w := range want {
+		if ids[i] != w.id || metros[i] != w.metro || shares[i] != w.share {
+			t.Errorf("row %d = (%d, %s, %v), want (%d, %s, %v)",
+				i, ids[i], metros[i], shares[i], w.id, w.metro, w.share)
+		}
+	}
+}
+
+func TestJoinDuplicateRightKeys(t *testing.T) {
+	right := New(Schema{
+		{Name: "k", Type: Int64},
+		{Name: "v", Type: String},
+	})
+	for _, v := range []string{"a", "b"} {
+		if err := right.AppendRow(int64(10), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left := New(Schema{{Name: "k", Type: Int64}})
+	if err := left.AppendRow(int64(10)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Join(left, "k", right, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Errorf("duplicate keys should fan out: %d rows", out.NumRows())
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	left := New(Schema{{Name: "k", Type: Int64}, {Name: "v", Type: Float64}})
+	_ = left.AppendRow(int64(1), 2.0)
+	right := New(Schema{{Name: "k2", Type: Int64}, {Name: "v", Type: String}})
+	_ = right.AppendRow(int64(1), "x")
+	out, err := Join(left, "k", right, "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().ColumnIndex("right_v") < 0 {
+		t.Errorf("colliding right column should be prefixed: %v", out.Schema())
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	l, r := leftTable(t), rightTable(t)
+	if _, err := Join(l, "income", r, "tract_id"); err == nil {
+		t.Error("non-int64 left key should error")
+	}
+	if _, err := Join(l, "nope", r, "tract_id"); err == nil {
+		t.Error("missing left key should error")
+	}
+	if _, err := Join(l, "tract", r, "metro"); err == nil {
+		t.Error("non-int64 right key should error")
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tb := leftTable(t)
+	out, err := tb.GroupBy("tract",
+		Aggregation{Func: Count, As: "n"},
+		Aggregation{Func: Sum, Col: "income", As: "total"},
+		Aggregation{Func: Avg, Col: "income", As: "mean"},
+		Aggregation{Func: Min, Col: "income", As: "lo"},
+		Aggregation{Func: Max, Col: "income", As: "hi"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Fatalf("groups = %d, want 3", out.NumRows())
+	}
+	// Keys ascending: 10, 20, 99.
+	keys := out.Int64s("tract")
+	if keys[0] != 10 || keys[1] != 20 || keys[2] != 99 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if n := out.Floats("n")[0]; n != 2 {
+		t.Errorf("count(10) = %v", n)
+	}
+	if v := out.Floats("total")[0]; v != 105000 {
+		t.Errorf("sum(10) = %v", v)
+	}
+	if v := out.Floats("mean")[0]; v != 52500 {
+		t.Errorf("avg(10) = %v", v)
+	}
+	if lo, hi := out.Floats("lo")[0], out.Floats("hi")[0]; lo != 50000 || hi != 55000 {
+		t.Errorf("min/max(10) = %v/%v", lo, hi)
+	}
+	if v := out.Floats("mean")[2]; v != 70000 {
+		t.Errorf("avg(99) = %v", v)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	tb := leftTable(t)
+	if _, err := tb.GroupBy("income"); err == nil {
+		t.Error("non-int64 key should error")
+	}
+	if _, err := tb.GroupBy("tract", Aggregation{Func: Sum, Col: "app_id", As: "x"}); err == nil {
+		t.Error("non-float aggregate column should error")
+	}
+	if _, err := tb.GroupBy("tract", Aggregation{Func: Sum, Col: "nope", As: "x"}); err == nil {
+		t.Error("missing aggregate column should error")
+	}
+}
+
+func TestGroupByEmptyTable(t *testing.T) {
+	tb := New(Schema{{Name: "k", Type: Int64}, {Name: "v", Type: Float64}})
+	out, err := tb.GroupBy("k", Aggregation{Func: Avg, Col: "v", As: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Errorf("empty input should give empty output: %d rows", out.NumRows())
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	for f, want := range map[AggFunc]string{
+		Count: "count", Sum: "sum", Avg: "avg", Min: "min", Max: "max",
+		AggFunc(9): "AggFunc(9)",
+	} {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), got, want)
+		}
+	}
+}
+
+func TestGroupByMinMaxWithNegatives(t *testing.T) {
+	tb := New(Schema{{Name: "k", Type: Int64}, {Name: "v", Type: Float64}})
+	for _, v := range []float64{-5, -2, -9} {
+		if err := tb.AppendRow(int64(1), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := tb.GroupBy("k",
+		Aggregation{Func: Min, Col: "v", As: "lo"},
+		Aggregation{Func: Max, Col: "v", As: "hi"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo := out.Floats("lo")[0]; lo != -9 {
+		t.Errorf("min = %v", lo)
+	}
+	if hi := out.Floats("hi")[0]; hi != -2 || math.IsInf(hi, 0) {
+		t.Errorf("max = %v", hi)
+	}
+}

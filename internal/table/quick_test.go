@@ -1,0 +1,137 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any table content survives a CSV round trip bit-for-bit
+// (strings including separators/quotes, extreme floats, negative ints,
+// booleans).
+func TestCSVRoundTripPropertyQuick(t *testing.T) {
+	f := func(ints []int64, floats []float64, strs []string, bools []bool) bool {
+		n := len(ints)
+		for _, l := range []int{len(floats), len(strs), len(bools)} {
+			if l < n {
+				n = l
+			}
+		}
+		tb := New(Schema{
+			{Name: "i", Type: Int64},
+			{Name: "f", Type: Float64},
+			{Name: "s", Type: String},
+			{Name: "b", Type: Bool},
+		})
+		for r := 0; r < n; r++ {
+			fv := floats[r]
+			if math.IsNaN(fv) {
+				fv = 0 // NaN never round-trips by ==; excluded by contract
+			}
+			sv := strings.ToValidUTF8(strs[r], "")
+			sv = strings.ReplaceAll(sv, "\r", "") // CSV normalizes bare CR
+			if err := tb.AppendRow(ints[r], fv, sv, bools[r]); err != nil {
+				return false
+			}
+		}
+		var buf strings.Builder
+		if err := tb.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()), tb.Schema())
+		if err != nil {
+			return false
+		}
+		if back.NumRows() != tb.NumRows() {
+			return false
+		}
+		for r := 0; r < tb.NumRows(); r++ {
+			for c := 0; c < tb.NumCols(); c++ {
+				if tb.Value(r, c) != back.Value(r, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Filter(p) followed by Filter(q) equals Filter(p && q).
+func TestFilterCompositionQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		tb := New(Schema{{Name: "v", Type: Float64}})
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			if err := tb.AppendRow(v); err != nil {
+				return false
+			}
+		}
+		col := tb.Floats("v")
+		p := func(r int) bool { return col[r] > 0 }
+		q := func(r int) bool { return math.Abs(col[r]) < 1e6 }
+
+		first := tb.Filter(p)
+		fcol := first.Floats("v")
+		composed := first.Filter(func(r int) bool { return math.Abs(fcol[r]) < 1e6 })
+
+		direct := tb.Filter(func(r int) bool { return p(r) && q(r) })
+		if composed.NumRows() != direct.NumRows() {
+			return false
+		}
+		for r := 0; r < direct.NumRows(); r++ {
+			if composed.Floats("v")[r] != direct.Floats("v")[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GroupBy conserves counts — the sum of per-group counts equals
+// the table's row count, and Sum aggregates add up to the column total.
+func TestGroupByConservationQuick(t *testing.T) {
+	f := func(keys []uint8, vals []float64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		tb := New(Schema{{Name: "k", Type: Int64}, {Name: "v", Type: Float64}})
+		var total float64
+		for r := 0; r < n; r++ {
+			v := vals[r]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			v = math.Mod(v, 1e6)
+			total += v
+			if err := tb.AppendRow(int64(keys[r]%8), v); err != nil {
+				return false
+			}
+		}
+		out, err := tb.GroupBy("k",
+			Aggregation{Func: Count, As: "n"},
+			Aggregation{Func: Sum, Col: "v", As: "s"},
+		)
+		if err != nil {
+			return false
+		}
+		var gotRows, gotSum float64
+		for r := 0; r < out.NumRows(); r++ {
+			gotRows += out.Floats("n")[r]
+			gotSum += out.Floats("s")[r]
+		}
+		return gotRows == float64(n) && math.Abs(gotSum-total) <= 1e-6*(1+math.Abs(total))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package trend audits a decision-maker across reporting periods and tests
+// whether its measured spatial unfairness is moving: the longitudinal view a
+// regulator needs once a single-period audit (the paper's setting) has
+// established the methodology. HMDA data is filed annually, so the natural
+// period is a year.
+//
+// Each period is audited independently with the same configuration; the
+// per-period unfair-pair counts are then tested for monotone trend with the
+// Mann–Kendall test and summarized with a Theil–Sen slope.
+package trend
+
+import (
+	"fmt"
+
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// Period is one reporting period's data.
+type Period struct {
+	Label        string // e.g. "2021"
+	Observations []partition.Observation
+}
+
+// PeriodResult is one period's audit summary.
+type PeriodResult struct {
+	Label         string
+	UnfairPairs   int
+	UnfairRegions int
+	// AffectedShare is the fraction of the period's individuals living in a
+	// disadvantaged region of some unfair pair — the human scale of the
+	// finding.
+	AffectedShare float64
+	MaxTau        float64
+}
+
+// Report is the longitudinal result.
+type Report struct {
+	Periods []PeriodResult
+	// Trend is the Mann–Kendall test over the per-period unfair-pair
+	// counts: Trend.P small and Trend.Slope negative means the measured
+	// unfairness is credibly declining.
+	Trend stats.MannKendallResult
+}
+
+// Analyze audits each period on the same grid and configuration and tests
+// the unfair-pair series for trend. At least one period is required.
+func Analyze(grid geo.Grid, periods []Period, cfg core.Config, popts partition.Options) (*Report, error) {
+	if len(periods) == 0 {
+		return nil, fmt.Errorf("trend: no periods")
+	}
+	rep := &Report{}
+	series := make([]float64, 0, len(periods))
+	for _, period := range periods {
+		p := partition.ByGrid(grid, period.Observations, popts)
+		res, err := core.Audit(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trend: period %q: %w", period.Label, err)
+		}
+		pr := PeriodResult{
+			Label:         period.Label,
+			UnfairPairs:   len(res.Pairs),
+			UnfairRegions: len(res.UnfairRegionSet()),
+		}
+		if len(res.Pairs) > 0 {
+			pr.MaxTau = res.Pairs[0].Tau
+		}
+		disadv := make(map[int]bool)
+		for _, pair := range res.Pairs {
+			disadv[pair.I] = true
+		}
+		affected := 0
+		for idx := range disadv {
+			affected += p.Regions[idx].N
+		}
+		if p.TotalN > 0 {
+			pr.AffectedShare = float64(affected) / float64(p.TotalN)
+		}
+		rep.Periods = append(rep.Periods, pr)
+		series = append(series, float64(pr.UnfairPairs))
+	}
+	rep.Trend = stats.MannKendall(series)
+	return rep, nil
+}
+
+// Improving reports whether the trend is a statistically credible decline at
+// the given significance level.
+func (r *Report) Improving(alpha float64) bool {
+	return r.Trend.P <= alpha && r.Trend.Slope < 0
+}
+
+// Worsening reports whether the trend is a statistically credible increase
+// at the given significance level.
+func (r *Report) Worsening(alpha float64) bool {
+	return r.Trend.P <= alpha && r.Trend.Slope > 0
+}

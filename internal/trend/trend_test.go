@@ -1,0 +1,99 @@
+package trend
+
+import (
+	"fmt"
+	"testing"
+
+	"lcsf/internal/census"
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/hmda"
+	"lcsf/internal/partition"
+)
+
+// makePeriods generates one lender across periods with the given bias path.
+func makePeriods(t testing.TB, model *census.Model, biases []float64) []Period {
+	t.Helper()
+	periods := make([]Period, len(biases))
+	for i, b := range biases {
+		recs := hmda.Generate(model, hmda.Lender{
+			Name:       "Trend Bank",
+			Decisioned: 60000,
+			Bias:       b,
+			Seed:       uint64(900 + i),
+		})
+		periods[i] = Period{
+			Label:        fmt.Sprintf("year-%d", 2019+i),
+			Observations: hmda.ToObservations(recs),
+		}
+	}
+	return periods
+}
+
+func testGrid() geo.Grid { return geo.NewGrid(geo.ContinentalUS, 40, 20) }
+
+func TestAnalyzeDetectsDecline(t *testing.T) {
+	model := census.Generate(census.Config{NumTracts: 2000, Seed: 42})
+	periods := makePeriods(t, model, []float64{0.20, 0.16, 0.12, 0.08, 0.04, 0.01})
+	rep, err := Analyze(testGrid(), periods, core.DefaultConfig(), partition.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Periods) != 6 {
+		t.Fatalf("periods = %d", len(rep.Periods))
+	}
+	first, last := rep.Periods[0], rep.Periods[len(rep.Periods)-1]
+	if first.UnfairPairs <= last.UnfairPairs {
+		t.Errorf("declining bias should reduce findings: %d -> %d",
+			first.UnfairPairs, last.UnfairPairs)
+	}
+	if !rep.Improving(0.05) {
+		t.Errorf("trend should be a credible decline: %+v", rep.Trend)
+	}
+	if rep.Worsening(0.05) {
+		t.Error("a declining series cannot be worsening")
+	}
+	if first.AffectedShare <= 0 || first.AffectedShare > 1 {
+		t.Errorf("affected share = %v", first.AffectedShare)
+	}
+	if first.MaxTau <= 0 {
+		t.Errorf("max tau = %v", first.MaxTau)
+	}
+}
+
+func TestAnalyzeStableBiasNoTrend(t *testing.T) {
+	model := census.Generate(census.Config{NumTracts: 2000, Seed: 42})
+	periods := makePeriods(t, model, []float64{0.12, 0.12, 0.12, 0.12, 0.12})
+	rep, err := Analyze(testGrid(), periods, core.DefaultConfig(), partition.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Improving(0.05) || rep.Worsening(0.05) {
+		t.Errorf("stable bias should show no credible trend: %+v", rep.Trend)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(testGrid(), nil, core.DefaultConfig(), partition.Options{}); err == nil {
+		t.Error("no periods should error")
+	}
+	model := census.Generate(census.Config{NumTracts: 500, Seed: 1})
+	periods := makePeriods(t, model, []float64{0.1})
+	if _, err := Analyze(testGrid(), periods, core.Config{}, partition.Options{}); err == nil {
+		t.Error("invalid audit config should propagate")
+	}
+}
+
+func TestAnalyzeSinglePeriod(t *testing.T) {
+	model := census.Generate(census.Config{NumTracts: 1000, Seed: 5})
+	periods := makePeriods(t, model, []float64{0.15})
+	rep, err := Analyze(testGrid(), periods, core.DefaultConfig(), partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single period cannot carry a trend: Mann-Kendall returns NaN and
+	// both verdicts are false.
+	if rep.Improving(0.05) || rep.Worsening(0.05) {
+		t.Error("one period cannot trend")
+	}
+}

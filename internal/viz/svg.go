@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"lcsf/internal/geo"
+)
+
+// SVG rendering of grid maps: the paper's figures are grid overlays on the
+// United States; SVGGridMap produces a standalone .svg with one rectangle
+// per highlighted cell, suitable for embedding in reports or opening in a
+// browser.
+
+// SVGCell is one highlighted cell.
+type SVGCell struct {
+	Index int    // cell index within the grid
+	Fill  string // CSS color, e.g. "#d7301f"
+	Title string // hover tooltip (optional)
+}
+
+// DefaultPalette is a categorical palette used for pair/rank coloring.
+var DefaultPalette = []string{
+	"#d7301f", "#2b8cbe", "#31a354", "#756bb1", "#e6550d",
+	"#c51b8a", "#636363", "#fec44f", "#43a2ca", "#a1d99b",
+}
+
+// PaletteColor returns the i-th palette color, cycling.
+func PaletteColor(i int) string {
+	return DefaultPalette[((i%len(DefaultPalette))+len(DefaultPalette))%len(DefaultPalette)]
+}
+
+// SVGGridMap renders the grid with the given cells highlighted. widthPx
+// fixes the output width; height follows the grid's aspect ratio. The y axis
+// is flipped so north is up. The background shows the grid bounds with a
+// light cell lattice (drawn as a pattern-free frame to keep files small).
+func SVGGridMap(g geo.Grid, cells []SVGCell, widthPx int) string {
+	if widthPx <= 0 {
+		widthPx = 800
+	}
+	aspect := g.Bounds.Height() / g.Bounds.Width()
+	heightPx := int(float64(widthPx) * aspect)
+	if heightPx < 1 {
+		heightPx = 1
+	}
+	sx := float64(widthPx) / g.Bounds.Width()
+	sy := float64(heightPx) / g.Bounds.Height()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		widthPx, heightPx, widthPx, heightPx)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="#f7f7f7" stroke="#999"/>`,
+		widthPx, heightPx)
+	b.WriteByte('\n')
+
+	for _, c := range cells {
+		if c.Index < 0 || c.Index >= g.NumCells() {
+			continue
+		}
+		box := g.CellBounds(c.Index)
+		x := (box.Min.X - g.Bounds.Min.X) * sx
+		// SVG y grows downward; flip so the north edge is at the top.
+		y := (g.Bounds.Max.Y - box.Max.Y) * sy
+		w := box.Width() * sx
+		h := box.Height() * sy
+		fill := c.Fill
+		if fill == "" {
+			fill = DefaultPalette[0]
+		}
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.85" stroke="#333" stroke-width="0.5">`,
+			x, y, w, h, fill)
+		if c.Title != "" {
+			fmt.Fprintf(&b, `<title>%s</title>`, escapeXML(c.Title))
+		}
+		b.WriteString(`</rect>`)
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SVGHeat maps a value in [0,1] to a sequential white-to-red fill.
+func SVGHeat(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	// Interpolate #ffffff -> #b30000.
+	r := 255 - int(v*(255-179))
+	gb := 255 - int(v*255)
+	return fmt.Sprintf("#%02x%02x%02x", r, gb, gb)
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;",
+		"<", "&lt;",
+		">", "&gt;",
+		`"`, "&quot;",
+		"'", "&apos;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"lcsf/internal/geo"
+)
+
+func TestSVGGridMapWellFormed(t *testing.T) {
+	g := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(10, 5)), 10, 5)
+	cells := []SVGCell{
+		{Index: 0, Fill: "#ff0000", Title: `cell "0" <first>`},
+		{Index: 49, Fill: "#0000ff"},
+		{Index: 999}, // out of range, skipped
+	}
+	svg := SVGGridMap(g, cells, 400)
+
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	rects := 0
+	titles := 0
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("invalid XML: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			switch se.Name.Local {
+			case "rect":
+				rects++
+			case "title":
+				titles++
+			}
+		}
+	}
+	// Background + 2 valid cells.
+	if rects != 3 {
+		t.Errorf("rects = %d, want 3", rects)
+	}
+	if titles != 1 {
+		t.Errorf("titles = %d, want 1", titles)
+	}
+	if !strings.Contains(svg, `width="400"`) {
+		t.Error("width attribute missing")
+	}
+	// Aspect ratio 2:1 -> height 200.
+	if !strings.Contains(svg, `height="200"`) {
+		t.Error("height should follow the grid aspect ratio")
+	}
+}
+
+func TestSVGGridMapNorthUp(t *testing.T) {
+	// Cell 0 is the south-west cell; its rectangle must sit at the BOTTOM of
+	// the image (y near height - cellHeight).
+	g := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(2, 2)), 2, 2)
+	svg := SVGGridMap(g, []SVGCell{{Index: 0, Fill: "#000000"}}, 100)
+	if !strings.Contains(svg, `<rect x="0.00" y="50.00"`) {
+		t.Errorf("south-west cell should render at the bottom half:\n%s", svg)
+	}
+}
+
+func TestSVGGridMapDefaults(t *testing.T) {
+	g := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(1, 1)), 1, 1)
+	svg := SVGGridMap(g, []SVGCell{{Index: 0}}, 0)
+	if !strings.Contains(svg, `width="800"`) {
+		t.Error("zero width should default to 800")
+	}
+	if !strings.Contains(svg, DefaultPalette[0]) {
+		t.Error("empty fill should use the first palette color")
+	}
+}
+
+func TestSVGHeatRamp(t *testing.T) {
+	if got := SVGHeat(0); got != "#ffffff" {
+		t.Errorf("heat(0) = %s", got)
+	}
+	if got := SVGHeat(1); got != "#b30000" {
+		t.Errorf("heat(1) = %s", got)
+	}
+	if got := SVGHeat(-5); got != "#ffffff" {
+		t.Errorf("heat(-5) = %s", got)
+	}
+	if got := SVGHeat(99); got != "#b30000" {
+		t.Errorf("heat(99) = %s", got)
+	}
+	mid := SVGHeat(0.5)
+	if mid == "#ffffff" || mid == "#b30000" {
+		t.Errorf("heat(0.5) = %s, want an intermediate color", mid)
+	}
+}
+
+func TestPaletteColorCycles(t *testing.T) {
+	if PaletteColor(0) != DefaultPalette[0] {
+		t.Error("first color wrong")
+	}
+	if PaletteColor(len(DefaultPalette)) != DefaultPalette[0] {
+		t.Error("palette should cycle")
+	}
+	if PaletteColor(-1) == "" {
+		t.Error("negative index should still return a color")
+	}
+}

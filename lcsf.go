@@ -1,0 +1,162 @@
+// Package lcsf is the public API of the legally-compliant spatial fairness
+// (LC-SF) framework, a reproduction of "Legally-Compliant Spatial Fairness
+// Framework: Advancing Beyond Spatial Fairness" (EDBT 2025).
+//
+// # What it does
+//
+// Given individual-level observations — a location, a binary model outcome,
+// protected-group membership, and a non-protected attribute such as income —
+// the framework partitions space into regions and flags pairs of regions
+// that are similar in the non-protected attribute, dissimilar in the
+// protected attribute, and yet receive significantly different outcomes. A
+// flagged pair is evidence of spatial bias that cannot be explained by the
+// legitimate attribute: two neighborhoods that differ mainly in race are
+// being treated differently.
+//
+// # Quick start
+//
+//	obs := []lcsf.Observation{ ... }
+//	part := lcsf.PartitionGrid(lcsf.ContinentalUS, 100, 50, obs, lcsf.PartitionOptions{})
+//	result, err := lcsf.Audit(part, lcsf.DefaultConfig())
+//	for _, pair := range result.Top(5) {
+//	    fmt.Println(pair.I, pair.J, pair.RateI, pair.RateJ, pair.P)
+//	}
+//
+// See examples/ for runnable end-to-end programs, including the paper's
+// mortgage-lending and healthy-food-access use cases on synthetic data, and
+// internal/experiments for the code that regenerates every table and figure
+// of the paper.
+package lcsf
+
+import (
+	"context"
+
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+)
+
+// Point is a geographic location: X = longitude, Y = latitude, degrees.
+type Point = geo.Point
+
+// BBox is an axis-aligned bounding box over geographic coordinates.
+type BBox = geo.BBox
+
+// Grid is a regular Cols x Rows partitioning lattice over a bounding box.
+type Grid = geo.Grid
+
+// ContinentalUS is the bounding box used as the region R throughout the
+// paper's experiments.
+var ContinentalUS = geo.ContinentalUS
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// NewBBox returns the bounding box spanning two corner points.
+func NewBBox(a, b Point) BBox { return geo.NewBBox(a, b) }
+
+// NewGrid returns a cols x rows grid over bounds.
+func NewGrid(bounds BBox, cols, rows int) Grid { return geo.NewGrid(bounds, cols, rows) }
+
+// Observation is one individual-level record to audit: where the individual
+// is, the model's outcome, protected-group membership, and the non-protected
+// attribute value (income in the paper's experiments).
+type Observation = partition.Observation
+
+// Region holds the aggregates of one spatial partition.
+type Region = partition.Region
+
+// Partitioning is a set of regions with aggregates, produced by
+// PartitionGrid or PartitionByAssign.
+type Partitioning = partition.Partitioning
+
+// PartitionOptions tunes aggregation (income-sample cap, seed).
+type PartitionOptions = partition.Options
+
+// PartitionGrid aggregates observations into the cells of a cols x rows grid
+// over bounds.
+func PartitionGrid(bounds BBox, cols, rows int, obs []Observation, opts PartitionOptions) *Partitioning {
+	return partition.ByGrid(geo.NewGrid(bounds, cols, rows), obs, opts)
+}
+
+// PartitionByAssign aggregates observations into numCells regions using an
+// arbitrary assignment function (negative return drops the observation).
+// This supports non-grid and adversarially redrawn partitionings.
+func PartitionByAssign(numCells int, assign func(Point) int, obs []Observation, opts PartitionOptions) *Partitioning {
+	return partition.ByAssign(numCells, assign, obs, opts)
+}
+
+// Config parameterizes an audit; start from DefaultConfig or EthicalConfig.
+type Config = core.Config
+
+// Result is the outcome of an audit: the spatially unfair pairs, most unfair
+// first.
+type Result = core.Result
+
+// UnfairPair is one flagged pair of regions.
+type UnfairPair = core.UnfairPair
+
+// Cluster is one connected component of the unfair-pair graph — regions
+// linked through shared unfair pairs (see Result.Clusters).
+type Cluster = core.Cluster
+
+// PairMetric is the plug-in interface for similarity and dissimilarity
+// metrics (Definition 3.3's Sim and Diss).
+type PairMetric = core.PairMetric
+
+// Metric implementations available out of the box.
+type (
+	// MannWhitneySimilarity gates income similarity with the Mann–Whitney U
+	// test (the paper's default similarity metric).
+	MannWhitneySimilarity = core.MannWhitneySimilarity
+	// KolmogorovSmirnovSimilarity gates income similarity with the
+	// two-sample KS test — sensitive to shape, not only location.
+	KolmogorovSmirnovSimilarity = core.KolmogorovSmirnovSimilarity
+	// WelchTSimilarity gates income similarity with Welch's
+	// unequal-variance t-test.
+	WelchTSimilarity = core.WelchTSimilarity
+	// MeanGapSimilarity gates income similarity on the relative gap of
+	// means.
+	MeanGapSimilarity = core.MeanGapSimilarity
+	// ZScoreDissimilarity gates composition dissimilarity with the
+	// two-proportion z-test (the paper's default dissimilarity metric).
+	ZScoreDissimilarity = core.ZScoreDissimilarity
+	// StatParityDissimilarity gates composition dissimilarity on the
+	// absolute share gap (Section 5.3's alternative metric).
+	StatParityDissimilarity = core.StatParityDissimilarity
+	// DisparateImpactDissimilarity gates composition dissimilarity on the
+	// share ratio with the 80% rule.
+	DisparateImpactDissimilarity = core.DisparateImpactDissimilarity
+)
+
+// DefaultConfig returns the paper's mortgage-experiment configuration:
+// Mann–Whitney similarity and z-score dissimilarity at the strict 0.001
+// thresholds.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// EthicalConfig returns the relaxed configuration of the paper's ethical-
+// spatial-fairness use case (healthy-food access).
+func EthicalConfig() Config { return core.EthicalConfig() }
+
+// Audit runs the LC-SF audit of Section 3.2 over a partitioning: it
+// enumerates candidate pairs through the similarity and dissimilarity gates
+// and tests each candidate's outcomes with a Monte-Carlo-calibrated
+// likelihood-ratio test.
+func Audit(p *Partitioning, cfg Config) (*Result, error) { return core.Audit(p, cfg) }
+
+// AuditContext is Audit with cancellation for long-running audits.
+func AuditContext(ctx context.Context, p *Partitioning, cfg Config) (*Result, error) {
+	return core.AuditContext(ctx, p, cfg)
+}
+
+// GridSpec names a grid resolution in the paper's ColsxRows notation.
+type GridSpec = core.GridSpec
+
+// SweepRow is one row of a multi-resolution sweep.
+type SweepRow = core.SweepRow
+
+// Sweep audits the same observations at each grid resolution, reproducing
+// the paper's "Different Partitionings" robustness experiments.
+func Sweep(bounds BBox, obs []Observation, grids []GridSpec, cfg Config, opts PartitionOptions) ([]SweepRow, error) {
+	return core.Sweep(bounds, obs, grids, cfg, opts)
+}

@@ -1,0 +1,150 @@
+package lcsf_test
+
+import (
+	"testing"
+
+	"lcsf"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way the
+// README's quick start does: generate data, partition, audit, inspect.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 2000, Seed: 11})
+	recs := lcsf.GenerateMortgages(model, lcsf.Lender{
+		Name: "Test Bank", Decisioned: 60000, Bias: 0.15, Seed: 12,
+	})
+	obs := lcsf.MortgageObservations(recs)
+	if len(obs) != 60000 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+
+	part := lcsf.PartitionGrid(lcsf.ContinentalUS, 40, 20, obs, lcsf.PartitionOptions{Seed: 13})
+	res, err := lcsf.Audit(part, lcsf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("planted bias should surface unfair pairs")
+	}
+	top := res.Top(3)
+	for _, pr := range top {
+		if pr.RateI >= pr.RateJ {
+			t.Error("pairs should be oriented disadvantaged-first")
+		}
+		if pr.P > lcsf.DefaultConfig().Alpha {
+			t.Error("flagged pair above significance level")
+		}
+	}
+}
+
+func TestPublicAPISweepAndCustomPartitioning(t *testing.T) {
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 1500, Seed: 21})
+	places := lcsf.GeneratePlaces(model, lcsf.POIConfig{
+		NumFastFood: 20000, NumGrocery: 8000, Seed: 22,
+	})
+	obs := lcsf.PlaceObservations(model, places, 23)
+
+	rows, err := lcsf.Sweep(lcsf.ContinentalUS, obs,
+		[]lcsf.GridSpec{{Cols: 10, Rows: 10}, {Cols: 20, Rows: 20}},
+		lcsf.EthicalConfig(), lcsf.PartitionOptions{Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("sweep rows = %d", len(rows))
+	}
+
+	// Custom partitioning: split the country at the Mississippi.
+	part := lcsf.PartitionByAssign(2, func(p lcsf.Point) int {
+		if p.X < -90 {
+			return 0
+		}
+		return 1
+	}, obs, lcsf.PartitionOptions{Seed: 25})
+	if part.TotalN != len(obs) {
+		t.Errorf("custom partitioning dropped observations: %d of %d", part.TotalN, len(obs))
+	}
+	if _, err := lcsf.Audit(part, lcsf.EthicalConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIMetricPlugin(t *testing.T) {
+	// Swap the dissimilarity metric the way Section 5.3 does.
+	cfg := lcsf.DefaultConfig()
+	cfg.Dissimilarity = lcsf.StatParityDissimilarity{}
+	cfg.Delta = 0.05
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 1500, Seed: 31})
+	obs := lcsf.MortgageObservations(lcsf.GenerateMortgages(model, lcsf.Lender{
+		Name: "Test Bank", Decisioned: 40000, Bias: 0.15, Seed: 32,
+	}))
+	part := lcsf.PartitionGrid(lcsf.ContinentalUS, 30, 15, obs, lcsf.PartitionOptions{Seed: 33})
+	res, err := lcsf.Audit(part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Error("statistical-parity gate should also surface the planted bias")
+	}
+}
+
+func TestDefaultLendersExposed(t *testing.T) {
+	if got := len(lcsf.DefaultLenders()); got != 4 {
+		t.Errorf("DefaultLenders = %d, want the paper's 4", got)
+	}
+}
+
+func TestPublicAPIClustersExplainTrend(t *testing.T) {
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 1500, Seed: 41})
+	mk := func(bias float64, seed uint64) []lcsf.Observation {
+		return lcsf.MortgageObservations(lcsf.GenerateMortgages(model, lcsf.Lender{
+			Name: "T", Decisioned: 40000, Bias: bias, Seed: seed,
+		}))
+	}
+	obs := mk(0.18, 50)
+	grid := lcsf.NewGrid(lcsf.ContinentalUS, 30, 15)
+	part := lcsf.PartitionGrid(lcsf.ContinentalUS, 30, 15, obs, lcsf.PartitionOptions{Seed: 51})
+	res, err := lcsf.Audit(part, lcsf.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+
+	clusters := res.Clusters()
+	if len(clusters) == 0 {
+		t.Error("clusters should be exposed through the facade")
+	}
+	e := lcsf.ExplainPair(part, res.Pairs[0], 0)
+	if e.ObservedGap <= 0 {
+		t.Errorf("explanation gap = %v", e.ObservedGap)
+	}
+	doc := lcsf.BuildReport(part, grid, res)
+	if doc.UnfairPairs != len(res.Pairs) {
+		t.Error("report pair count mismatch")
+	}
+
+	trendRep, err := lcsf.AnalyzeTrend(grid, []lcsf.TrendPeriod{
+		{Label: "a", Observations: mk(0.18, 50)},
+		{Label: "b", Observations: mk(0.10, 51)},
+		{Label: "c", Observations: mk(0.03, 52)},
+	}, lcsf.DefaultConfig(), lcsf.PartitionOptions{Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trendRep.Periods) != 3 {
+		t.Errorf("trend periods = %d", len(trendRep.Periods))
+	}
+	if trendRep.Periods[0].UnfairPairs <= trendRep.Periods[2].UnfairPairs {
+		t.Error("declining bias should reduce findings across periods")
+	}
+
+	mrep, err := lcsf.Mitigate(grid, obs, lcsf.DefaultConfig(), lcsf.PartitionOptions{Seed: 51}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrep.Final.Pairs) >= len(res.Pairs) {
+		t.Error("mitigation should reduce unfair pairs")
+	}
+}

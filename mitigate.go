@@ -1,0 +1,39 @@
+package lcsf
+
+import (
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/mitigate"
+	"lcsf/internal/partition"
+)
+
+// Post-processing mitigation on top of the audit: the "enforce corrective
+// measures" use the paper assigns to regulators.
+
+// Adjustment prescribes the correction for one region: how many negative
+// outcomes to flip so its positive rate reaches the rates of the regions it
+// was unfairly compared with.
+type Adjustment = mitigate.Adjustment
+
+// MitigationReport records the rounds of an iterative mitigation and the
+// final audit on the corrected data.
+type MitigationReport = mitigate.Report
+
+// PlanMitigation derives per-region corrections from an audit result.
+func PlanMitigation(p *Partitioning, res *Result) []Adjustment {
+	return mitigate.Plan(p, res)
+}
+
+// ApplyMitigation executes a plan, flipping the prescribed number of
+// negative outcomes per region (chosen deterministically from seed). cellOf
+// must match the partitioning (for grids, Grid.CellIndex). The input is not
+// modified.
+func ApplyMitigation(obs []Observation, cellOf func(Point) (int, bool), plan []Adjustment, seed uint64) []Observation {
+	return mitigate.Apply(obs, cellOf, plan, seed)
+}
+
+// Mitigate alternates audits and pairwise rate equalization on a grid
+// partitioning until the audit comes back clean or maxRounds is reached.
+func Mitigate(grid Grid, obs []Observation, cfg Config, opts PartitionOptions, maxRounds int, seed uint64) (*MitigationReport, error) {
+	return mitigate.Iterate(geo.Grid(grid), obs, core.Config(cfg), partition.Options(opts), maxRounds, seed)
+}

@@ -1,0 +1,33 @@
+package lcsf
+
+import (
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/report"
+)
+
+// Result explanation and report export.
+
+// Explanation decomposes the outcome gap of a pair into the income-explained
+// part and the residual the legitimate attribute cannot account for.
+type Explanation = core.Explanation
+
+// Explain decomposes the outcome gap between two regions via income-bin
+// reweighting; bins <= 0 uses a default.
+func Explain(a, b *Region, bins int) Explanation { return core.Explain(a, b, bins) }
+
+// ExplainPair decomposes the gap of an audited pair within its partitioning,
+// oriented disadvantaged-first.
+func ExplainPair(p *Partitioning, pr UnfairPair, bins int) Explanation {
+	return core.ExplainPair(p, pr, bins)
+}
+
+// ReportDocument is a serializable audit report (JSON, CSV, and Markdown
+// exporters).
+type ReportDocument = report.Document
+
+// BuildReport assembles a report from an audit over a grid partitioning,
+// enriching every pair with coordinates and its income decomposition.
+func BuildReport(p *Partitioning, grid Grid, res *Result) *ReportDocument {
+	return report.Build(p, geo.Grid(grid), res)
+}

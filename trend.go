@@ -1,0 +1,23 @@
+package lcsf
+
+import (
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/trend"
+)
+
+// Longitudinal auditing: the same decision-maker across reporting periods.
+
+// TrendPeriod is one reporting period's observations.
+type TrendPeriod = trend.Period
+
+// TrendReport holds per-period audit summaries and the Mann–Kendall trend
+// over the unfair-pair series.
+type TrendReport = trend.Report
+
+// AnalyzeTrend audits each period on the same grid and configuration and
+// tests the unfair-pair series for monotone trend.
+func AnalyzeTrend(grid Grid, periods []TrendPeriod, cfg Config, opts PartitionOptions) (*TrendReport, error) {
+	return trend.Analyze(geo.Grid(grid), periods, core.Config(cfg), partition.Options(opts))
+}
