@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-verify the concurrent collector and everything that records into it.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/server/...
+
+vet:
+	$(GO) vet ./...
+
+# One pass over every benchmark; use -benchtime/-count via BENCHFLAGS.
+BENCHFLAGS ?= -benchtime 1x
+bench:
+	$(GO) test -run '^$$' -bench . $(BENCHFLAGS) .
+
+check: build vet test race

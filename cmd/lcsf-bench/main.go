@@ -17,7 +17,9 @@ import (
 	"os"
 	"time"
 
+	"lcsf/internal/core"
 	"lcsf/internal/experiments"
+	"lcsf/internal/obs"
 )
 
 func main() {
@@ -25,12 +27,20 @@ func main() {
 	log.SetPrefix("lcsf-bench: ")
 
 	var (
-		seed   = flag.Uint64("seed", experiments.DefaultSeed, "master seed of the synthetic universe")
-		quick  = flag.Bool("quick", false, "skip the partitioning sweeps (Tables 2-4)")
-		only   = flag.String("only", "", "run a single artifact: table1, di, comparison, figure1, figure2, figure3, figures45, figure6, food, detection, ablations, table2, table3, table4")
-		svgDir = flag.String("svg-dir", "", "also render the map figures as SVG files into this directory")
+		seed    = flag.Uint64("seed", experiments.DefaultSeed, "master seed of the synthetic universe")
+		quick   = flag.Bool("quick", false, "skip the partitioning sweeps (Tables 2-4)")
+		only    = flag.String("only", "", "run a single artifact: table1, di, comparison, figure1, figure2, figure3, figures45, figure6, food, detection, ablations, table2, table3, table4")
+		svgDir  = flag.String("svg-dir", "", "also render the map figures as SVG files into this directory")
+		metrics = flag.Bool("metrics", true, "print an audit-engine metrics summary on exit")
 	)
 	flag.Parse()
+
+	// The experiments suite builds its own audit configs, so the collector
+	// is installed as the package default rather than threaded through each
+	// call; every audit the run performs lands in it.
+	col := obs.NewCollector(0)
+	core.SetDefaultCollector(col)
+	defer core.SetDefaultCollector(nil)
 
 	s := experiments.NewSuite(*seed)
 	w := os.Stdout
@@ -131,6 +141,13 @@ func main() {
 		}
 		for _, p := range paths {
 			fmt.Fprintf(w, "wrote %s\n", p)
+		}
+	}
+
+	if *metrics {
+		fmt.Fprintf(w, "audit-engine metrics summary (%d artifacts):\n", ran)
+		if err := col.Snapshot().WriteSummary(w); err != nil {
+			log.Fatalf("writing metrics summary: %v", err)
 		}
 	}
 }

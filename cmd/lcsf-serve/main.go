@@ -5,35 +5,80 @@
 //	     'http://localhost:8080/audit?cols=100&rows=50' | jq .unfair_pairs
 //	curl -X POST --data-binary @data/lar_loan_depot.csv \
 //	     'http://localhost:8080/audit/geojson?cols=40&rows=20' > flagged.geojson
+//	curl 'http://localhost:8080/metrics' | jq .counters
+//
+// Every request is logged with its request ID, and on SIGINT/SIGTERM the
+// server drains in-flight requests and prints a metrics summary before
+// exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"lcsf/internal/obs"
 	"lcsf/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lcsf-serve: ")
+	logger := log.New(os.Stderr, "lcsf-serve: ", 0)
 
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxBody = flag.Int64("max-body-mb", 256, "maximum request body size in MiB")
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxBody    = flag.Int64("max-body-mb", 256, "maximum request body size in MiB")
+		reqTimeout = flag.Duration("request-timeout", 2*time.Minute, "per-request handling timeout (0 disables)")
+		quietReqs  = flag.Bool("quiet", false, "suppress the per-request log line (metrics still collected)")
 	)
 	flag.Parse()
 
-	h := server.New(server.Config{MaxBodyBytes: *maxBody << 20})
+	col := obs.NewCollector(4096)
+	scfg := server.Config{
+		MaxBodyBytes:   *maxBody << 20,
+		Collector:      col,
+		RequestTimeout: *reqTimeout,
+	}
+	if *reqTimeout == 0 {
+		scfg.RequestTimeout = -1 // Config treats 0 as "default"; negative disables.
+	}
+	if !*quietReqs {
+		scfg.Logger = logger
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           h,
+		Handler:           server.New(scfg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(err)
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case sig := <-sigc:
+		logger.Printf("%s: draining and shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Printf("shutdown: %v", err)
+		}
+	}
+
+	logger.Printf("metrics summary (uptime %s):", col.Uptime().Round(time.Second))
+	if err := col.Snapshot().WriteSummary(os.Stderr); err != nil {
+		logger.Printf("writing summary: %v", err)
 	}
 }

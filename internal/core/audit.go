@@ -7,7 +7,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"lcsf/internal/obs"
 	"lcsf/internal/partition"
 	"lcsf/internal/stats"
 )
@@ -53,6 +56,35 @@ type Config struct {
 	Seed uint64
 	// Workers bounds audit parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Collector, when non-nil, receives per-phase counters, timings, and
+	// audit events (see the obs package for the metric vocabulary). It is
+	// purely observational: audits are deterministic in (input, Config)
+	// whether or not a collector is attached. Nil falls back to the
+	// package-level default collector (see SetDefaultCollector), which is
+	// itself nil — a no-op — unless a harness installs one.
+	Collector *obs.Collector
+}
+
+// defaultCollector is the fallback sink for audits whose Config carries no
+// Collector. Harnesses that cannot thread a collector through every call
+// site (lcsf-bench drives the experiments suite, which builds its own
+// configs) install one here.
+var defaultCollector atomic.Pointer[obs.Collector]
+
+// SetDefaultCollector installs the collector used by audits whose Config has
+// a nil Collector; passing nil uninstalls it. It returns the previous
+// default.
+func SetDefaultCollector(c *obs.Collector) *obs.Collector {
+	return defaultCollector.Swap(c)
+}
+
+// collector resolves the audit's sink: the explicit one, else the package
+// default, else nil (every obs method is a no-op on nil).
+func (c Config) collector() *obs.Collector {
+	if c.Collector != nil {
+		return c.Collector
+	}
+	return defaultCollector.Load()
 }
 
 // DefaultConfig returns the configuration of the paper's mortgage
@@ -172,6 +204,8 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	col := cfg.collector()
+	start := time.Now()
 	eligible := p.NonEmpty(cfg.MinRegionSize)
 	res := &Result{EligibleRegions: len(eligible), GlobalRate: p.GlobalRate()}
 
@@ -179,13 +213,29 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Clamp to the number of eligible outer-loop rows: more workers than
+	// rows would idle, and zero rows still needs one worker slot so the
+	// shard bookkeeping below stays uniform.
 	if workers > len(eligible) {
+		workers = len(eligible)
+	}
+	if workers < 1 {
 		workers = 1
 	}
+
+	col.Inc(obs.MAuditRuns)
+	col.Count(obs.MAuditEligible, int64(len(eligible)))
+	col.Event("audit.start", "", "audit started", map[string]any{
+		"eligible_regions": len(eligible),
+		"workers":          workers,
+		"mc_worlds":        cfg.MCWorlds,
+		"fdr":              cfg.FDR > 0,
+	})
 
 	fdr := cfg.FDR > 0
 	type shard struct {
 		pairs      []UnfairPair
+		tally      pairTally
 		candidates int
 	}
 	shards := make([]shard, workers)
@@ -195,6 +245,10 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		go func(w int) {
 			defer wg.Done()
 			sh := &shards[w]
+			var shardStart time.Time
+			if col != nil {
+				shardStart = time.Now()
+			}
 			// Striped assignment of the outer index keeps shards balanced.
 			for ii := w; ii < len(eligible); ii += workers {
 				if ctx.Err() != nil {
@@ -203,7 +257,7 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 				a := &p.Regions[eligible[ii]]
 				for jj := ii + 1; jj < len(eligible); jj++ {
 					b := &p.Regions[eligible[jj]]
-					if pr, ok := auditPair(a, b, cfg, fdr); ok {
+					if pr, ok := auditPair(a, b, cfg, fdr, &sh.tally); ok {
 						sh.candidates++
 						if fdr || pr.P <= cfg.Alpha {
 							sh.pairs = append(sh.pairs, pr)
@@ -211,16 +265,25 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 					}
 				}
 			}
+			if col != nil {
+				col.ObserveSeconds(obs.MAuditShardSeconds, time.Since(shardStart))
+			}
 		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		col.Inc(obs.MAuditCanceled)
+		col.Event("audit.canceled", "", "audit canceled", map[string]any{
+			"after_seconds": time.Since(start).Seconds(),
+		})
 		return nil, err
 	}
 
+	var tally pairTally
 	for _, sh := range shards {
 		res.Candidates += sh.candidates
 		res.Pairs = append(res.Pairs, sh.pairs...)
+		tally.add(&sh.tally)
 	}
 	if fdr {
 		// Under FDR control every candidate was collected with its exact
@@ -251,7 +314,52 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		}
 		return a.J < b.J
 	})
+
+	tally.publish(col, res)
+	col.ObserveSeconds(obs.MAuditSeconds, time.Since(start))
+	col.Event("audit.finish", "", "audit finished", map[string]any{
+		"candidates":    res.Candidates,
+		"pairs_flagged": len(res.Pairs),
+		"seconds":       time.Since(start).Seconds(),
+	})
 	return res, nil
+}
+
+// pairTally accumulates one shard's per-phase counts with plain (non-atomic)
+// integers; shards merge after the barrier, so the hot pair loop pays no
+// synchronization for observability.
+type pairTally struct {
+	scanned        int64 // pairs reaching the gate cascade
+	dissRejections int64 // failed the dissimilarity gate
+	simRejections  int64 // passed dissimilarity, failed similarity
+	etaFastPath    int64 // gated pairs exiting via the Eta outcome fast path
+	prescreenSkips int64 // candidates below prescreenTau, simulation skipped
+	mcWorlds       int64 // Monte-Carlo worlds actually simulated
+	mcEarlyStops   int64 // adaptive estimates that stopped early
+}
+
+func (t *pairTally) add(o *pairTally) {
+	t.scanned += o.scanned
+	t.dissRejections += o.dissRejections
+	t.simRejections += o.simRejections
+	t.etaFastPath += o.etaFastPath
+	t.prescreenSkips += o.prescreenSkips
+	t.mcWorlds += o.mcWorlds
+	t.mcEarlyStops += o.mcEarlyStops
+}
+
+// publish pushes the merged tally plus the result-level counts into the
+// collector (no-op when col is nil).
+func (t *pairTally) publish(col *obs.Collector, res *Result) {
+	col.Count(obs.MAuditPairsScanned, t.scanned)
+	col.Count(obs.MAuditDissRejections, t.dissRejections)
+	col.Count(obs.MAuditSimRejections, t.simRejections)
+	col.Count(obs.MAuditEtaFastPath, t.etaFastPath)
+	col.Count(obs.MAuditPrescreenSkips, t.prescreenSkips)
+	col.Count(obs.MAuditMCWorlds, t.mcWorlds)
+	col.Count(obs.MAuditMCEarlyStops, t.mcEarlyStops)
+	col.Count(obs.MAuditCandidates, int64(res.Candidates))
+	col.Count(obs.MAuditFlagged, int64(len(res.Pairs)))
 }
 
 // prescreenTau is the likelihood-ratio statistic below which a candidate
@@ -262,18 +370,23 @@ const prescreenTau = 2.0
 // auditPair applies the gates and, for candidates, the Monte-Carlo LRT.
 // ok reports whether the pair was a candidate (passed both gates and the Eta
 // fast path). When exact is true the Monte-Carlo p-value is computed without
-// early stopping (required for FDR control over the candidate set).
-func auditPair(a, b *partition.Region, cfg Config, exact bool) (UnfairPair, bool) {
+// early stopping (required for FDR control over the candidate set). Each
+// phase's outcome is tallied into t for the observability layer.
+func auditPair(a, b *partition.Region, cfg Config, exact bool, t *pairTally) (UnfairPair, bool) {
+	t.scanned++
 	diss := cfg.Dissimilarity.Score(a, b)
 	if !cfg.Dissimilarity.Pass(diss, cfg.Delta) {
+		t.dissRejections++
 		return UnfairPair{}, false
 	}
 	sim := cfg.Similarity.Score(a, b)
 	if !cfg.Similarity.Pass(sim, cfg.Epsilon) {
+		t.simRejections++
 		return UnfairPair{}, false
 	}
 	rateA, rateB := a.PositiveRate(), b.PositiveRate()
 	if cfg.Eta > 0 && math.Abs(rateA-rateB) <= cfg.Eta {
+		t.etaFastPath++
 		return UnfairPair{}, false
 	}
 
@@ -285,14 +398,21 @@ func auditPair(a, b *partition.Region, cfg Config, exact bool) (UnfairPair, bool
 		// corresponds to p ~ 0.157, far above any usable Alpha; the pair is
 		// a candidate but cannot be significant. Record the asymptotic
 		// p-value and skip the simulation.
+		t.prescreenSkips++
 		pval = stats.ChiSquareSF(math.Max(tau, 0), 1)
 	} else {
 		rng := stats.NewRNG(pairSeed(cfg.Seed, a.Index, b.Index))
 		sim := stats.PairNullSimulator(rng, a.N, b.N, pooled)
 		if exact {
 			pval = stats.MonteCarloP(tau, cfg.MCWorlds, sim)
+			t.mcWorlds += int64(cfg.MCWorlds)
 		} else {
-			pval, _ = stats.AdaptiveMonteCarloP(tau, cfg.MCWorlds, cfg.Alpha, sim)
+			var st stats.MCStats
+			pval, _, st = stats.AdaptiveMonteCarloPStats(tau, cfg.MCWorlds, cfg.Alpha, sim)
+			t.mcWorlds += int64(st.Worlds)
+			if st.EarlyStopped {
+				t.mcEarlyStops++
+			}
 		}
 	}
 

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"lcsf/internal/obs"
+)
+
+func newTestCollector() *obs.Collector { return obs.NewCollector(64) }
+
+// TestAuditRecordsPhaseCounters audits an instrumented fixture and checks
+// every per-phase counter the observability layer promises, including the
+// exhaustiveness invariant: every scanned pair is accounted for by exactly
+// one gate rejection, the Eta fast path, or candidacy.
+func TestAuditRecordsPhaseCounters(t *testing.T) {
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 199
+	col := newTestCollector()
+	cfg.Collector = col
+
+	res, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+
+	if s.Counter(obs.MAuditRuns) != 1 {
+		t.Errorf("runs = %d", s.Counter(obs.MAuditRuns))
+	}
+	if got := s.Counter(obs.MAuditEligible); got != int64(res.EligibleRegions) {
+		t.Errorf("eligible counter = %d, result = %d", got, res.EligibleRegions)
+	}
+	if got := s.Counter(obs.MAuditCandidates); got != int64(res.Candidates) {
+		t.Errorf("candidates counter = %d, result = %d", got, res.Candidates)
+	}
+	if got := s.Counter(obs.MAuditFlagged); got != int64(len(res.Pairs)) {
+		t.Errorf("flagged counter = %d, result = %d", got, len(res.Pairs))
+	}
+
+	n := int64(res.EligibleRegions)
+	scanned := s.Counter(obs.MAuditPairsScanned)
+	if want := n * (n - 1) / 2; scanned != want {
+		t.Errorf("scanned = %d, want all %d pairs", scanned, want)
+	}
+	accounted := s.Counter(obs.MAuditDissRejections) +
+		s.Counter(obs.MAuditSimRejections) +
+		s.Counter(obs.MAuditEtaFastPath) +
+		s.Counter(obs.MAuditCandidates)
+	if accounted != scanned {
+		t.Errorf("phase counters don't partition the scan: %d accounted of %d scanned", accounted, scanned)
+	}
+
+	for _, name := range []string{
+		obs.MAuditDissRejections, obs.MAuditSimRejections,
+		obs.MAuditEtaFastPath, obs.MAuditMCWorlds, obs.MAuditMCEarlyStops,
+	} {
+		if s.Counter(name) == 0 {
+			t.Errorf("counter %s = 0; fixture should exercise every phase", name)
+		}
+	}
+	if s.Counter(obs.MAuditMCWorlds) > int64(res.Candidates*cfg.MCWorlds) {
+		t.Errorf("mc worlds = %d exceeds candidates*m = %d",
+			s.Counter(obs.MAuditMCWorlds), res.Candidates*cfg.MCWorlds)
+	}
+
+	if h := s.Histograms[obs.MAuditSeconds]; h.Count != 1 || h.Sum <= 0 {
+		t.Errorf("audit.seconds histogram = %+v", h)
+	}
+	if h := s.Histograms[obs.MAuditShardSeconds]; h.Count < 1 {
+		t.Errorf("audit.shard_seconds histogram = %+v", h)
+	}
+
+	evs := col.Events().Recent(0)
+	if len(evs) != 2 || evs[0].Type != "audit.start" || evs[1].Type != "audit.finish" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+// TestAuditFDRWorldsExact asserts the FDR path counts full (non-adaptive)
+// Monte-Carlo streams: every simulated candidate spends exactly MCWorlds
+// worlds and no early stops are recorded.
+func TestAuditFDRWorldsExact(t *testing.T) {
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.FDR = 0.10
+	cfg.MCWorlds = 99
+	col := newTestCollector()
+	cfg.Collector = col
+
+	if _, err := Audit(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+	if s.Counter(obs.MAuditMCEarlyStops) != 0 {
+		t.Errorf("FDR audit recorded %d early stops; exact p-values must not stop early",
+			s.Counter(obs.MAuditMCEarlyStops))
+	}
+	simulated := s.Counter(obs.MAuditCandidates) - s.Counter(obs.MAuditPrescreenSkips)
+	if got, want := s.Counter(obs.MAuditMCWorlds), simulated*int64(cfg.MCWorlds); got != want {
+		t.Errorf("mc worlds = %d, want %d (= %d simulated candidates x %d)",
+			got, want, simulated, cfg.MCWorlds)
+	}
+}
+
+// TestAuditCollectorDoesNotChangeResult runs the same audit bare and
+// instrumented; the pairs must be identical (observability is passive).
+func TestAuditCollectorDoesNotChangeResult(t *testing.T) {
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 199
+
+	bare, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Collector = newTestCollector()
+	instr, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bare.Pairs) != len(instr.Pairs) {
+		t.Fatalf("instrumentation changed pair count: %d vs %d", len(bare.Pairs), len(instr.Pairs))
+	}
+	for i := range bare.Pairs {
+		if bare.Pairs[i] != instr.Pairs[i] {
+			t.Fatalf("instrumentation changed pair %d", i)
+		}
+	}
+}
+
+// TestDefaultCollector exercises the package-level fallback used by
+// harnesses that cannot thread a collector through every Config.
+func TestDefaultCollector(t *testing.T) {
+	col := newTestCollector()
+	prev := SetDefaultCollector(col)
+	defer SetDefaultCollector(prev)
+
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 99
+	if _, err := Audit(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if col.Snapshot().Counter(obs.MAuditRuns) != 1 {
+		t.Error("default collector did not receive the audit")
+	}
+
+	// An explicit collector takes precedence over the default.
+	own := newTestCollector()
+	cfg.Collector = own
+	if _, err := Audit(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if own.Snapshot().Counter(obs.MAuditRuns) != 1 {
+		t.Error("explicit collector ignored")
+	}
+	if col.Snapshot().Counter(obs.MAuditRuns) != 1 {
+		t.Error("default collector double-counted an explicitly-collected audit")
+	}
+}
+
+// TestAuditCanceledRecordsEvent cancels an audit up front and checks the
+// cancellation is observable.
+func TestAuditCanceledRecordsEvent(t *testing.T) {
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	col := newTestCollector()
+	cfg.Collector = col
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AuditContext(ctx, p, cfg); err == nil {
+		t.Fatal("canceled audit must fail")
+	}
+	if col.Snapshot().Counter(obs.MAuditCanceled) != 1 {
+		t.Error("cancellation not counted")
+	}
+	evs := col.Events().Recent(0)
+	if len(evs) == 0 || evs[len(evs)-1].Type != "audit.canceled" {
+		t.Errorf("missing audit.canceled event: %+v", evs)
+	}
+}

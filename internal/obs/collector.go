@@ -1,0 +1,157 @@
+package obs
+
+import "time"
+
+// Canonical metric names. Every instrumented layer records under these so
+// operators (and tests) have one vocabulary; README.md's Observability
+// section documents each.
+const (
+	// Audit-engine counters (internal/core).
+	MAuditRuns           = "audit.runs"
+	MAuditEligible       = "audit.eligible_regions"
+	MAuditPairsScanned   = "audit.pairs_scanned"
+	MAuditDissRejections = "audit.gate.dissimilarity_rejections"
+	MAuditSimRejections  = "audit.gate.similarity_rejections"
+	MAuditEtaFastPath    = "audit.gate.eta_fastpath_exits"
+	MAuditCandidates     = "audit.candidates"
+	MAuditPrescreenSkips = "audit.mc.prescreen_tau_skips"
+	MAuditMCWorlds       = "audit.mc.worlds"
+	MAuditMCEarlyStops   = "audit.mc.early_stops"
+	MAuditFlagged        = "audit.pairs_flagged"
+	MAuditCanceled       = "audit.canceled"
+
+	// Audit-engine histograms (seconds).
+	MAuditSeconds      = "audit.seconds"
+	MAuditShardSeconds = "audit.shard_seconds"
+
+	// HTTP-service metrics (internal/server).
+	MHTTPRequests       = "http.requests"
+	MHTTPCanceled       = "http.canceled"
+	MHTTPTimeouts       = "http.timeouts"
+	MHTTPInFlight       = "http.in_flight" // gauge
+	MHTTPBodyBytes      = "http.body_bytes"
+	MHTTPLatencySeconds = "http.latency_seconds"
+	// Status-class counters: http.status.2xx, http.status.4xx, ...
+	MHTTPStatusPrefix = "http.status."
+)
+
+// SecondsBuckets are the default latency-histogram bounds: 100µs to ~2min,
+// roughly 3 buckets per decade.
+var SecondsBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// BytesBuckets are the default size-histogram bounds: 256 B to 256 MiB in
+// powers of four.
+var BytesBuckets = []float64{
+	1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18,
+	1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28,
+}
+
+// Collector bundles a metrics registry and an event log. Every method is
+// safe on a nil receiver (a no-op), so instrumented code threads an optional
+// *Collector without guards and the uninstrumented path stays allocation- and
+// branch-cheap.
+type Collector struct {
+	metrics *Registry
+	events  *EventLog
+	start   time.Time
+}
+
+// NewCollector returns a collector retaining the most recent eventCapacity
+// events (<= 0 selects the default of 1024).
+func NewCollector(eventCapacity int) *Collector {
+	if eventCapacity <= 0 {
+		eventCapacity = 1024
+	}
+	return &Collector{
+		metrics: NewRegistry(),
+		events:  NewEventLog(eventCapacity),
+		start:   time.Now(),
+	}
+}
+
+// Count adds n to the named counter.
+func (c *Collector) Count(name string, n int64) {
+	if c != nil {
+		c.metrics.Counter(name).Add(n)
+	}
+}
+
+// Inc adds one to the named counter.
+func (c *Collector) Inc(name string) { c.Count(name, 1) }
+
+// SetGauge stores v in the named gauge.
+func (c *Collector) SetGauge(name string, v float64) {
+	if c != nil {
+		c.metrics.Gauge(name).Set(v)
+	}
+}
+
+// AddGauge adjusts the named gauge by delta.
+func (c *Collector) AddGauge(name string, delta float64) {
+	if c != nil {
+		c.metrics.Gauge(name).Add(delta)
+	}
+}
+
+// ObserveSeconds records a duration in the named histogram under the default
+// seconds buckets.
+func (c *Collector) ObserveSeconds(name string, d time.Duration) {
+	if c != nil {
+		c.metrics.Histogram(name, SecondsBuckets).Observe(d.Seconds())
+	}
+}
+
+// ObserveBytes records a size in the named histogram under the default bytes
+// buckets.
+func (c *Collector) ObserveBytes(name string, n int64) {
+	if c != nil {
+		c.metrics.Histogram(name, BytesBuckets).Observe(float64(n))
+	}
+}
+
+// Observe records v in the named histogram with explicit bounds (first
+// registration of the name wins).
+func (c *Collector) Observe(name string, bounds []float64, v float64) {
+	if c != nil {
+		c.metrics.Histogram(name, bounds).Observe(v)
+	}
+}
+
+// Event records a structured event.
+func (c *Collector) Event(typ, requestID, message string, fields map[string]any) {
+	if c != nil {
+		c.events.Record(typ, requestID, message, fields)
+	}
+}
+
+// Events exposes the underlying event log; nil for a nil collector.
+func (c *Collector) Events() *EventLog {
+	if c == nil {
+		return nil
+	}
+	return c.events
+}
+
+// Snapshot exports the current metric values; the zero Snapshot for a nil
+// collector.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]HistogramSnapshot{},
+		}
+	}
+	return c.metrics.Snapshot()
+}
+
+// Uptime reports how long ago the collector was created; zero for nil.
+func (c *Collector) Uptime() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Since(c.start)
+}

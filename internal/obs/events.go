@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured entry in the audit-event log. Events are
+// operational breadcrumbs — "audit started", "request canceled", "body
+// rejected" — not statistical results; audit determinism never depends on
+// them.
+type Event struct {
+	// Seq is a monotonically increasing sequence number, unique within one
+	// EventLog.
+	Seq uint64 `json:"seq"`
+	// Time is when the event was recorded.
+	Time time.Time `json:"time"`
+	// Type is the event's kind, a stable dotted lowercase name such as
+	// "audit.start" or "http.request".
+	Type string `json:"type"`
+	// RequestID ties server-side events to one HTTP request; empty outside
+	// request scope.
+	RequestID string `json:"request_id,omitempty"`
+	// Message is the human-readable summary.
+	Message string `json:"message"`
+	// Fields carries event-specific structured data.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// EventLog is a bounded, concurrency-safe ring of recent events. When the
+// ring is full the oldest event is dropped (and counted), so a long-running
+// service's memory stays bounded while recent history remains inspectable.
+type EventLog struct {
+	mu      sync.Mutex
+	ring    []Event
+	start   int // index of the oldest event
+	n       int // number of live events
+	next    uint64
+	dropped uint64
+}
+
+// NewEventLog returns a log retaining at most capacity events; capacity < 1
+// is raised to 1.
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{ring: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full, and returns the
+// event's sequence number.
+func (l *EventLog) Record(typ, requestID, message string, fields map[string]any) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	ev := Event{
+		Seq:       l.next,
+		Time:      time.Now().UTC(),
+		Type:      typ,
+		RequestID: requestID,
+		Message:   message,
+		Fields:    fields,
+	}
+	if l.n == len(l.ring) {
+		l.ring[l.start] = ev
+		l.start = (l.start + 1) % len(l.ring)
+		l.dropped++
+	} else {
+		l.ring[(l.start+l.n)%len(l.ring)] = ev
+		l.n++
+	}
+	return ev.Seq
+}
+
+// Recent returns up to n of the newest events, oldest first. n <= 0 returns
+// every retained event.
+func (l *EventLog) Recent(n int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > l.n {
+		n = l.n
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = l.ring[(l.start+l.n-n+i)%len(l.ring)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Dropped returns how many events have been evicted to stay within capacity.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// WriteJSONL writes the retained events, oldest first, one JSON object per
+// line — the standard machine-readable log format.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range l.Recent(0) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

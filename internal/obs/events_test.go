@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEventLogRecordAndRecent(t *testing.T) {
+	l := NewEventLog(10)
+	for i := 0; i < 3; i++ {
+		l.Record("audit.start", "", fmt.Sprintf("run %d", i), nil)
+	}
+	evs := l.Recent(0)
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("seq[%d] = %d", i, ev.Seq)
+		}
+		if ev.Message != fmt.Sprintf("run %d", i) {
+			t.Errorf("order broken: %q at %d", ev.Message, i)
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[0].Seq != 2 {
+		t.Errorf("Recent(2) = %+v", got)
+	}
+}
+
+func TestEventLogEviction(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record("t", "", fmt.Sprintf("e%d", i), nil)
+	}
+	if l.Len() != 4 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if l.Dropped() != 6 {
+		t.Errorf("Dropped = %d", l.Dropped())
+	}
+	evs := l.Recent(0)
+	if evs[0].Message != "e6" || evs[3].Message != "e9" {
+		t.Errorf("ring window wrong: %q .. %q", evs[0].Message, evs[3].Message)
+	}
+}
+
+func TestEventLogTinyCapacity(t *testing.T) {
+	l := NewEventLog(0) // raised to 1
+	l.Record("a", "", "first", nil)
+	l.Record("b", "", "second", nil)
+	evs := l.Recent(0)
+	if len(evs) != 1 || evs[0].Message != "second" {
+		t.Errorf("capacity-1 log = %+v", evs)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	l := NewEventLog(8)
+	l.Record("http.request", "req-1", "POST /audit", map[string]any{"status": 200})
+	l.Record("http.request", "req-2", "GET /metrics", nil)
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.Type == "" || ev.Time.IsZero() {
+			t.Errorf("line %d missing fields: %+v", lines, ev)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("lines = %d", lines)
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(64)
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Record("t", "", "m", nil)
+				if i%50 == 0 {
+					_ = l.Recent(10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Dropped() + uint64(l.Len()); got != workers*iters {
+		t.Errorf("retained+dropped = %d, want %d", got, workers*iters)
+	}
+	// Sequence numbers of the retained window must be strictly increasing.
+	evs := l.Recent(0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSummary renders the snapshot as a compact human-readable block —
+// the "metrics summary on exit" format the cmd binaries print. Counters and
+// gauges are listed alphabetically; histograms show count, sum, and mean.
+func (s Snapshot) WriteSummary(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "  %-42s %12d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "  %-42s %12g\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		if _, err := fmt.Fprintf(w, "  %-42s count=%d sum=%.4g mean=%.4g\n",
+			name, h.Count, h.Sum, mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}

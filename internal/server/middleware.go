@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lcsf/internal/obs"
+)
+
+// requestIDKey is the context key carrying the request ID assigned by the
+// observability middleware.
+type requestIDKey struct{}
+
+// RequestID returns the request ID the middleware assigned, or "" outside a
+// middleware-wrapped request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// reqSeq numbers requests process-wide; IDs stay unique and cheap without
+// needing entropy.
+var reqSeq atomic.Uint64
+
+// statusRecorder captures the status code and response size a handler
+// produced, defaulting to 200 when the handler never calls WriteHeader.
+type statusRecorder struct {
+	http.ResponseWriter
+	status   int
+	bytesOut int64
+	wrote    bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wrote {
+		s.status = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if !s.wrote {
+		s.status = http.StatusOK
+		s.wrote = true
+	}
+	n, err := s.ResponseWriter.Write(b)
+	s.bytesOut += int64(n)
+	return n, err
+}
+
+// withObservability wraps a handler with the service's request middleware:
+// it assigns a request ID (echoed in the X-Request-Id response header and
+// available via RequestID), enforces the per-request timeout, counts
+// in-flight and completed requests, records latency / body-size histograms
+// and a per-status-class counter, appends one structured event per request,
+// and emits one log line per request when a logger is configured.
+func withObservability(next http.Handler, cfg Config) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%08d", reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		if cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.RequestTimeout)
+			defer cancel()
+		}
+		r = r.WithContext(ctx)
+
+		col := cfg.Collector
+		col.Inc(obs.MHTTPRequests)
+		col.AddGauge(obs.MHTTPInFlight, 1)
+		defer col.AddGauge(obs.MHTTPInFlight, -1)
+		if r.ContentLength > 0 {
+			col.ObserveBytes(obs.MHTTPBodyBytes, r.ContentLength)
+		}
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+
+		col.ObserveSeconds(obs.MHTTPLatencySeconds, elapsed)
+		col.Inc(obs.MHTTPStatusPrefix + statusClass(rec.status))
+		col.Event("http.request", id, r.Method+" "+r.URL.Path, map[string]any{
+			"status":    rec.status,
+			"bytes_in":  max64(r.ContentLength, 0),
+			"bytes_out": rec.bytesOut,
+			"seconds":   elapsed.Seconds(),
+		})
+		if cfg.Logger != nil {
+			cfg.Logger.Printf("%s %s %s status=%d bytes_in=%d bytes_out=%d dur=%s",
+				id, r.Method, r.URL.Path, rec.status, max64(r.ContentLength, 0),
+				rec.bytesOut, elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// metricsResponse is the GET /metrics payload: the collector snapshot plus
+// service-level context.
+type metricsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	obs.Snapshot
+	EventsRetained int    `json:"events_retained"`
+	EventsDropped  uint64 `json:"events_dropped"`
+}
+
+// handleMetrics serves the JSON metrics snapshot.
+func handleMetrics(w http.ResponseWriter, _ *http.Request, cfg Config) {
+	resp := metricsResponse{
+		UptimeSeconds: cfg.Collector.Uptime().Seconds(),
+		Snapshot:      cfg.Collector.Snapshot(),
+	}
+	if ev := cfg.Collector.Events(); ev != nil {
+		resp.EventsRetained = ev.Len()
+		resp.EventsDropped = ev.Dropped()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// handleDebugVars serves expvar-style process introspection: runtime memory
+// statistics and goroutine counts next to the metrics snapshot, one JSON
+// object an operator can curl on a wedged process.
+func handleDebugVars(w http.ResponseWriter, _ *http.Request, cfg Config) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	vars := map[string]any{
+		"uptime_seconds": cfg.Collector.Uptime().Seconds(),
+		"goroutines":     runtime.NumGoroutine(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"go_version":     runtime.Version(),
+		"memstats": map[string]any{
+			"alloc_bytes":       ms.Alloc,
+			"total_alloc_bytes": ms.TotalAlloc,
+			"sys_bytes":         ms.Sys,
+			"heap_objects":      ms.HeapObjects,
+			"num_gc":            ms.NumGC,
+			"pause_total_ns":    ms.PauseTotalNs,
+		},
+		"metrics": cfg.Collector.Snapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(vars)
+}
+
+// handleDebugEvents streams the retained audit-event log as JSON lines,
+// newest last.
+func handleDebugEvents(w http.ResponseWriter, _ *http.Request, cfg Config) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if ev := cfg.Collector.Events(); ev != nil {
+		_ = ev.WriteJSONL(w)
+	}
+}

@@ -1,18 +1,26 @@
 // Package server exposes the LC-SF audit as an HTTP service: POST a Loan
 // Application Register CSV, receive the audit report as JSON or the flagged
 // regions as GeoJSON. The service is stateless — every request carries its
-// own data — so it scales horizontally behind any proxy.
+// own data — so it scales horizontally behind any proxy. Every request runs
+// under the observability middleware (request IDs, latency/size histograms,
+// structured events, per-request timeout), and the collector's state is
+// served back on GET /metrics and GET /debug/vars.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"lcsf/internal/core"
 	"lcsf/internal/geo"
 	"lcsf/internal/hmda"
+	"lcsf/internal/obs"
 	"lcsf/internal/partition"
 	"lcsf/internal/report"
 	"lcsf/internal/table"
@@ -25,6 +33,18 @@ type Config struct {
 	// Audit is the base audit configuration; query parameters override its
 	// thresholds per request. The zero value means core.DefaultConfig.
 	Audit core.Config
+	// Collector receives request metrics, audit counters, and events, and
+	// backs the /metrics and /debug routes. Nil means a fresh private
+	// collector, so the routes always work.
+	Collector *obs.Collector
+	// RequestTimeout bounds each request's total handling time, audit
+	// included; the audit aborts and the client receives 503 when it
+	// expires. 0 means 2 minutes; negative disables the timeout.
+	RequestTimeout time.Duration
+	// Logger, when non-nil, receives one line per request (request ID,
+	// method, path, status, sizes, latency). Nil logs nothing; the event
+	// log in Collector records the same information either way.
+	Logger *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -34,6 +54,14 @@ func (c Config) withDefaults() Config {
 	if c.Audit.Similarity == nil {
 		c.Audit = core.DefaultConfig()
 	}
+	if c.Collector == nil {
+		c.Collector = obs.NewCollector(0)
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Minute
+	} else if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
 	return c
 }
 
@@ -42,6 +70,9 @@ func (c Config) withDefaults() Config {
 //	GET  /healthz        liveness probe
 //	POST /audit          LAR CSV body -> JSON audit report
 //	POST /audit/geojson  LAR CSV body -> GeoJSON of flagged regions
+//	GET  /metrics        JSON snapshot of every counter, gauge, histogram
+//	GET  /debug/vars     runtime memstats + goroutines + metrics snapshot
+//	GET  /debug/events   recent structured events as JSON lines
 //
 // Both audit routes accept query parameters cols, rows (grid resolution,
 // default 100x50), epsilon, delta, eta, alpha, min_region, ethical=1, and
@@ -59,7 +90,16 @@ func New(cfg Config) http.Handler {
 	mux.HandleFunc("POST /audit/geojson", func(w http.ResponseWriter, r *http.Request) {
 		handleAudit(w, r, cfg, true)
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(w, r, cfg)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		handleDebugVars(w, r, cfg)
+	})
+	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
+		handleDebugEvents(w, r, cfg)
+	})
+	return withObservability(mux, cfg)
 }
 
 // httpError writes a JSON error payload.
@@ -72,14 +112,23 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func handleAudit(w http.ResponseWriter, r *http.Request, cfg Config, asGeoJSON bool) {
+	reqID := RequestID(r.Context())
 	r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
 	tbl, err := table.ReadCSV(r.Body, hmda.Schema())
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			cfg.Collector.Event("http.body_rejected", reqID, "request body over limit",
+				map[string]any{"limit_bytes": tooBig.Limit})
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "parsing LAR CSV: %v", err)
 		return
 	}
-	obs := hmda.ToObservations(hmda.FromTable(tbl))
-	if len(obs) == 0 {
+	obsv := hmda.ToObservations(hmda.FromTable(tbl))
+	if len(obsv) == 0 {
 		httpError(w, http.StatusBadRequest, "no decisioned (approved/denied) records in input")
 		return
 	}
@@ -135,12 +184,30 @@ func handleAudit(w http.ResponseWriter, r *http.Request, cfg Config, asGeoJSON b
 		return
 	}
 
+	// Audit counters land in the same collector as the request metrics.
+	acfg.Collector = cfg.Collector
+
 	grid := geo.NewGrid(geo.ContinentalUS, cols, rows)
-	part := partition.ByGrid(grid, obs, partition.Options{Seed: acfg.Seed})
-	// The request context aborts the audit when the client disconnects.
+	part := partition.ByGrid(grid, obsv, partition.Options{Seed: acfg.Seed})
+	// The request context aborts the audit when the client disconnects or
+	// the per-request timeout expires.
 	res, err := core.AuditContext(r.Context(), part, acfg)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "audit: %v", err)
+		switch {
+		case errors.Is(err, context.Canceled):
+			// The client went away mid-audit: nobody is listening for a
+			// response, and the config was fine. Record the drop and stop —
+			// an HTTP 400 here would pollute error-rate dashboards with
+			// client disconnects.
+			cfg.Collector.Inc(obs.MHTTPCanceled)
+			cfg.Collector.Event("http.client_gone", reqID, "audit dropped: client disconnected", nil)
+		case errors.Is(err, context.DeadlineExceeded):
+			cfg.Collector.Inc(obs.MHTTPTimeouts)
+			httpError(w, http.StatusServiceUnavailable,
+				"audit exceeded the request timeout")
+		default:
+			httpError(w, http.StatusBadRequest, "audit: %v", err)
+		}
 		return
 	}
 

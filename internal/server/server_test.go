@@ -102,13 +102,25 @@ func TestAuditBadInputs(t *testing.T) {
 		want int
 	}{
 		{"garbage csv", "/audit", "not,a,lar\n1,2,3\n", http.StatusBadRequest},
+		{"truncated row", "/audit", "id,lon,lat,tract,income,minority,action\n1,-100,40\n", http.StatusBadRequest},
 		{"empty body", "/audit", "", http.StatusBadRequest},
 		{"bad cols", "/audit?cols=zero", validHeaderOnly(), http.StatusBadRequest},
+		{"zero cols", "/audit?cols=0", validHeaderOnly(), http.StatusBadRequest},
 		{"negative rows", "/audit?rows=-5", validHeaderOnly(), http.StatusBadRequest},
+		{"bad epsilon", "/audit?epsilon=tiny", validHeaderOnly(), http.StatusBadRequest},
+		{"bad delta", "/audit?delta=x", validHeaderOnly(), http.StatusBadRequest},
+		{"bad eta", "/audit?eta=ten", validHeaderOnly(), http.StatusBadRequest},
 		{"bad alpha", "/audit?alpha=nope", validHeaderOnly(), http.StatusBadRequest},
+		{"bad min_region", "/audit?min_region=small", validHeaderOnly(), http.StatusBadRequest},
+		{"zero min_region", "/audit?min_region=0", validHeaderOnly(), http.StatusBadRequest},
 		{"huge grid", "/audit?cols=2000&rows=2000", validHeaderOnly(), http.StatusBadRequest},
 		{"bad seed", "/audit?seed=-1", validHeaderOnly(), http.StatusBadRequest},
+		{"fractional seed", "/audit?seed=1.5", validHeaderOnly(), http.StatusBadRequest},
 		{"no decisioned rows", "/audit", noDecisionedCSV(), http.StatusBadRequest},
+		{"geojson garbage csv", "/audit/geojson", "not,a,lar\n1,2,3\n", http.StatusBadRequest},
+		{"geojson bad param", "/audit/geojson?cols=zero", validHeaderOnly(), http.StatusBadRequest},
+		// Audit-config validation failures surface through the same path.
+		{"alpha out of range", "/audit?alpha=2", validHeaderOnly(), http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		req := httptest.NewRequest("POST", c.url, strings.NewReader(c.body))
@@ -150,8 +162,12 @@ func TestBodyLimit(t *testing.T) {
 	req := httptest.NewRequest("POST", "/audit", larBody(t, 1000, 0.1))
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("oversized body = %d, want 400", rec.Code)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", rec.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+		t.Errorf("413 must carry a JSON error payload: %s", rec.Body.String())
 	}
 }
 

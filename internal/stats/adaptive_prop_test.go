@@ -1,0 +1,86 @@
+package stats
+
+import "testing"
+
+// TestAdaptivePropertyAgreement is a randomized property test over a wide
+// sweep of region sizes, pooled rates, world counts, and alpha levels: on
+// identically-seeded simulation streams, AdaptiveMonteCarloP's significant
+// flag must always equal MonteCarloP's p <= alpha decision, the p-value must
+// be exact whenever significant (and a valid conservative bound otherwise),
+// and the reported world count must match the early-stop claim.
+func TestAdaptivePropertyAgreement(t *testing.T) {
+	meta := NewRNG(0xFA17)
+	alphas := []float64{0.01, 0.05, 0.10}
+	worlds := []int{49, 199, 499}
+	const trials = 400
+	earlyStops, fullRuns := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n1 := 50 + meta.Intn(500)
+		n2 := 50 + meta.Intn(500)
+		rate := 0.2 + 0.6*meta.Float64()
+		// Mix null draws with shifted alternatives of varying strength so
+		// observed statistics span hopeless to overwhelming.
+		shift := 0.0
+		switch trial % 3 {
+		case 1:
+			shift = 0.05 + 0.05*meta.Float64()
+		case 2:
+			shift = 0.15 + 0.15*meta.Float64()
+		}
+		gen := NewRNG(uint64(9000 + trial))
+		k1 := gen.Binomial(n1, rate)
+		k2 := gen.Binomial(n2, clamp01(rate-shift))
+		obs := PairLRT(k1, n1, k2, n2)
+
+		m := worlds[trial%len(worlds)]
+		alpha := alphas[(trial/3)%len(alphas)]
+		streamSeed := uint64(31337 + trial)
+
+		exact := MonteCarloP(obs, m, PairNullSimulator(NewRNG(streamSeed), n1, n2, rate))
+		adaptP, adaptSig, st := AdaptiveMonteCarloPStats(obs, m, alpha,
+			PairNullSimulator(NewRNG(streamSeed), n1, n2, rate))
+
+		if adaptSig != (exact <= alpha) {
+			t.Fatalf("trial %d (n=%d/%d m=%d alpha=%v): adaptive sig=%v but exact p=%v",
+				trial, n1, n2, m, alpha, adaptSig, exact)
+		}
+		if adaptSig && adaptP != exact {
+			t.Fatalf("trial %d: significant p=%v must be exact %v", trial, adaptP, exact)
+		}
+		if !adaptSig && (adaptP <= alpha || adaptP > 1) {
+			t.Fatalf("trial %d: non-significant bound p=%v outside (alpha,1]", trial, adaptP)
+		}
+		if st.EarlyStopped {
+			earlyStops++
+			if st.Worlds >= m {
+				t.Fatalf("trial %d: early stop after %d of %d worlds", trial, st.Worlds, m)
+			}
+		} else {
+			fullRuns++
+			if st.Worlds != m {
+				t.Fatalf("trial %d: full run simulated %d of %d worlds", trial, st.Worlds, m)
+			}
+		}
+		// The wrapper must agree with the Stats variant on a fresh stream.
+		p2, sig2 := AdaptiveMonteCarloP(obs, m, alpha,
+			PairNullSimulator(NewRNG(streamSeed), n1, n2, rate))
+		if p2 != adaptP || sig2 != adaptSig {
+			t.Fatalf("trial %d: AdaptiveMonteCarloP (%v,%v) != Stats variant (%v,%v)",
+				trial, p2, sig2, adaptP, adaptSig)
+		}
+	}
+	// The sweep must actually exercise both paths to prove anything.
+	if earlyStops == 0 || fullRuns == 0 {
+		t.Fatalf("degenerate sweep: %d early stops, %d full runs", earlyStops, fullRuns)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0.01 {
+		return 0.01
+	}
+	if v > 0.99 {
+		return 0.99
+	}
+	return v
+}

@@ -26,6 +26,19 @@ func MonteCarloP(observed float64, m int, simulate func() float64) float64 {
 	return float64(1+geq) / float64(m+1)
 }
 
+// MCStats reports the simulation effort one Monte-Carlo p-value estimate
+// actually spent — the observability hook behind the audit engine's
+// mc.worlds and mc.early_stops counters. It carries no statistical content;
+// discarding it never changes a decision.
+type MCStats struct {
+	// Worlds is the number of alternative worlds simulated (<= the requested
+	// m when early stopping triggered).
+	Worlds int
+	// EarlyStopped reports whether the estimate returned before exhausting m
+	// because the significance decision was already forced.
+	EarlyStopped bool
+}
+
 // AdaptiveMonteCarloP is MonteCarloP with early stopping for clearly
 // non-significant observations: once the number of simulated statistics
 // meeting or exceeding the observed one guarantees p > alpha — i.e. geq+1 >
@@ -37,8 +50,15 @@ func MonteCarloP(observed float64, m int, simulate func() float64) float64 {
 // true. Early stopping only truncates the stream of a pair that was going to
 // be non-significant anyway, so audits remain deterministic.
 func AdaptiveMonteCarloP(observed float64, m int, alpha float64, simulate func() float64) (p float64, significant bool) {
+	p, significant, _ = AdaptiveMonteCarloPStats(observed, m, alpha, simulate)
+	return p, significant
+}
+
+// AdaptiveMonteCarloPStats is AdaptiveMonteCarloP reporting, in addition,
+// how many worlds were simulated and whether the estimate stopped early.
+func AdaptiveMonteCarloPStats(observed float64, m int, alpha float64, simulate func() float64) (p float64, significant bool, st MCStats) {
 	if m <= 0 {
-		return 1, false
+		return 1, false, MCStats{}
 	}
 	cut := alpha * float64(m+1)
 	geq := 0
@@ -46,12 +66,12 @@ func AdaptiveMonteCarloP(observed float64, m int, alpha float64, simulate func()
 		if simulate() >= observed {
 			geq++
 			if float64(1+geq) > cut {
-				return float64(1+geq) / float64(m+1), false
+				return float64(1+geq) / float64(m+1), false, MCStats{Worlds: i + 1, EarlyStopped: true}
 			}
 		}
 	}
 	p = float64(1+geq) / float64(m+1)
-	return p, p <= alpha
+	return p, p <= alpha, MCStats{Worlds: m}
 }
 
 // PairNullSimulator returns a closure that simulates the paper's pairwise
