@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench lint check
 
 all: check
 
@@ -22,4 +22,10 @@ BENCHFLAGS ?= -benchtime 1x
 bench:
 	$(GO) test -run '^$$' -bench . $(BENCHFLAGS) .
 
-check: build vet test race
+# Project-specific static analysis (see internal/lint and README's "Static
+# analysis" section): determinism, RNG discipline, float safety, nil-safe
+# observability, unchecked errors.
+lint:
+	$(GO) run ./cmd/lcsf-lint ./...
+
+check: build vet test race lint

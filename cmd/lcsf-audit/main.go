@@ -162,7 +162,7 @@ func main() {
 				log.Fatal(err)
 			}
 			if err := fn(f); err != nil {
-				f.Close()
+				_ = f.Close() // the write error is the one worth reporting
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {

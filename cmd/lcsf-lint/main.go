@@ -1,0 +1,91 @@
+// Command lcsf-lint is the project's static-analysis multichecker. It runs
+// the internal/lint analyzer suite — determinism, RNG discipline, float
+// safety, nil-safe observability, and unchecked errors — over the packages
+// matching its arguments (default ./...).
+//
+// Usage:
+//
+//	lcsf-lint [-checks list] [-list] [packages...]
+//
+// Exit status is 0 when the tree is clean, 1 when any diagnostic (or type
+// error) is found, and 2 on operational failure. Diagnostics print as
+// file:line:col: [analyzer] message, sorted by position, so output is stable
+// and diffable in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lcsf/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lcsf-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	dir := fs.String("C", ".", "directory to run the go tool from (module root)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "lcsf-lint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lcsf-lint: %v\n", err)
+		return 2
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			failed = true
+			fmt.Fprintf(stderr, "%v\n", terr)
+		}
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "lcsf-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 || failed {
+		return 1
+	}
+	return 0
+}

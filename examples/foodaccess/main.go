@@ -48,7 +48,7 @@ func main() {
 		cands = append(cands, candidate{idx, part.Regions[idx].PositiveRate()})
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].rate != cands[j].rate {
+		if cands[i].rate != cands[j].rate { //lint:floateq-ok deterministic-tie-break
 			return cands[i].rate > cands[j].rate
 		}
 		return cands[i].idx < cands[j].idx

@@ -144,7 +144,7 @@ func Audit(p *partition.Partitioning, cfg Config) (*Result, error) {
 	}
 	sort.Slice(res.Regions, func(i, j int) bool {
 		a, b := res.Regions[i], res.Regions[j]
-		if a.Tau != b.Tau {
+		if a.Tau != b.Tau { //lint:floateq-ok deterministic-tie-break
 			return a.Tau > b.Tau
 		}
 		return a.Index < b.Index

@@ -162,7 +162,7 @@ func solve(a [][]float64, b []float64) ([]float64, error) {
 // fairness/utility knob of the original mechanism.
 func MakeCFair(p Polynomial, c, lo, hi float64) Polynomial {
 	l := p.LipschitzConstant(lo, hi)
-	if l <= c || l == 0 {
+	if l <= c || l == 0 { //lint:floateq-ok degenerate-Lipschitz-sentinel
 		return p
 	}
 	s := c / l

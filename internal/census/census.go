@@ -130,10 +130,10 @@ func (c Config) withDefaults() Config {
 	if c.NumTracts == 0 {
 		c.NumTracts = 8000
 	}
-	if c.RuralFraction == 0 {
+	if c.RuralFraction == 0 { //lint:floateq-ok zero-value-config-default
 		c.RuralFraction = 0.25
 	}
-	if c.BaseIncome == 0 {
+	if c.BaseIncome == 0 { //lint:floateq-ok zero-value-config-default
 		c.BaseIncome = 70000
 	}
 	if c.Metros == nil {

@@ -2,10 +2,13 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"lcsf/internal/geo"
+	"lcsf/internal/obs"
 	"lcsf/internal/partition"
 	"lcsf/internal/stats"
+	"lcsf/internal/testutil"
 )
 
 func TestAuditFlagsPlantedPair(t *testing.T) {
@@ -155,8 +158,10 @@ func TestResultHelpers(t *testing.T) {
 	if len(set) != 5 {
 		t.Errorf("set size = %d", len(set))
 	}
-	if top := res.Top(2); len(top) != 2 || top[0].Tau != 10 {
+	if top := res.Top(2); len(top) != 2 {
 		t.Errorf("Top(2) = %+v", top)
+	} else {
+		testutil.InDelta(t, "Top(2)[0].Tau", top[0].Tau, 10, 0)
 	}
 	if top := res.Top(99); len(top) != 3 {
 		t.Errorf("Top(99) = %d pairs", len(top))
@@ -203,7 +208,58 @@ func TestAuditPairsSortedByTau(t *testing.T) {
 
 func TestEthicalConfig(t *testing.T) {
 	c := EthicalConfig()
-	if c.Epsilon != 0.01 || c.Delta != 0.01 {
-		t.Errorf("ethical thresholds = %v/%v", c.Epsilon, c.Delta)
+	testutil.InDelta(t, "ethical Epsilon", c.Epsilon, 0.01, 0)
+	testutil.InDelta(t, "ethical Delta", c.Delta, 0.01, 0)
+}
+
+// TestAuditInjectableClock audits under a fake clock and checks (a) no
+// wall-clock reads leak into the timing metrics — the recorded durations are
+// exactly what the fake clock dictates — and (b) the audit result is
+// byte-identical to a wall-clock run, i.e. the clock is observational only.
+func TestAuditInjectableClock(t *testing.T) {
+	p := makeRegions(t, 400)
+	cfg := DefaultConfig()
+	cfg.MinRegionSize = 10
+	cfg.MCWorlds = 99
+
+	var ticks int
+	fakeNow := time.Unix(1700000000, 0)
+	cfg.Clock = func() time.Time {
+		ticks++
+		fakeNow = fakeNow.Add(time.Second)
+		return fakeNow
+	}
+	col := newTestCollector()
+	cfg.Collector = col
+	res, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks == 0 {
+		t.Fatal("injected clock was never consulted")
+	}
+	s := col.Snapshot()
+	h, ok := s.Histograms[obs.MAuditSeconds]
+	if !ok || h.Count != 1 {
+		t.Fatalf("audit.seconds histogram = %+v", h)
+	}
+	if h.Sum <= 0 || h.Sum > float64(ticks) {
+		t.Errorf("audit.seconds sum %v outside fake-clock bounds (0, %d]", h.Sum, ticks)
+	}
+
+	wall := DefaultConfig()
+	wall.MinRegionSize = 10
+	wall.MCWorlds = 99
+	wallRes, err := Audit(p, wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != len(wallRes.Pairs) {
+		t.Fatalf("clock changed the result: %d vs %d pairs", len(res.Pairs), len(wallRes.Pairs))
+	}
+	for i := range res.Pairs {
+		if res.Pairs[i] != wallRes.Pairs[i] {
+			t.Errorf("pair %d differs under fake clock: %+v vs %+v", i, res.Pairs[i], wallRes.Pairs[i])
+		}
 	}
 }

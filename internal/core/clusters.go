@@ -89,7 +89,7 @@ func (r *Result) Clusters() []Cluster {
 		if len(a.Regions) != len(b.Regions) {
 			return len(a.Regions) > len(b.Regions)
 		}
-		if a.MaxTau != b.MaxTau {
+		if a.MaxTau != b.MaxTau { //lint:floateq-ok deterministic-tie-break
 			return a.MaxTau > b.MaxTau
 		}
 		return a.Regions[0] < b.Regions[0]

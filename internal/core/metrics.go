@@ -192,7 +192,7 @@ func (DisparateImpactDissimilarity) Score(a, b *partition.Region) float64 {
 	}
 	sa, sb := a.ProtectedShare(), b.ProtectedShare()
 	hi := math.Max(sa, sb)
-	if hi == 0 {
+	if hi == 0 { //lint:floateq-ok zero-share-sentinel
 		return 1 // both shares zero: identical composition
 	}
 	return math.Min(sa, sb) / hi

@@ -31,7 +31,7 @@ func (g GroupOutcomes) Rate() float64 {
 // reference rate is zero.
 func DisparateImpact(protected, reference GroupOutcomes) float64 {
 	pr, rr := protected.Rate(), reference.Rate()
-	if math.IsNaN(pr) || math.IsNaN(rr) || rr == 0 {
+	if math.IsNaN(pr) || math.IsNaN(rr) || rr == 0 { //lint:floateq-ok zero-rate-sentinel
 		return math.NaN()
 	}
 	return pr / rr

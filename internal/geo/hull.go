@@ -15,7 +15,7 @@ func ConvexHull(pts []Point) Polygon {
 	}
 	sorted := append([]Point(nil), pts...)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].X != sorted[j].X {
+		if sorted[i].X != sorted[j].X { //lint:floateq-ok deterministic-tie-break
 			return sorted[i].X < sorted[j].X
 		}
 		return sorted[i].Y < sorted[j].Y

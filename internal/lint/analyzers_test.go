@@ -1,0 +1,78 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lcsf/internal/lint"
+	"lcsf/internal/lint/linttest"
+)
+
+// Each analyzer gets one fixture package with positive cases (// want
+// comments that must be matched by a diagnostic) and negative cases (clean
+// patterns that must stay silent). The fixture's import path places it
+// inside the analyzer's scope where scoping applies.
+
+func TestNoDeterminism(t *testing.T) {
+	linttest.Run(t, lint.NoDeterminism, "testdata/src/nodeterminism", "lcsf/internal/core/fixture")
+}
+
+func TestRNGDiscipline(t *testing.T) {
+	linttest.Run(t, lint.RNGDiscipline, "testdata/src/rngdiscipline", "lcsf/lintfixture/rngdiscipline")
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, lint.FloatEq, "testdata/src/floateq", "lcsf/lintfixture/floateq")
+}
+
+func TestNilSafeObs(t *testing.T) {
+	linttest.Run(t, lint.NilSafeObs, "testdata/src/nilsafeobs", "lcsf/internal/obs/fixture")
+}
+
+func TestErrCheck(t *testing.T) {
+	linttest.Run(t, lint.ErrCheck, "testdata/src/errcheck", "lcsf/lintfixture/errcheck")
+}
+
+// TestScopedAnalyzersIgnoreOutOfScopePackages rechecks the nodeterminism and
+// nilsafeobs fixtures under neutral import paths: every violation in them
+// must go unreported, because path scoping is what keeps the hot-path rules
+// from harassing examples and cmd binaries.
+func TestScopedAnalyzersIgnoreOutOfScopePackages(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		dir      string
+	}{
+		{lint.NoDeterminism, "testdata/src/nodeterminism"},
+		{lint.NilSafeObs, "testdata/src/nilsafeobs"},
+	}
+	for _, tc := range cases {
+		pkg, err := lint.CheckDir(tc.dir, "lcsf/examples/fixture")
+		if err != nil {
+			t.Fatalf("loading %s: %v", tc.dir, err)
+		}
+		diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{tc.analyzer})
+		if err != nil {
+			t.Fatalf("running %s: %v", tc.analyzer.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s fired out of scope: %s", tc.analyzer.Name, d)
+		}
+	}
+}
+
+// TestAllAnalyzersRegistered pins the multichecker suite so a new analyzer
+// cannot be added without joining All() (and therefore make lint and CI).
+func TestAllAnalyzersRegistered(t *testing.T) {
+	want := []string{"nodeterminism", "rngdiscipline", "floateq", "nilsafeobs", "errcheck"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing Doc or Run", a.Name)
+		}
+	}
+}

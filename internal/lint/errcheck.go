@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errCheckAllowed lists callees whose error results may be dropped without a
+// diagnostic, keyed by package path (functions) or by receiver type
+// (methods). They either cannot fail in practice or their failure is
+// uninteresting by contract:
+//
+//   - fmt printing: returns write errors from the destination; for the
+//     terminal-report code paths here the destination is a strings.Builder,
+//     bytes.Buffer, or standard stream, where failure is not actionable;
+//   - bytes.Buffer and strings.Builder writers: documented to never return
+//     a non-nil error.
+var (
+	errCheckAllowedPkgs = map[string]bool{
+		"fmt": true,
+	}
+	errCheckAllowedRecvs = map[string]bool{
+		"bytes.Buffer":    true,
+		"strings.Builder": true,
+	}
+)
+
+// ErrCheck is a lite errcheck: it flags expression statements that call a
+// function returning an error and drop every result. Assigning to blank
+// (`_ = f()`) is an explicit, greppable acknowledgement and is not flagged;
+// neither are defer/go statements (the error is structurally unreachable
+// there and flagging them produces noise, not fixes). Test files are exempt.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc: "flag unchecked error returns (expression-statement calls whose " +
+		"error result is silently dropped) in non-test code",
+	Run: runErrCheck,
+}
+
+func runErrCheck(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call, errType) || errCheckAllowed(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or assign to _ explicitly", calleeName(pass, call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any of call's results is exactly error.
+func returnsError(pass *Pass, call *ast.CallExpr, errType types.Type) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errCheckAllowed consults the allowlists for call's callee.
+func errCheckAllowed(pass *Pass, call *ast.CallExpr) bool {
+	obj := calleeObject(pass, call)
+	if obj == nil {
+		return false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			recv := sig.Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+				if errCheckAllowedRecvs[key] {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return obj.Pkg() != nil && errCheckAllowedPkgs[obj.Pkg().Path()]
+}
+
+// calleeName renders the callee for the diagnostic message.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

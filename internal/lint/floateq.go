@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point operands. Exact float
+// equality is almost always a bug in statistical code — accumulation order,
+// FMA contraction, and compiler differences all perturb low bits, and NaN
+// never compares equal to anything — so comparisons must be tolerance-based
+// (see testutil.InDelta) or explicitly acknowledged.
+//
+// Deliberate exact comparisons (sentinel values, tie-breaking comparators
+// over values copied from a single computation) are suppressed with a
+// trailing or preceding //lint:floateq-ok comment. Test files are exempt:
+// the fixture harness and table tests legitimately pin exact expected values,
+// and the test sweep uses testutil.InDelta where tolerance is right.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point operands outside tests " +
+		"unless marked //lint:floateq-ok",
+	Run: runFloatEq,
+}
+
+// floatEqOkDirective is the escape-hatch comment, placed on the comparison's
+// line or the line immediately above it.
+const floatEqOkDirective = "lint:floateq-ok"
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		allowed := directiveLines(pass.Fset, file, floatEqOkDirective)
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info.Types[bin.X].Type) && !isFloat(pass.Info.Types[bin.Y].Type) {
+				return true
+			}
+			// Constant-foldable comparisons are computed exactly by the
+			// compiler; there is nothing to drift.
+			if pass.Info.Types[bin.X].Value != nil && pass.Info.Types[bin.Y].Value != nil {
+				return true
+			}
+			if line := pass.Fset.Position(bin.Pos()).Line; allowed[line] {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "exact floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps or testutil.InDelta) or mark //lint:floateq-ok", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// directiveLines returns the set of lines on which the given //lint:...
+// directive suppresses diagnostics: the comment's own line (trailing form)
+// and the following line (preceding form).
+func directiveLines(fset *token.FileSet, file *ast.File, directive string) map[int]bool {
+	lines := map[int]bool{}
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, directive) {
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}

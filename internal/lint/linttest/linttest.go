@@ -1,0 +1,97 @@
+// Package linttest is the project's analysistest analogue: it runs one
+// analyzer over a fixture directory and checks the diagnostics against
+// expectations written in the fixture source as trailing comments:
+//
+//	rand.Seed(1) // want `global math/rand`
+//
+// The backquoted string is an anchored-nowhere regular expression that must
+// match a diagnostic reported on that line; every diagnostic must be matched
+// by a want and every want must match a diagnostic, or the test fails with
+// one line per discrepancy.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"lcsf/internal/lint"
+)
+
+// wantRE extracts the expectation pattern from a "// want `...`" or
+// want-with-double-quotes comment.
+var wantRE = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"([^\"]*)\")")
+
+// Run typechecks the fixture directory dir under the import path pkgPath and
+// applies the analyzer, comparing diagnostics to // want comments. pkgPath
+// matters: path-scoped analyzers (nodeterminism, nilsafeobs) only fire when
+// it lands in their scope.
+func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg, err := lint.CheckDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s has type errors: %v", dir, terr)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type want struct {
+		file    string
+		line    int
+		pattern *regexp.Regexp
+		matched bool
+	}
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern := m[2]
+				if pattern == "" {
+					pattern = m[3]
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pattern, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic at %s matching %q", fmt.Sprintf("%s:%d", shortPath(w.file), w.line), w.pattern)
+		}
+	}
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "testdata/"); i >= 0 {
+		return p[i:]
+	}
+	return p
+}

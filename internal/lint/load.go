@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// A Package is one typechecked target package ready for analysis.
+type Package struct {
+	Path  string // import path the package was checked under
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds soft typechecking errors. Analysis proceeds anyway —
+	// partially typed packages still surface most findings — but the
+	// multichecker reports them so a broken tree is never silently "clean".
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Ignored    bool `json:"-"`
+}
+
+// Load enumerates the packages matching patterns (as the go command
+// understands them, e.g. "./..."), relative to dir, parses their non-test Go
+// files, and typechecks them against compiler export data. Test files are
+// excluded by design: the analyzers enforce production-code invariants, and
+// several (floateq, errcheck) deliberately exempt tests.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportDataImporter(dir, fset)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -json` and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// CheckDir parses and typechecks a single directory of Go files as the
+// package path pkgPath. It is the entry point the fixture test harness uses:
+// fixture directories live under testdata (invisible to the go tool) and are
+// checked under a caller-chosen path so path-scoped analyzers can be
+// exercised.
+func CheckDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := newExportDataImporter(dir, fset)
+	return checkPackage(fset, imp, pkgPath, dir, files)
+}
+
+// checkPackage parses and typechecks one package's files.
+func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		Path:  pkgPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, pkg.Info)
+	pkg.Types = tpkg
+	if pkg.Name = tpkg.Name(); pkg.Name == "" && len(files) > 0 {
+		pkg.Name = files[0].Name.Name
+	}
+	return pkg, nil
+}
+
+// exportDataImporter resolves imports from the compiler's export data,
+// located by asking the go command (`go list -export`). The go build cache
+// already holds export data for everything the module builds, so resolution
+// is fast and needs no network. Results are cached per import path.
+type exportDataImporter struct {
+	dir string
+	gc  types.ImporterFrom
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+}
+
+func newExportDataImporter(dir string, fset *token.FileSet) types.Importer {
+	imp := &exportDataImporter{dir: dir, exports: map[string]string{}}
+	imp.gc = importer.ForCompiler(fset, "gc", imp.lookup).(types.ImporterFrom)
+	return imp
+}
+
+func (imp *exportDataImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return imp.gc.ImportFrom(path, imp.dir, 0)
+}
+
+// lookup opens the export data for one import path, resolving it through the
+// go command on first use.
+func (imp *exportDataImporter) lookup(path string) (io.ReadCloser, error) {
+	imp.mu.Lock()
+	file, ok := imp.exports[path]
+	imp.mu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = imp.dir
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("lint: locating export data for %q: %v\n%s", path, err, stderr.String())
+		}
+		file = strings.TrimSpace(stdout.String())
+		if file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		imp.mu.Lock()
+		imp.exports[path] = file
+		imp.mu.Unlock()
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NilSafeObsScope marks the packages whose Collector must stay nil-safe.
+// Tests may override (nil means every package is in scope).
+var NilSafeObsScope = []string{"internal/obs"}
+
+// NilSafeObs enforces the observability layer's core contract: every exported
+// method on *obs.Collector is a no-op on a nil receiver, so instrumented code
+// can thread an optional collector with zero guards at call sites. A method
+// satisfies the check when its body begins with a nil-receiver guard:
+//
+//   - `if c == nil { return ... }` as the first statement, or
+//   - the entire body wrapped in `if c != nil { ... }`, or
+//   - pure delegation: a single statement calling another method on the
+//     same receiver (nil-safe by induction, e.g. Inc calling c.Count).
+var NilSafeObs = &Analyzer{
+	Name: "nilsafeobs",
+	Doc: "require every exported *obs.Collector method to begin with a " +
+		"nil-receiver guard (or delegate to a guarded method)",
+	Run: runNilSafeObs,
+}
+
+func runNilSafeObs(pass *Pass) error {
+	if !pathInScope(pass.Pkg.Path(), NilSafeObsScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recv := collectorReceiver(fn)
+			if recv == "" {
+				continue
+			}
+			if !nilGuarded(fn.Body, recv) {
+				pass.Reportf(fn.Name.Pos(), "exported method (*Collector).%s must begin with a nil-receiver guard (if %s == nil { ... } / if %s != nil { ... }) or delegate to a guarded method", fn.Name.Name, recv, recv)
+			}
+		}
+	}
+	return nil
+}
+
+// collectorReceiver returns fn's receiver name when fn is a pointer-receiver
+// method on a type named Collector, else "".
+func collectorReceiver(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	field := fn.Recv.List[0]
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := star.X.(*ast.Ident)
+	if !ok || id.Name != "Collector" {
+		return ""
+	}
+	if len(field.Names) == 0 {
+		return "" // anonymous receiver can never be guarded
+	}
+	return field.Names[0].Name
+}
+
+// nilGuarded reports whether body begins with an accepted nil-receiver
+// guard for receiver recv.
+func nilGuarded(body *ast.BlockStmt, recv string) bool {
+	if recv == "_" || len(body.List) == 0 {
+		return false
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		if op, lhs := guardShape(first.Cond, recv); op == token.EQL && lhs {
+			// `if c == nil { return ... }` — the branch must terminate.
+			if n := len(first.Body.List); n > 0 {
+				if _, ok := first.Body.List[n-1].(*ast.ReturnStmt); ok {
+					return true
+				}
+			}
+			return false
+		} else if op == token.NEQ && lhs && len(body.List) == 1 && first.Else == nil {
+			// whole body inside `if c != nil { ... }`
+			return true
+		}
+	case *ast.ExprStmt:
+		if len(body.List) == 1 {
+			return delegatesToReceiver(first.X, recv)
+		}
+	case *ast.ReturnStmt:
+		if len(body.List) == 1 && len(first.Results) == 1 {
+			return delegatesToReceiver(first.Results[0], recv)
+		}
+	}
+	return false
+}
+
+// guardShape decomposes `recv == nil` / `recv != nil` (either operand
+// order); lhs reports whether the comparison involves recv and nil at all.
+func guardShape(cond ast.Expr, recv string) (token.Token, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return token.ILLEGAL, false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y)) {
+		return bin.Op, true
+	}
+	return token.ILLEGAL, false
+}
+
+// delegatesToReceiver reports whether e is a call of the form recv.Method(...).
+func delegatesToReceiver(e ast.Expr, recv string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == recv
+}

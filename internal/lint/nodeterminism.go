@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NoDeterminismScope lists the import-path substrings that mark a package as
+// a determinism-critical hot path. Audits must be bit-reproducible in
+// (input, Config), so the core engine and the statistical machinery may not
+// read wall clocks or ambient randomness. Tests may override this (nil means
+// every package is in scope).
+var NoDeterminismScope = []string{"internal/core", "internal/stats"}
+
+// NoDeterminismAllowlist names functions (as "pkgpath.Func" or
+// "pkgpath.(Type).Method") permitted to read the wall clock — e.g. a timing
+// wrapper that feeds only observability, never results. It is deliberately
+// empty: internal/core injects time through Config.Clock instead, and the
+// allowlist existing (but staying empty) keeps the escape hatch visible.
+var NoDeterminismAllowlist = map[string]bool{}
+
+// NoDeterminism forbids nondeterminism sources in hot-path packages:
+//
+//   - importing math/rand or math/rand/v2 (global, seed-racy streams — use
+//     stats.RNG, which is deterministic in its seed);
+//   - calling time.Now or time.Since outside an allowlisted wrapper;
+//   - appending to a slice while ranging over a map with no subsequent sort
+//     in the same function (map iteration order would leak into results).
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid global math/rand, wall-clock reads, and unsorted map-order appends " +
+		"in determinism-critical packages (internal/core, internal/stats)",
+	Run: runNoDeterminism,
+}
+
+func runNoDeterminism(pass *Pass) error {
+	if !pathInScope(pass.Pkg.Path(), NoDeterminismScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in determinism-critical package; use stats.RNG seeded from Config.Seed", path)
+			}
+		}
+	}
+	walkFunctions(pass, func(name string, body *ast.BlockStmt) {
+		allowed := NoDeterminismAllowlist[pass.Pkg.Path()+"."+name]
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if obj := calleeObject(pass, n); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+					if (obj.Name() == "Now" || obj.Name() == "Since") && !allowed {
+						pass.Reportf(n.Pos(), "wall-clock read time.%s in determinism-critical package; inject a clock (e.g. core.Config.Clock) or allowlist a timing wrapper", obj.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapOrderAppend(pass, n, body)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkMapOrderAppend flags `for k := range m { s = append(s, ...) }` where m
+// is a map and s is declared outside the loop, unless the enclosing function
+// later sorts s. Such appends bake map iteration order — which Go randomizes
+// — into the slice.
+func checkMapOrderAppend(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	t := pass.Info.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+			return true
+		}
+		target, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.ObjectOf(target)
+		if obj == nil || obj.Name() == "_" {
+			return true
+		}
+		// Appending to a loop-local slice is fine; the hazard is a slice
+		// that outlives the map iteration.
+		if rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End() {
+			return true
+		}
+		if !sortedAfter(pass, fnBody, obj, rng.End()) {
+			pass.Reportf(assign.Pos(), "append to %s in map iteration order without a subsequent sort; iterate sorted keys or sort %s before use", obj.Name(), obj.Name())
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether fn contains, after pos, a call into sort or
+// slices that mentions obj (sort.Slice(s, ...), slices.Sort(s), sort.Ints(s),
+// s-referencing comparator closures included).
+func sortedAfter(pass *Pass, fn *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgObj, isPkg := pass.Info.ObjectOf(pkgIdent).(*types.PkgName); !isPkg ||
+			(pkgObj.Imported().Path() != "sort" && pkgObj.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// pathInScope reports whether pkgPath matches any scope substring; a nil
+// scope means everything is in scope (used by fixture tests).
+func pathInScope(pkgPath string, scope []string) bool {
+	if scope == nil {
+		return true
+	}
+	for _, s := range scope {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFunctions visits every function and method body in the package with a
+// printable name ("Func", "(Type).Method", or "Func.func1" for literals
+// nested in Func).
+func walkFunctions(pass *Pass, visit func(name string, body *ast.BlockStmt)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			visit(funcDeclName(fn), fn.Body)
+		}
+	}
+}
+
+// funcDeclName renders a FuncDecl's allowlist key: "Func" or "(Type).Method".
+func funcDeclName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// calleeObject resolves the object a call's function expression names, or nil
+// for dynamic calls, builtins, and type conversions.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return pass.Info.ObjectOf(fun.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+// Fixture: dropped error results the errcheck analyzer must catch.
+package fixture
+
+import (
+	"errors"
+	"os"
+)
+
+func fail() error { return errors.New("boom") }
+
+func failWithValue() (int, error) { return 0, errors.New("boom") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func dropped() {
+	fail()          // want `error result of fail is dropped`
+	failWithValue() // want `error result of failWithValue is dropped`
+	os.Remove("x")  // want `error result of os.Remove is dropped`
+	var c closer
+	c.Close() // want `error result of c.Close is dropped`
+}

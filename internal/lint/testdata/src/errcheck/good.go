@@ -1,0 +1,44 @@
+// Fixture: error handling the errcheck analyzer must accept.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return mayFail()
+}
+
+// explicitDrop acknowledges the discard; blank assignment is greppable.
+func explicitDrop() {
+	_ = mayFail()
+}
+
+// deferredDrop is out of scope for the lite checker.
+func deferredDrop() {
+	defer mayFail()
+}
+
+// allowlisted callees never fail interestingly.
+func allowlisted() string {
+	var sb strings.Builder
+	sb.WriteString("ok")
+	var buf bytes.Buffer
+	buf.WriteByte('!')
+	fmt.Println("ok")
+	return sb.String() + buf.String()
+}
+
+// pureValue returns no error at all.
+func pureValue() int { return 1 }
+
+func noError() {
+	pureValue()
+}

@@ -1,0 +1,24 @@
+// Fixture: exact float comparisons the floateq analyzer must catch.
+package fixture
+
+// equalExact compares float64 values bit-for-bit.
+func equalExact(a, b float64) bool {
+	return a == b // want `exact floating-point == comparison`
+}
+
+// notEqualExact compares float32 values bit-for-bit.
+func notEqualExact(a, b float32) bool {
+	return a != b // want `exact floating-point != comparison`
+}
+
+// constOperand still drifts: p is a runtime value.
+func constOperand(p float64) bool {
+	return p == 0.5 // want `exact floating-point == comparison`
+}
+
+type score float64
+
+// namedFloat catches defined types with a float underlying type.
+func namedFloat(a, b score) bool {
+	return a == b // want `exact floating-point == comparison`
+}

@@ -1,0 +1,7 @@
+// Fixture: test files are exempt from floateq — table tests legitimately pin
+// exact expected values. No diagnostics expected anywhere in this file.
+package fixture
+
+func exactInTest(a, b float64) bool {
+	return a == b
+}

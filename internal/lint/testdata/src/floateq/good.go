@@ -1,0 +1,28 @@
+// Fixture: float handling the floateq analyzer must allow.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// within is the sanctioned tolerance comparison.
+func within(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// sentinel is a deliberate exact comparison, acknowledged inline.
+func sentinel(p float64) bool {
+	return p == 0 //lint:floateq-ok zero sentinel
+}
+
+// sentinelAbove is acknowledged by a directive on the preceding line.
+func sentinelAbove(p float64) bool {
+	//lint:floateq-ok NaN-propagating sentinel
+	return p != p
+}
+
+// ordered comparisons carry no exactness hazard.
+func above(x float64) bool { return x > 1 }
+
+// integer equality is exact by construction.
+func ints(a, b int) bool { return a == b }

@@ -1,0 +1,36 @@
+// Fixture: Collector methods missing a nil-receiver guard. Checked under a
+// package path inside internal/obs, so the Collector contract applies.
+package fixture
+
+// Collector mirrors the shape of obs.Collector.
+type Collector struct {
+	n int64
+}
+
+// Unguarded dereferences the receiver immediately.
+func (c *Collector) Unguarded(n int64) { // want `must begin with a nil-receiver guard`
+	c.n += n
+}
+
+// GuardTooLate crashes before its guard runs.
+func (c *Collector) GuardTooLate(n int64) { // want `must begin with a nil-receiver guard`
+	c.n += n
+	if c == nil {
+		return
+	}
+}
+
+// GuardNoReturn tests nil but falls through to the dereference anyway.
+func (c *Collector) GuardNoReturn(n int64) { // want `must begin with a nil-receiver guard`
+	if c == nil {
+		n++
+	}
+	c.n += n
+}
+
+// WrongDelegate calls a function, not a method on the receiver.
+func (c *Collector) WrongDelegate(n int64) { // want `must begin with a nil-receiver guard`
+	add(c, n)
+}
+
+func add(c *Collector, n int64) { c.n += n }

@@ -1,0 +1,41 @@
+// Fixture: nil-safe Collector methods the analyzer must accept.
+package fixture
+
+// GuardReturn uses the early-return guard form.
+func (c *Collector) GuardReturn(n int64) {
+	if c == nil {
+		return
+	}
+	c.n += n
+}
+
+// GuardWrap wraps the whole body in the non-nil branch.
+func (c *Collector) GuardWrap(n int64) {
+	if c != nil {
+		c.n += n
+	}
+}
+
+// GuardValue returns a zero value for a nil receiver.
+func (c *Collector) GuardValue() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Inc delegates to a guarded method — nil-safe by induction (the obs.Inc
+// pattern).
+func (c *Collector) Inc() { c.GuardReturn(1) }
+
+// Total delegates through a return statement.
+func (c *Collector) Total() int64 { return c.GuardValue() }
+
+// unexported methods are internal plumbing, out of contract.
+func (c *Collector) snapshot() int64 { return c.n }
+
+// Gauge is not the Collector; other types carry no nil-safety contract.
+type Gauge struct{ v float64 }
+
+// Set may assume a non-nil receiver.
+func (g *Gauge) Set(v float64) { g.v = v }

@@ -1,0 +1,28 @@
+// Fixture: determinism violations the nodeterminism analyzer must catch.
+// Checked under a package path inside internal/core, so it is in scope.
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand`
+	"time"
+)
+
+// globalRand draws from the global math/rand stream (flagged at the import).
+func globalRand() int {
+	return rand.Intn(10)
+}
+
+// wallClock reads ambient time twice.
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock read time.Now`
+	return time.Since(start) // want `wall-clock read time.Since`
+}
+
+// mapOrderLeak returns keys in map iteration order with no sort.
+func mapOrderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map iteration order`
+	}
+	return keys
+}

@@ -1,0 +1,55 @@
+// Fixture: determinism-respecting patterns the analyzer must not flag.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+// sortedKeys appends in map order but sorts before returning.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedPairs sorts via a comparator closure referencing the slice.
+func sortedPairs(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// injectedClock takes its time source as a parameter (the Config.Clock
+// pattern); referencing time.Time as a type is not a wall-clock read.
+func injectedClock(now func() time.Time) time.Duration {
+	start := now()
+	return now().Sub(start)
+}
+
+// loopLocal appends to a slice scoped inside the iteration; order cannot
+// leak past one key's processing.
+func loopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		total += len(acc)
+	}
+	return total
+}
+
+// rangeSlice iterates a slice, which is ordered; appends are fine.
+func rangeSlice(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Fixture: RNG-sharing violations the rngdiscipline analyzer must catch.
+package fixture
+
+import (
+	"sync"
+
+	"lcsf/internal/stats"
+)
+
+// sharedAcrossLoop launches one goroutine per shard, every one of them
+// drawing from the same stream.
+func sharedAcrossLoop(shards int) {
+	rng := stats.NewRNG(1)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = rng.Float64() // want `captured by a goroutine launched in a loop`
+		}()
+	}
+	wg.Wait()
+}
+
+// sharedTwice captures one generator in two distinct goroutine closures.
+func sharedTwice() {
+	rng := stats.NewRNG(2)
+	done := make(chan struct{}, 2)
+	go func() {
+		_ = rng.Float64() // want `captured by 2 goroutine-spawning closures`
+		done <- struct{}{}
+	}()
+	go func() {
+		_ = rng.Uint64() // want `captured by 2 goroutine-spawning closures`
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,49 @@
+// Fixture: disciplined per-goroutine RNG derivation the analyzer must allow.
+package fixture
+
+import (
+	"sync"
+
+	"lcsf/internal/stats"
+)
+
+// splitPerShard derives one independent stream per goroutine with Split;
+// the parent never crosses a goroutine boundary.
+func splitPerShard(shards int) {
+	parent := stats.NewRNG(1)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		rng := parent.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = rng.Float64()
+		}()
+	}
+	wg.Wait()
+}
+
+// seededPerShard passes a freshly seeded generator as a parameter (the
+// core.pairSeed pattern); the closure captures nothing.
+func seededPerShard(shards int) {
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(r *stats.RNG) {
+			defer wg.Done()
+			_ = r.Float64()
+		}(stats.NewRNG(uint64(i)))
+	}
+	wg.Wait()
+}
+
+// singleGoroutine hands the generator to exactly one goroutine and never
+// touches it again; one stream, one owner.
+func singleGoroutine() {
+	rng := stats.NewRNG(3)
+	done := make(chan float64, 1)
+	go func() {
+		done <- rng.Float64()
+	}()
+	<-done
+}

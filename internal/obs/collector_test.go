@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lcsf/internal/testutil"
 )
 
 // TestNilCollector proves every method is a safe no-op on nil — the contract
@@ -43,14 +45,16 @@ func TestCollectorRecordsAndSnapshots(t *testing.T) {
 	if s.Counter(MAuditRuns) != 1 || s.Counter(MAuditMCWorlds) != 999 {
 		t.Errorf("counters = %+v", s.Counters)
 	}
-	if s.Gauges[MHTTPInFlight] != 3 {
-		t.Errorf("gauges = %+v", s.Gauges)
-	}
-	if h := s.Histograms[MAuditSeconds]; h.Count != 1 || h.Sum != 0.05 {
+	testutil.InDelta(t, "in-flight gauge", s.Gauges[MHTTPInFlight], 3, 0)
+	if h := s.Histograms[MAuditSeconds]; h.Count != 1 {
 		t.Errorf("seconds hist = %+v", h)
+	} else {
+		testutil.InDelta(t, "seconds hist sum", h.Sum, 0.05, 1e-12)
 	}
-	if h := s.Histograms[MHTTPBodyBytes]; h.Count != 1 || h.Sum != 2048 {
+	if h := s.Histograms[MHTTPBodyBytes]; h.Count != 1 {
 		t.Errorf("bytes hist = %+v", h)
+	} else {
+		testutil.InDelta(t, "bytes hist sum", h.Sum, 2048, 0)
 	}
 	evs := c.Events().Recent(0)
 	if len(evs) != 1 || evs[0].RequestID != "req-9" {
@@ -88,7 +92,5 @@ func TestCollectorConcurrent(t *testing.T) {
 	if s.Counter(MAuditCandidates) != workers*iters {
 		t.Errorf("candidates = %d", s.Counter(MAuditCandidates))
 	}
-	if s.Gauges[MHTTPInFlight] != 0 {
-		t.Errorf("in-flight gauge = %v, want 0", s.Gauges[MHTTPInFlight])
-	}
+	testutil.InDelta(t, "in-flight gauge after drain", s.Gauges[MHTTPInFlight], 0, 0)
 }

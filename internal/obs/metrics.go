@@ -76,7 +76,7 @@ func NewHistogram(bounds []float64) *Histogram {
 	sort.Float64s(bs)
 	uniq := bs[:0]
 	for i, b := range bs {
-		if i == 0 || b != bs[i-1] {
+		if i == 0 || b != bs[i-1] { //lint:floateq-ok exact-duplicate-bound-dedup
 			uniq = append(uniq, b)
 		}
 	}

@@ -99,16 +99,16 @@ func (c Config) withDefaults() Config {
 	if c.DesertStrength <= 0 {
 		c.DesertStrength = 0.8
 	}
-	if c.JitterFraction == 0 {
+	if c.JitterFraction == 0 { //lint:floateq-ok zero-value-config-default
 		c.JitterFraction = 0.9
 	}
 	if c.JitterFraction < 0 {
 		c.JitterFraction = 0
 	}
-	if c.JitterSigmaX == 0 {
+	if c.JitterSigmaX == 0 { //lint:floateq-ok zero-value-config-default
 		c.JitterSigmaX = 1.4
 	}
-	if c.JitterSigmaY == 0 {
+	if c.JitterSigmaY == 0 { //lint:floateq-ok zero-value-config-default
 		c.JitterSigmaY = 0.9
 	}
 	return c

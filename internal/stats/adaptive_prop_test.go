@@ -1,6 +1,11 @@
 package stats
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"lcsf/internal/testutil"
+)
 
 // TestAdaptivePropertyAgreement is a randomized property test over a wide
 // sweep of region sizes, pooled rates, world counts, and alpha levels: on
@@ -44,8 +49,9 @@ func TestAdaptivePropertyAgreement(t *testing.T) {
 			t.Fatalf("trial %d (n=%d/%d m=%d alpha=%v): adaptive sig=%v but exact p=%v",
 				trial, n1, n2, m, alpha, adaptSig, exact)
 		}
-		if adaptSig && adaptP != exact {
-			t.Fatalf("trial %d: significant p=%v must be exact %v", trial, adaptP, exact)
+		if adaptSig {
+			// Identical streams: the significant p-value must match exactly.
+			testutil.InDelta(t, fmt.Sprintf("trial %d significant p", trial), adaptP, exact, 0)
 		}
 		if !adaptSig && (adaptP <= alpha || adaptP > 1) {
 			t.Fatalf("trial %d: non-significant bound p=%v outside (alpha,1]", trial, adaptP)
@@ -64,10 +70,11 @@ func TestAdaptivePropertyAgreement(t *testing.T) {
 		// The wrapper must agree with the Stats variant on a fresh stream.
 		p2, sig2 := AdaptiveMonteCarloP(obs, m, alpha,
 			PairNullSimulator(NewRNG(streamSeed), n1, n2, rate))
-		if p2 != adaptP || sig2 != adaptSig {
-			t.Fatalf("trial %d: AdaptiveMonteCarloP (%v,%v) != Stats variant (%v,%v)",
-				trial, p2, sig2, adaptP, adaptSig)
+		if sig2 != adaptSig {
+			t.Fatalf("trial %d: AdaptiveMonteCarloP sig=%v, Stats variant sig=%v",
+				trial, sig2, adaptSig)
 		}
+		testutil.InDelta(t, fmt.Sprintf("trial %d wrapper p", trial), p2, adaptP, 0)
 	}
 	// The sweep must actually exercise both paths to prove anything.
 	if earlyStops == 0 || fullRuns == 0 {

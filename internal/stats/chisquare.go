@@ -36,7 +36,7 @@ func regularizedGammaP(a, x float64) float64 {
 	if x < 0 || a <= 0 {
 		return math.NaN()
 	}
-	if x == 0 {
+	if x == 0 { //lint:floateq-ok exact-zero-boundary
 		return 0
 	}
 	if x < a+1 {

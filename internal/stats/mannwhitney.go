@@ -45,7 +45,7 @@ func MannWhitneyU(xs, ys []float64) MannWhitneyResult {
 	var rankSum1, tieTerm float64
 	for i := 0; i < len(all); {
 		j := i
-		for j < len(all) && all[j].v == all[i].v {
+		for j < len(all) && all[j].v == all[i].v { //lint:floateq-ok exact-tie-grouping
 			j++
 		}
 		t := float64(j - i)

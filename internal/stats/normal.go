@@ -31,9 +31,9 @@ func NormalQuantile(p float64) float64 {
 	switch {
 	case math.IsNaN(p) || p < 0 || p > 1:
 		return math.NaN()
-	case p == 0:
+	case p == 0: //lint:floateq-ok exact-tail-boundary
 		return math.Inf(-1)
-	case p == 1:
+	case p == 1: //lint:floateq-ok exact-tail-boundary
 		return math.Inf(1)
 	}
 

@@ -21,8 +21,8 @@ func TwoProportionPower(p1 float64, n1 int, p2 float64, n2 int, alpha float64) f
 	pBar := (p1*float64(n1) + p2*float64(n2)) / float64(n1+n2)
 	se0 := math.Sqrt(pBar * (1 - pBar) * (1/float64(n1) + 1/float64(n2)))
 	se1 := math.Sqrt(p1*(1-p1)/float64(n1) + p2*(1-p2)/float64(n2))
-	if se1 == 0 {
-		if p1 != p2 {
+	if se1 == 0 { //lint:floateq-ok degenerate-variance-sentinel
+		if p1 != p2 { //lint:floateq-ok degenerate-variance-sentinel
 			return 1
 		}
 		return alpha
@@ -40,7 +40,7 @@ func TwoProportionPower(p1 float64, n1 int, p2 float64, n2 int, alpha float64) f
 // between p1 and p2 with at least the target power. It returns -1 when the
 // inputs are degenerate (no gap, bad alpha/power).
 func SampleSizeForGap(p1, p2, alpha, power float64) int {
-	if p1 == p2 || alpha <= 0 || alpha >= 1 || power <= 0 || power >= 1 ||
+	if p1 == p2 || alpha <= 0 || alpha >= 1 || power <= 0 || power >= 1 || //lint:floateq-ok degenerate-input-guard
 		p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 {
 		return -1
 	}

@@ -3,6 +3,8 @@ package stats
 import (
 	"math"
 	"testing"
+
+	"lcsf/internal/testutil"
 )
 
 func TestTwoProportionPowerKnownBehavior(t *testing.T) {
@@ -57,12 +59,8 @@ func TestTwoProportionPowerDegenerate(t *testing.T) {
 		t.Error("alpha=0 should be NaN")
 	}
 	// Both proportions at the boundary: se1=0.
-	if got := TwoProportionPower(1, 10, 0, 10, 0.05); got != 1 {
-		t.Errorf("certain gap power = %v, want 1", got)
-	}
-	if got := TwoProportionPower(1, 10, 1, 10, 0.05); got != 0.05 {
-		t.Errorf("certain no-gap power = %v, want alpha", got)
-	}
+	testutil.InDelta(t, "certain gap power", TwoProportionPower(1, 10, 0, 10, 0.05), 1, 0)
+	testutil.InDelta(t, "certain no-gap power", TwoProportionPower(1, 10, 1, 10, 0.05), 0.05, 0)
 }
 
 func TestSampleSizeForGap(t *testing.T) {

@@ -51,7 +51,7 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j < n && xs[order[j]] == xs[order[i]] {
+		for j < n && xs[order[j]] == xs[order[i]] { //lint:floateq-ok exact-tie-grouping
 			j++
 		}
 		mid := float64(i+j+1) / 2
@@ -74,7 +74,7 @@ func pearson(xs, ys []float64) float64 {
 		syy += dy * dy
 	}
 	den := math.Sqrt(sxx * syy)
-	if den == 0 {
+	if den == 0 { //lint:floateq-ok degenerate-variance-sentinel
 		return math.NaN()
 	}
 	return sxy / den

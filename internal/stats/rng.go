@@ -137,6 +137,16 @@ func (r *RNG) Binomial(n int, p float64) int {
 	return k
 }
 
+// Split derives a child generator on an independent stream, advancing the
+// parent. Splitting is deterministic: the child's stream is a function of the
+// parent's state, so (seed, split order) fully determines every stream. Use
+// one Split per goroutine — the rngdiscipline analyzer forbids sharing a
+// single *RNG across goroutine-spawning closures, and this is the sanctioned
+// way to fan a deterministic experiment out over workers.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
 // Shuffle randomly permutes the first n elements using swap, in the manner of
 // sort.Slice's swap callback.
 func (r *RNG) Shuffle(n int, swap func(i, j int)) {

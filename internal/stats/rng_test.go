@@ -162,3 +162,32 @@ func TestRNGExpPositiveMean(t *testing.T) {
 		t.Errorf("Exp mean = %v, want ~1", m)
 	}
 }
+
+func TestRNGSplitIndependentAndDeterministic(t *testing.T) {
+	// Same parent seed and split order must reproduce the same child streams.
+	a, b := NewRNG(42), NewRNG(42)
+	ca1, ca2 := a.Split(), a.Split()
+	cb1, cb2 := b.Split(), b.Split()
+	for i := 0; i < 100; i++ {
+		if ca1.Uint64() != cb1.Uint64() || ca2.Uint64() != cb2.Uint64() {
+			t.Fatal("Split is not deterministic in (seed, split order)")
+		}
+	}
+
+	// Sibling streams and the advanced parent must not mirror one another.
+	parent := NewRNG(42)
+	c1, c2 := parent.Split(), parent.Split()
+	same12, sameP1 := 0, 0
+	for i := 0; i < 1000; i++ {
+		v1, v2, vp := c1.Uint32(), c2.Uint32(), parent.Uint32()
+		if v1 == v2 {
+			same12++
+		}
+		if v1 == vp {
+			sameP1++
+		}
+	}
+	if same12 > 2 || sameP1 > 2 {
+		t.Errorf("split streams correlate: %d/%d collisions", same12, sameP1)
+	}
+}

@@ -26,8 +26,8 @@ func WelchT(xs, ys []float64) WelchTResult {
 	v1, v2 := SampleVariance(xs), SampleVariance(ys)
 	se1, se2 := v1/float64(n1), v2/float64(n2)
 	se := math.Sqrt(se1 + se2)
-	if se == 0 {
-		if m1 == m2 {
+	if se == 0 { //lint:floateq-ok degenerate-variance-sentinel
+		if m1 == m2 { //lint:floateq-ok degenerate-variance-sentinel
 			return WelchTResult{T: 0, DF: float64(n1 + n2 - 2), P: 1}
 		}
 		return WelchTResult{T: math.Inf(1), DF: float64(n1 + n2 - 2), P: 0}

@@ -47,7 +47,7 @@ func (t *Table) WriteCSVFile(path string) error {
 		return err
 	}
 	if err := t.WriteCSV(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth returning
 		return err
 	}
 	return f.Close()

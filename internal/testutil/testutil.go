@@ -1,0 +1,43 @@
+// Package testutil holds shared test helpers. Its centerpiece is InDelta,
+// the tolerance-based float comparison that replaces exact == / != in tests:
+// the floateq analyzer bans exact float comparisons from production code,
+// and the test suite follows the same discipline by convention.
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+// InDelta fails t unless got is within delta of want. NaN handling follows
+// assertion semantics rather than IEEE semantics: two NaNs agree, a NaN on
+// one side only is a failure. A delta of 0 asserts exact equality while
+// still reporting through the shared helper (used where two code paths must
+// agree bit-for-bit, e.g. adaptive vs. exact Monte-Carlo p-values on
+// identical streams).
+func InDelta(t testing.TB, name string, got, want, delta float64) {
+	t.Helper()
+	if math.IsNaN(got) && math.IsNaN(want) {
+		return
+	}
+	if math.IsNaN(got) != math.IsNaN(want) || math.Abs(got-want) > delta {
+		t.Errorf("%s = %v, want %v ± %v", name, got, want, delta)
+	}
+}
+
+// InDeltaSlice applies InDelta elementwise after checking lengths match.
+func InDeltaSlice(t testing.TB, name string, got, want []float64, delta float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: length %d, want %d", name, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if math.IsNaN(got[i]) && math.IsNaN(want[i]) {
+			continue
+		}
+		if math.IsNaN(got[i]) != math.IsNaN(want[i]) || math.Abs(got[i]-want[i]) > delta {
+			t.Errorf("%s[%d] = %v, want %v ± %v", name, i, got[i], want[i], delta)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+// recorder captures Errorf calls so the helper itself can be tested.
+type recorder struct {
+	testing.TB
+	failures int
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) { r.failures++ }
+
+func TestInDelta(t *testing.T) {
+	cases := []struct {
+		name             string
+		got, want, delta float64
+		fail             bool
+	}{
+		{"exact", 1.0, 1.0, 0, false},
+		{"within", 1.0, 1.0000001, 1e-6, false},
+		{"outside", 1.0, 1.1, 1e-6, true},
+		{"both NaN", math.NaN(), math.NaN(), 0, false},
+		{"one NaN", math.NaN(), 1.0, 1e9, true},
+		{"zero delta mismatch", 1.0, math.Nextafter(1, 2), 0, true},
+	}
+	for _, tc := range cases {
+		r := &recorder{}
+		InDelta(r, tc.name, tc.got, tc.want, tc.delta)
+		if failed := r.failures > 0; failed != tc.fail {
+			t.Errorf("%s: failed=%v, want %v", tc.name, failed, tc.fail)
+		}
+	}
+}
+
+func TestInDeltaSlice(t *testing.T) {
+	r := &recorder{}
+	InDeltaSlice(r, "ok", []float64{1, 2, math.NaN()}, []float64{1, 2.0000001, math.NaN()}, 1e-6)
+	if r.failures != 0 {
+		t.Errorf("clean slice reported %d failures", r.failures)
+	}
+	r = &recorder{}
+	InDeltaSlice(r, "len", []float64{1}, []float64{1, 2}, 1e-6)
+	if r.failures != 1 {
+		t.Errorf("length mismatch reported %d failures, want 1", r.failures)
+	}
+	r = &recorder{}
+	InDeltaSlice(r, "elem", []float64{1, 5}, []float64{1, 2}, 1e-6)
+	if r.failures != 1 {
+		t.Errorf("element mismatch reported %d failures, want 1", r.failures)
+	}
+}
