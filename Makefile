@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench lint check
+.PHONY: all build test race vet bench bench-smoke lint check
 
 all: check
 
@@ -22,10 +22,16 @@ BENCHFLAGS ?= -benchtime 1x
 bench:
 	$(GO) test -run '^$$' -bench . $(BENCHFLAGS) .
 
+# One -race pass over the dense-audit benchmarks: cheap enough for every
+# check run, and it exercises the audit's parallel precompute phase, dynamic
+# row scheduler, and zero-alloc pair kernel under the race detector.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'AuditDense/R' -benchtime 1x -race .
+
 # Project-specific static analysis (see internal/lint and README's "Static
 # analysis" section): determinism, RNG discipline, float safety, nil-safe
 # observability, unchecked errors.
 lint:
 	$(GO) run ./cmd/lcsf-lint ./...
 
-check: build vet test race lint
+check: build vet test race bench-smoke lint

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"lcsf/internal/core"
+	"lcsf/internal/experiments"
+)
+
+// auditBenchSizes are the dense-audit universe sizes the perf-trajectory file
+// tracks. R=100 is the smoke size, R=400 the headline the README's perf notes
+// quote, R=1000 the half-million-pair stress point.
+var auditBenchSizes = []int{100, 400, 1000}
+
+// auditBenchResult is one row of BENCH_audit.json: the cost of one full dense
+// audit at a given region count, plus the derived pair throughput.
+type auditBenchResult struct {
+	Regions     int     `json:"regions"`
+	Pairs       int     `json:"pairs"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+}
+
+type auditBenchFile struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	CPUs       int                `json:"cpus"`
+	Config     string             `json:"config"`
+	Benchmarks []auditBenchResult `json:"benchmarks"`
+}
+
+// runAuditBench benchmarks one full audit of the R-region dense universe
+// under the default configuration, via the testing package's benchmark driver
+// so ns/op and allocs/op come from the same machinery as `go test -bench`.
+func runAuditBench(regions int) (auditBenchResult, error) {
+	p := experiments.DenseAuditPartitioning(regions, 1)
+	var benchErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Audit(p, core.DefaultConfig()); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return auditBenchResult{}, benchErr
+	}
+	pairs := regions * (regions - 1) / 2
+	ns := br.NsPerOp()
+	res := auditBenchResult{
+		Regions:     regions,
+		Pairs:       pairs,
+		NsPerOp:     ns,
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+	if ns > 0 {
+		res.PairsPerSec = float64(pairs) / (float64(ns) / 1e9)
+	}
+	return res, nil
+}
+
+// writeAuditBench runs the dense-audit benchmark at every tracked size and
+// writes the results as indented JSON to path, echoing each row to stdout as
+// it lands so long runs show progress.
+func writeAuditBench(path string) error {
+	out := auditBenchFile{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Config:    "DefaultConfig",
+	}
+	for _, r := range auditBenchSizes {
+		res, err := runAuditBench(r)
+		if err != nil {
+			return fmt.Errorf("R=%d: %w", r, err)
+		}
+		fmt.Printf("audit-bench R=%d: %d pairs, %.3fs/op, %d allocs/op, %.0f pairs/sec\n",
+			r, res.Pairs, float64(res.NsPerOp)/1e9, res.AllocsPerOp, res.PairsPerSec)
+		out.Benchmarks = append(out.Benchmarks, res)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	lcsf-bench                  # everything (a few minutes)
-//	lcsf-bench -quick           # skip the three partitioning sweeps
-//	lcsf-bench -only table2     # one artifact
+//	lcsf-bench                              # everything (a few minutes)
+//	lcsf-bench -quick                       # skip the three partitioning sweeps
+//	lcsf-bench -only table2                 # one artifact
+//	lcsf-bench -audit-bench BENCH_audit.json  # dense-audit perf trajectory only
 package main
 
 import (
@@ -32,8 +33,16 @@ func main() {
 		only    = flag.String("only", "", "run a single artifact: table1, di, comparison, figure1, figure2, figure3, figures45, figure6, food, detection, ablations, table2, table3, table4")
 		svgDir  = flag.String("svg-dir", "", "also render the map figures as SVG files into this directory")
 		metrics = flag.Bool("metrics", true, "print an audit-engine metrics summary on exit")
+		abench  = flag.String("audit-bench", "", "run the dense-audit benchmarks (R=100, 400, 1000), write results as JSON to this file, and exit")
 	)
 	flag.Parse()
+
+	if *abench != "" {
+		if err := writeAuditBench(*abench); err != nil {
+			log.Fatalf("audit-bench: %v", err)
+		}
+		return
+	}
 
 	// The experiments suite builds its own audit configs, so the collector
 	// is installed as the package default rather than threaded through each

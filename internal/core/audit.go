@@ -61,7 +61,9 @@ type Config struct {
 	// testable without wall-clock reads and so the determinism linter's
 	// allowlist stays empty: results never depend on the clock — only
 	// observability does — and nodeterminism enforces that no bare time.Now
-	// creeps back into this package.
+	// creeps back into this package. Audit workers time their own shards, so
+	// Clock is called concurrently and must be safe for concurrent use
+	// (time.Now is).
 	Clock func() time.Time
 	// Collector, when non-nil, receives per-phase counters, timings, and
 	// audit events (see the obs package for the metric vocabulary). It is
@@ -205,20 +207,39 @@ func (r *Result) Top(k int) []UnfairPair {
 
 // Audit runs the LC-SF audit over a partitioning. It enumerates all pairs of
 // eligible regions, applies the dissimilarity gate first (it is O(1) per
-// pair, while the similarity test sorts income samples), then the similarity
-// gate, then the Monte-Carlo likelihood-ratio test of Section 3.2 on the
-// surviving candidates. The audit is deterministic in (p, cfg): each pair's
-// Monte-Carlo stream is seeded from the pair's identity, so results do not
-// depend on goroutine scheduling.
+// pair), then the Eta outcome fast path (also O(1)), then the similarity
+// gate (the expensive one — a rank test over income samples), then the
+// Monte-Carlo likelihood-ratio test of Section 3.2 on the surviving
+// candidates. Before the pair sweep, a parallel precompute phase builds
+// per-region caches for every gate metric implementing PreparedMetric
+// (sorted income samples for the rank tests, moments and shares for the
+// rest), so the steady-state pair loop runs allocation-free merge kernels
+// instead of re-sorting samples per pair. The audit is deterministic in
+// (p, cfg): each pair's Monte-Carlo stream is seeded from the pair's
+// identity and the final ordering is fixed by a total sort, so results do
+// not depend on goroutine scheduling.
 func Audit(p *partition.Partitioning, cfg Config) (*Result, error) {
 	return AuditContext(context.Background(), p, cfg)
 }
 
+// cancelCheckInterval bounds how many pairs a worker processes between
+// context checks. Dense first rows can carry thousands of pairs each running
+// Monte-Carlo simulation; checking only between rows made cancellation
+// latency proportional to a row's cost, so workers poll every ~256 pairs
+// instead (a ~ns amortized cost against µs-scale pair work).
+const cancelCheckInterval = 256
+
+// auditRowChunk is how many outer-loop rows a worker claims per scheduler
+// fetch. Rows shrink toward the end of the triangle, so a small chunk keeps
+// the tail balanced while amortizing the atomic counter on audits with many
+// thousands of rows.
+const auditRowChunk = 4
+
 // AuditContext is Audit with cancellation: a dense audit over thousands of
 // regions can take seconds, and callers such as the HTTP service need to
-// abandon it when the client goes away. Cancellation is checked between
-// outer-loop rows; on cancellation the context's error is returned and the
-// partial result discarded.
+// abandon it when the client goes away. Cancellation is checked every
+// cancelCheckInterval pairs within each worker; on cancellation the
+// context's error is returned and the partial result discarded.
 func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -252,13 +273,77 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		"fdr":              cfg.FDR > 0,
 	})
 
-	fdr := cfg.FDR > 0
+	canceled := func(err error) (*Result, error) {
+		col.Inc(obs.MAuditCanceled)
+		col.Event("audit.canceled", "", "audit canceled", map[string]any{
+			"after_seconds": now().Sub(start).Seconds(),
+		})
+		return nil, err
+	}
+
+	run := auditRunner{
+		cfg:     cfg,
+		fdr:     cfg.FDR > 0,
+		regions: make([]*partition.Region, len(eligible)),
+		sim:     newPreparedScorer(cfg.Similarity, len(eligible)),
+		diss:    newPreparedScorer(cfg.Dissimilarity, len(eligible)),
+	}
+	for i, idx := range eligible {
+		run.regions[i] = &p.Regions[idx]
+	}
+
+	// Phase 1: parallel precompute. Each prepared gate metric builds its
+	// per-region cache exactly once, claimed dynamically off an atomic
+	// counter; writes land at distinct indices, so the phase needs no other
+	// synchronization and its output is position-determined regardless of
+	// which worker prepared which region.
+	if run.sim.prepared != nil || run.diss.prepared != nil {
+		prepStart := now()
+		var nextRegion atomic.Int64
+		var pg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			pg.Add(1)
+			go func() {
+				defer pg.Done()
+				for {
+					i := int(nextRegion.Add(1)) - 1
+					if i >= len(run.regions) || ctx.Err() != nil {
+						return
+					}
+					run.sim.prepare(i, run.regions[i])
+					run.diss.prepare(i, run.regions[i])
+				}
+			}()
+		}
+		pg.Wait()
+		if err := ctx.Err(); err != nil {
+			return canceled(err)
+		}
+		preparedMetrics := 0
+		if run.sim.prepared != nil {
+			preparedMetrics++
+		}
+		if run.diss.prepared != nil {
+			preparedMetrics++
+		}
+		col.Count(obs.MAuditPreparedRegions, int64(preparedMetrics*len(run.regions)))
+		col.ObserveSeconds(obs.MAuditPrepareSeconds, now().Sub(prepStart))
+	}
+
+	// Phase 2: the pair sweep. Workers claim outer-loop rows in small chunks
+	// off an atomic counter — deterministic dynamic scheduling: which worker
+	// scores a pair never affects its result (per-pair Monte-Carlo seeds are
+	// identity-derived, per-worker state is score-neutral scratch), and the
+	// final sort fixes the ordering, so the schedule only shapes wall time.
+	// Static striping used to serialize early heavy rows on one worker;
+	// chunked claiming keeps every worker on the heavy head of the triangle.
 	type shard struct {
 		pairs      []UnfairPair
 		tally      pairTally
 		candidates int
 	}
 	shards := make([]shard, workers)
+	var nextRow atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -269,18 +354,35 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 			if col != nil {
 				shardStart = now()
 			}
-			// Striped assignment of the outer index keeps shards balanced.
-			for ii := w; ii < len(eligible); ii += workers {
-				if ctx.Err() != nil {
-					return
+			// Per-worker reusable state: one RNG reseeded per pair (so the
+			// Monte-Carlo stream stays a function of pair identity alone)
+			// and one Scratch — the steady-state loop allocates nothing.
+			rng := stats.NewRNG(0)
+			var sc Scratch
+			sinceCheck := 0
+			for {
+				rowBase := int(nextRow.Add(auditRowChunk)) - auditRowChunk
+				if rowBase >= len(run.regions) {
+					break
 				}
-				a := &p.Regions[eligible[ii]]
-				for jj := ii + 1; jj < len(eligible); jj++ {
-					b := &p.Regions[eligible[jj]]
-					if pr, ok := auditPair(a, b, cfg, fdr, &sh.tally); ok {
-						sh.candidates++
-						if fdr || pr.P <= cfg.Alpha {
-							sh.pairs = append(sh.pairs, pr)
+				rowEnd := rowBase + auditRowChunk
+				if rowEnd > len(run.regions) {
+					rowEnd = len(run.regions)
+				}
+				for ii := rowBase; ii < rowEnd; ii++ {
+					for jj := ii + 1; jj < len(run.regions); jj++ {
+						sinceCheck++
+						if sinceCheck >= cancelCheckInterval {
+							sinceCheck = 0
+							if ctx.Err() != nil {
+								return
+							}
+						}
+						if pr, ok := run.auditPair(ii, jj, &sh.tally, &sc, rng); ok {
+							sh.candidates++
+							if run.fdr || pr.P <= cfg.Alpha {
+								sh.pairs = append(sh.pairs, pr)
+							}
 						}
 					}
 				}
@@ -292,12 +394,9 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		col.Inc(obs.MAuditCanceled)
-		col.Event("audit.canceled", "", "audit canceled", map[string]any{
-			"after_seconds": now().Sub(start).Seconds(),
-		})
-		return nil, err
+		return canceled(err)
 	}
+	fdr := run.fdr
 
 	var tally pairTally
 	for _, sh := range shards {
@@ -349,11 +448,16 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 // pairTally accumulates one shard's per-phase counts with plain (non-atomic)
 // integers; shards merge after the barrier, so the hot pair loop pays no
 // synchronization for observability.
+// The cascade tallies mirror its order (diss → eta → sim → LRT): a pair is
+// counted in exactly one of dissRejections, etaFastPath, simRejections, or
+// candidates. etaFastPath therefore counts dissimilar pairs whose outcomes
+// already match within Eta — including pairs the similarity gate was never
+// consulted on, since the O(1) fast path runs before the expensive rank test.
 type pairTally struct {
 	scanned        int64 // pairs reaching the gate cascade
 	dissRejections int64 // failed the dissimilarity gate
-	simRejections  int64 // passed dissimilarity, failed similarity
-	etaFastPath    int64 // gated pairs exiting via the Eta outcome fast path
+	etaFastPath    int64 // dissimilar pairs exiting via the Eta outcome fast path
+	simRejections  int64 // passed dissimilarity and Eta, failed similarity
 	prescreenSkips int64 // candidates below prescreenTau, simulation skipped
 	mcWorlds       int64 // Monte-Carlo worlds actually simulated
 	mcEarlyStops   int64 // adaptive estimates that stopped early
@@ -388,26 +492,53 @@ func (t *pairTally) publish(col *obs.Collector, res *Result) {
 // tail at tau = 2 is ~0.157) and the Monte-Carlo simulation is skipped.
 const prescreenTau = 2.0
 
-// auditPair applies the gates and, for candidates, the Monte-Carlo LRT.
-// ok reports whether the pair was a candidate (passed both gates and the Eta
-// fast path). When exact is true the Monte-Carlo p-value is computed without
-// early stopping (required for FDR control over the candidate set). Each
+// auditRunner carries one audit's immutable sweep state: the configuration,
+// the eligible regions (indexed by position in the eligible list, matching
+// the prepared scorers' caches), and the two gate scorers.
+type auditRunner struct {
+	cfg       Config
+	fdr       bool
+	regions   []*partition.Region
+	sim, diss preparedScorer
+}
+
+// auditPair applies the gate cascade — dissimilarity, the Eta outcome fast
+// path, similarity — and, for candidates, the Monte-Carlo LRT. ii and jj are
+// positions in the eligible list. ok reports whether the pair was a candidate
+// (passed every gate). Under FDR control the Monte-Carlo p-value is computed
+// without early stopping (required for control over the candidate set). Each
 // phase's outcome is tallied into t for the observability layer.
-func auditPair(a, b *partition.Region, cfg Config, exact bool, t *pairTally) (UnfairPair, bool) {
+//
+// The Eta check runs before the similarity test because it is O(1) on
+// already-aggregated rates while the rank test is O(n_a+n_b) even against
+// sorted caches: Definition 3.3 flags a pair only when ALL THREE conditions
+// hold (similar incomes AND dissimilar composition AND significantly
+// different outcomes), so short-circuiting a conjunction in any order leaves
+// the flagged set — and hence the audit result — unchanged; only the tally
+// attribution of doubly-failing pairs moves between buckets.
+//
+// This is the audit's steady-state kernel and it must not heap-allocate:
+// per-pair Monte-Carlo streams reseed the per-worker rng in place
+// (bit-identical to a fresh generator), the simulator loop is closure-free,
+// and prepared metrics score against caches built in the precompute phase.
+// TestAuditPairKernelZeroAlloc pins the property.
+func (ar *auditRunner) auditPair(ii, jj int, t *pairTally, sc *Scratch, rng *stats.RNG) (UnfairPair, bool) {
+	a, b := ar.regions[ii], ar.regions[jj]
+	cfg := &ar.cfg
 	t.scanned++
-	diss := cfg.Dissimilarity.Score(a, b)
+	diss := ar.diss.score(ii, jj, a, b, sc)
 	if !cfg.Dissimilarity.Pass(diss, cfg.Delta) {
 		t.dissRejections++
-		return UnfairPair{}, false
-	}
-	sim := cfg.Similarity.Score(a, b)
-	if !cfg.Similarity.Pass(sim, cfg.Epsilon) {
-		t.simRejections++
 		return UnfairPair{}, false
 	}
 	rateA, rateB := a.PositiveRate(), b.PositiveRate()
 	if cfg.Eta > 0 && math.Abs(rateA-rateB) <= cfg.Eta {
 		t.etaFastPath++
+		return UnfairPair{}, false
+	}
+	sim := ar.sim.score(ii, jj, a, b, sc)
+	if !cfg.Similarity.Pass(sim, cfg.Epsilon) {
+		t.simRejections++
 		return UnfairPair{}, false
 	}
 
@@ -422,14 +553,13 @@ func auditPair(a, b *partition.Region, cfg Config, exact bool, t *pairTally) (Un
 		t.prescreenSkips++
 		pval = stats.ChiSquareSF(math.Max(tau, 0), 1)
 	} else {
-		rng := stats.NewRNG(pairSeed(cfg.Seed, a.Index, b.Index))
-		sim := stats.PairNullSimulator(rng, a.N, b.N, pooled)
-		if exact {
-			pval = stats.MonteCarloP(tau, cfg.MCWorlds, sim)
+		rng.Seed(pairSeed(cfg.Seed, a.Index, b.Index))
+		if ar.fdr {
+			pval = stats.PairMonteCarloP(rng, tau, cfg.MCWorlds, a.N, b.N, pooled)
 			t.mcWorlds += int64(cfg.MCWorlds)
 		} else {
 			var st stats.MCStats
-			pval, _, st = stats.AdaptiveMonteCarloPStats(tau, cfg.MCWorlds, cfg.Alpha, sim)
+			pval, _, st = stats.AdaptivePairMonteCarloPStats(rng, tau, cfg.MCWorlds, cfg.Alpha, a.N, b.N, pooled)
 			t.mcWorlds += int64(st.Worlds)
 			if st.EarlyStopped {
 				t.mcEarlyStops++

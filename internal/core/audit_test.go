@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -77,8 +78,8 @@ func TestAuditFairDataFindsLittle(t *testing.T) {
 func TestAuditDeterministicAcrossWorkers(t *testing.T) {
 	p := makeRegions(t, 300)
 	cfg := DefaultConfig()
-	results := make([]*Result, 0, 3)
-	for _, w := range []int{1, 2, 8} {
+	results := make([]*Result, 0, 4)
+	for _, w := range []int{1, 2, 3, 8} {
 		cfg.Workers = w
 		res, err := Audit(p, cfg)
 		if err != nil {
@@ -222,9 +223,14 @@ func TestAuditInjectableClock(t *testing.T) {
 	cfg.MinRegionSize = 10
 	cfg.MCWorlds = 99
 
+	// Config.Clock is called from worker goroutines (shard timings), so the
+	// fake clock must be concurrency-safe like the time.Now it replaces.
+	var mu sync.Mutex
 	var ticks int
 	fakeNow := time.Unix(1700000000, 0)
 	cfg.Clock = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
 		ticks++
 		fakeNow = fakeNow.Add(time.Second)
 		return fakeNow

@@ -98,7 +98,7 @@ func TestAuditByteIdenticalAcrossWorkers(t *testing.T) {
 		}
 		want := auditBytes(t, base)
 
-		for _, workers := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 2, 3, 8} {
 			for run := 0; run < 3; run++ {
 				cfg.Workers = workers
 				res, err := Audit(p, cfg)

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// PreparedRegion is opaque per-(metric, region) state built once per audit by
+// a PreparedMetric and handed back to its ScorePrepared for every pair the
+// region participates in. The audit engine never inspects it.
+type PreparedRegion any
+
+// Scratch is per-worker scratch space threaded through ScorePrepared so
+// metrics that need a temporary buffer can reuse one allocation across the
+// whole pair sweep instead of allocating per pair. The built-in metrics score
+// directly against their caches and never touch it; it exists for custom
+// PreparedMetric implementations. A Scratch is not safe for concurrent use —
+// the audit gives each worker its own.
+type Scratch struct {
+	buf []float64
+}
+
+// Float64s returns a length-n float64 slice backed by the scratch's reusable
+// buffer, growing it when needed. Contents are unspecified; the slice is only
+// valid until the next Float64s call.
+func (s *Scratch) Float64s(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}
+
+// PreparedMetric is an optional extension of PairMetric for metrics whose
+// pair score can be split into per-region precomputation and a cheap pair
+// combination. The audit engine detects it with a type assertion: when a
+// gate's metric implements PreparedMetric, the audit runs PrepareRegion once
+// per eligible region (in a parallel precompute phase, before any pair is
+// scored) and scores every pair with ScorePrepared against the two cached
+// states. Metrics that do not implement it fall back to Score per pair.
+//
+// The contract mirrors Score exactly: for every pair of regions,
+//
+//	ScorePrepared(PrepareRegion(a), PrepareRegion(b), scratch) == Score(a, b)
+//
+// bit for bit — the audit's determinism battery holds across both paths, so
+// a prepared metric that drifts from its Score would make results depend on
+// whether the cache was used. PrepareRegion may allocate (it runs O(regions)
+// times); ScorePrepared runs O(regions²) times and must not allocate — the
+// steady-state pair loop's zero-allocation guarantee
+// (TestAuditPairKernelZeroAlloc) covers it for the built-in metrics.
+// ScorePrepared must be safe for concurrent calls with distinct Scratches;
+// PrepareRegion is called once per region, each from a single goroutine.
+type PreparedMetric interface {
+	PairMetric
+	// PrepareRegion builds the per-region cache consumed by ScorePrepared.
+	PrepareRegion(r *partition.Region) PreparedRegion
+	// ScorePrepared returns the same value Score would for the pair whose
+	// prepared states are a and b.
+	ScorePrepared(a, b PreparedRegion, sc *Scratch) float64
+}
+
+// --- Rank-cache scorers for the sample-based similarity metrics ------------
+
+// PrepareRegion implements PreparedMetric: the cache is the region's income
+// sample sorted ascending (computed once per region by the partition layer),
+// letting ScorePrepared rank a pair by merging two sorted samples in
+// O(n_a+n_b) instead of concatenating and sorting per pair.
+func (MannWhitneySimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
+	return r.SortedIncomeSample()
+}
+
+// ScorePrepared implements PreparedMetric via the merge-rank Mann–Whitney
+// kernel; bit-identical to Score.
+func (MannWhitneySimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
+	return stats.MannWhitneyUSorted(a.([]float64), b.([]float64)).P
+}
+
+// PrepareRegion implements PreparedMetric: the cache is the sorted income
+// sample, shared in kind with MannWhitneySimilarity.
+func (KolmogorovSmirnovSimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
+	return r.SortedIncomeSample()
+}
+
+// ScorePrepared implements PreparedMetric via the two-sorted-sample KS merge;
+// bit-identical to Score.
+func (KolmogorovSmirnovSimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
+	return stats.KolmogorovSmirnovSorted(a.([]float64), b.([]float64)).P
+}
+
+// --- Moment-cache scorers for the parametric similarity metrics ------------
+
+// sampleMoments caches the sufficient statistics of one region's income
+// sample for the parametric similarity metrics: size, mean, and unbiased
+// sample variance (NaN where undefined, matching the raw-sample functions).
+type sampleMoments struct {
+	n        int
+	mean     float64
+	variance float64
+}
+
+func incomeMoments(r *partition.Region) *sampleMoments {
+	sample := r.IncomeSample()
+	return &sampleMoments{
+		n:        len(sample),
+		mean:     stats.Mean(sample),
+		variance: stats.SampleVariance(sample),
+	}
+}
+
+// PrepareRegion implements PreparedMetric: the cache is the sample's size,
+// mean, and variance — all Welch's t-test consumes.
+func (WelchTSimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
+	return incomeMoments(r)
+}
+
+// ScorePrepared implements PreparedMetric via WelchTFromMoments;
+// bit-identical to Score.
+func (WelchTSimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
+	ma, mb := a.(*sampleMoments), b.(*sampleMoments)
+	return stats.WelchTFromMoments(ma.n, ma.mean, ma.variance, mb.n, mb.mean, mb.variance).P
+}
+
+// PrepareRegion implements PreparedMetric: the cache is the sample mean.
+func (MeanGapSimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
+	return stats.Mean(r.IncomeSample())
+}
+
+// ScorePrepared implements PreparedMetric; bit-identical to Score.
+func (MeanGapSimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
+	ma, mb := a.(float64), b.(float64)
+	if math.IsNaN(ma) || math.IsNaN(mb) {
+		return math.NaN()
+	}
+	den := math.Max(ma, mb)
+	if den <= 0 {
+		return math.NaN()
+	}
+	return math.Abs(ma-mb) / den
+}
+
+// --- Share-cache scorers for the dissimilarity metrics ---------------------
+
+// groupCounts caches one region's protected-group count and population for
+// the z-test dissimilarity gate.
+type groupCounts struct {
+	protected, n int
+}
+
+// PrepareRegion implements PreparedMetric: the cache is the protected count
+// and population the z-test consumes.
+func (ZScoreDissimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
+	return groupCounts{protected: r.Protected, n: r.N}
+}
+
+// ScorePrepared implements PreparedMetric; bit-identical to Score.
+func (ZScoreDissimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
+	ga, gb := a.(groupCounts), b.(groupCounts)
+	return stats.TwoProportionZ(ga.protected, ga.n, gb.protected, gb.n).P
+}
+
+// preparedShare caches a region's protected share for the share-based
+// dissimilarity metrics; NaN marks an empty (non-comparable) region.
+func preparedShare(r *partition.Region) float64 {
+	if r.N == 0 {
+		return math.NaN()
+	}
+	return r.ProtectedShare()
+}
+
+// PrepareRegion implements PreparedMetric: the cache is the protected share.
+func (StatParityDissimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
+	return preparedShare(r)
+}
+
+// ScorePrepared implements PreparedMetric; bit-identical to Score (NaN
+// shares propagate through the subtraction).
+func (StatParityDissimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
+	return math.Abs(a.(float64) - b.(float64))
+}
+
+// PrepareRegion implements PreparedMetric: the cache is the protected share.
+func (DisparateImpactDissimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
+	return preparedShare(r)
+}
+
+// ScorePrepared implements PreparedMetric; bit-identical to Score.
+func (DisparateImpactDissimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
+	sa, sb := a.(float64), b.(float64)
+	if math.IsNaN(sa) || math.IsNaN(sb) {
+		return math.NaN()
+	}
+	hi := math.Max(sa, sb)
+	if hi == 0 { //lint:floateq-ok zero-share-sentinel
+		return 1 // both shares zero: identical composition
+	}
+	return math.Min(sa, sb) / hi
+}
+
+// --- Audit-side glue -------------------------------------------------------
+
+// preparedScorer binds one gate's metric to its scoring path: the prepared
+// path (per-region caches + ScorePrepared) when the metric implements
+// PreparedMetric, else the generic per-pair Score fallback. state is indexed
+// by position in the audit's eligible-region list.
+type preparedScorer struct {
+	metric   PairMetric
+	prepared PreparedMetric // nil selects the Score fallback
+	state    []PreparedRegion
+}
+
+func newPreparedScorer(m PairMetric, eligible int) preparedScorer {
+	ps := preparedScorer{metric: m}
+	if pm, ok := m.(PreparedMetric); ok {
+		ps.prepared = pm
+		ps.state = make([]PreparedRegion, eligible)
+	}
+	return ps
+}
+
+// prepare builds the cache for the eligible region at position i; a no-op on
+// the fallback path. Distinct positions may be prepared concurrently.
+func (ps *preparedScorer) prepare(i int, r *partition.Region) {
+	if ps.prepared != nil {
+		ps.state[i] = ps.prepared.PrepareRegion(r)
+	}
+}
+
+// score returns the metric's value for the pair at eligible positions (i, j)
+// backed by regions (a, b).
+func (ps *preparedScorer) score(i, j int, a, b *partition.Region, sc *Scratch) float64 {
+	if ps.prepared != nil {
+		return ps.prepared.ScorePrepared(ps.state[i], ps.state[j], sc)
+	}
+	return ps.metric.Score(a, b)
+}

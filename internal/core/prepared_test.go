@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// makeCascadeFixture builds a 5-cell partitioning whose pairs exercise every
+// exit of the audit's gate cascade with deterministic (non-sampled) counts:
+// positives and protected-group membership are assigned by exact quota, so
+// each pair's path through the cascade is fixed by construction.
+//
+//	cell 0: poor, 80% minority, rate 0.40
+//	cell 1: poor, 10% minority, rate 0.70
+//	cell 2: rich, 10% minority, rate 0.72
+//	cell 3: poor, 80% minority, rate 0.70
+//	cell 4: poor, 10% minority, rate 0.46
+//
+// (0,3) and the 10%-vs-10% pairs fail the dissimilarity gate; (1,3) and
+// (2,3) exit via the Eta fast path (rate gaps 0 and 0.02); (0,2) fails the
+// similarity gate (poor vs rich); (0,4) is a candidate with rate gap 0.06
+// whose likelihood ratio sits below prescreenTau (simulation skipped); (0,1)
+// and (3,4) are candidates that reach the Monte-Carlo test.
+func makeCascadeFixture(t testing.TB) *partition.Partitioning {
+	t.Helper()
+	const perRegion = 200
+	rng := stats.NewRNG(77)
+	var obs []partition.Observation
+	add := func(x float64, rich bool, minorityShare, rate float64) {
+		positives := int(math.Round(rate * perRegion))
+		minority := int(math.Round(minorityShare * perRegion))
+		for i := 0; i < perRegion; i++ {
+			income := 45000 + 8000*rng.NormFloat64()
+			if rich {
+				income = 150000 + 20000*rng.NormFloat64()
+			}
+			obs = append(obs, partition.Observation{
+				Loc:       geo.Pt(x, 0.5),
+				Positive:  i < positives,
+				Protected: i < minority,
+				Income:    income,
+			})
+		}
+	}
+	add(0.5, false, 0.8, 0.40)
+	add(1.5, false, 0.1, 0.70)
+	add(2.5, true, 0.1, 0.72)
+	add(3.5, false, 0.8, 0.70)
+	add(4.5, false, 0.1, 0.46)
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(5, 1)), 5, 1)
+	return partition.ByGrid(grid, obs, partition.Options{Seed: 5})
+}
+
+// newTestRunner builds an auditRunner over the partitioning's eligible
+// regions with every prepared cache built, mirroring AuditContext's setup.
+func newTestRunner(t testing.TB, p *partition.Partitioning, cfg Config) *auditRunner {
+	t.Helper()
+	eligible := p.NonEmpty(cfg.MinRegionSize)
+	run := &auditRunner{
+		cfg:     cfg,
+		fdr:     cfg.FDR > 0,
+		regions: make([]*partition.Region, len(eligible)),
+		sim:     newPreparedScorer(cfg.Similarity, len(eligible)),
+		diss:    newPreparedScorer(cfg.Dissimilarity, len(eligible)),
+	}
+	for i, idx := range eligible {
+		run.regions[i] = &p.Regions[idx]
+	}
+	for i := range run.regions {
+		run.sim.prepare(i, run.regions[i])
+		run.diss.prepare(i, run.regions[i])
+	}
+	return run
+}
+
+// sweep runs the kernel over every pair, accumulating into tally.
+func (ar *auditRunner) sweep(tally *pairTally, sc *Scratch, rng *stats.RNG) {
+	for ii := range ar.regions {
+		for jj := ii + 1; jj < len(ar.regions); jj++ {
+			ar.auditPair(ii, jj, tally, sc, rng)
+		}
+	}
+}
+
+// TestAuditPairKernelZeroAlloc pins the perf contract of the steady-state
+// pair loop: once the precompute phase has built the per-region caches,
+// auditPair performs zero heap allocations on every cascade path —
+// dissimilarity rejection, Eta fast-path exit, similarity rejection,
+// prescreen skip, and full Monte-Carlo simulation (both the adaptive and the
+// exact/FDR variant).
+func TestAuditPairKernelZeroAlloc(t *testing.T) {
+	p := makeCascadeFixture(t)
+	cfg := DefaultConfig()
+	cfg.MinRegionSize = 10
+	cfg.MCWorlds = 199
+
+	run := newTestRunner(t, p, cfg)
+	rng := stats.NewRNG(0)
+	var sc Scratch
+
+	// The fixture must actually cover every cascade exit, or the zero-alloc
+	// sweep below proves less than it claims.
+	var cover pairTally
+	run.sweep(&cover, &sc, rng)
+	for _, c := range []struct {
+		name string
+		n    int64
+	}{
+		{"dissRejections", cover.dissRejections},
+		{"etaFastPath", cover.etaFastPath},
+		{"simRejections", cover.simRejections},
+		{"prescreenSkips", cover.prescreenSkips},
+		{"mcWorlds", cover.mcWorlds},
+	} {
+		if c.n == 0 {
+			t.Fatalf("fixture does not exercise %s; kernel coverage incomplete", c.name)
+		}
+	}
+
+	fdrCfg := cfg
+	fdrCfg.FDR = 0.10
+	fdrRun := newTestRunner(t, p, fdrCfg)
+
+	for _, tc := range []struct {
+		name string
+		run  *auditRunner
+	}{
+		{"adaptive", run},
+		{"fdr-exact", fdrRun},
+	} {
+		allocs := testing.AllocsPerRun(5, func() {
+			var tally pairTally
+			tc.run.sweep(&tally, &sc, rng)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: auditPair sweep allocates %.1f times per run, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestAuditPairMatchesUnpreparedMetrics asserts the prepared scoring path is
+// bit-identical to the generic Score fallback: auditing with the stock
+// metrics (which implement PreparedMetric) and with fallback-only wrappers
+// produces identical results.
+func TestAuditPairMatchesUnpreparedMetrics(t *testing.T) {
+	p := makeCascadeFixture(t)
+	cfg := DefaultConfig()
+	cfg.MinRegionSize = 10
+	cfg.MCWorlds = 199
+
+	want, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := cfg
+	plain.Similarity = unpreparedMetric{cfg.Similarity}
+	plain.Dissimilarity = unpreparedMetric{cfg.Dissimilarity}
+	got, err := Audit(p, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pairs) != len(want.Pairs) || got.Candidates != want.Candidates {
+		t.Fatalf("prepared vs fallback shape diverged: %d/%d pairs, %d/%d candidates",
+			len(got.Pairs), len(want.Pairs), got.Candidates, want.Candidates)
+	}
+	for i := range want.Pairs {
+		if got.Pairs[i] != want.Pairs[i] {
+			t.Fatalf("pair %d diverged:\nprepared %+v\nfallback %+v", i, want.Pairs[i], got.Pairs[i])
+		}
+	}
+}
+
+// unpreparedMetric hides a metric's PreparedMetric implementation, forcing
+// the audit onto the per-pair Score fallback. The bench harness uses the same
+// shape for its prepared-vs-fallback ablation.
+type unpreparedMetric struct{ PairMetric }
+
+// TestAuditCancellationMidSweep cancels an audit from within the pair sweep —
+// via a dissimilarity metric that trips the cancel after a fixed number of
+// scores — and checks (a) the audit aborts with the context's error and (b)
+// the worker's every-cancelCheckInterval poll stopped the sweep well short of
+// the full pair count, rather than the cancellation only being noticed at the
+// post-sweep barrier.
+func TestAuditCancellationMidSweep(t *testing.T) {
+	// 40 one-cell columns of 20 individuals each: 780 pairs, far more than
+	// one cancelCheckInterval, so an in-loop poll is observable.
+	const cells, perCell = 40, 20
+	rng := stats.NewRNG(123)
+	var observations []partition.Observation
+	for c := 0; c < cells; c++ {
+		for i := 0; i < perCell; i++ {
+			observations = append(observations, partition.Observation{
+				Loc:       geo.Pt(float64(c)+0.5, 0.5),
+				Positive:  i%2 == 0,
+				Protected: (c%2 == 0) == (i < perCell/4*3),
+				Income:    50000 + 9000*rng.NormFloat64(),
+			})
+		}
+	}
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(cells, 1)), cells, 1)
+	p := partition.ByGrid(grid, observations, partition.Options{Seed: 5})
+
+	cfg := DefaultConfig()
+	cfg.MinRegionSize = 10
+	cfg.Workers = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	diss := &cancelAfter{PairMetric: cfg.Dissimilarity, cancel: cancel, after: 3}
+	cfg.Dissimilarity = diss
+
+	if _, err := AuditContext(ctx, p, cfg); err != context.Canceled {
+		t.Fatalf("mid-sweep cancellation returned %v, want context.Canceled", err)
+	}
+	totalPairs := cells * (cells - 1) / 2
+	if diss.scored >= totalPairs {
+		t.Fatalf("worker scored all %d pairs after cancellation; in-loop poll never fired", totalPairs)
+	}
+	if diss.scored > 2*cancelCheckInterval {
+		t.Errorf("worker scored %d pairs after cancellation, want <= %d (one poll interval plus slack)",
+			diss.scored, 2*cancelCheckInterval)
+	}
+}
+
+// cancelAfter is a PairMetric wrapper that cancels a context after its score
+// has been consulted a fixed number of times, counting every call. Hiding the
+// PreparedMetric interface keeps the scoring on the fallback path so Score
+// observes every pair.
+type cancelAfter struct {
+	PairMetric
+	cancel context.CancelFunc
+	after  int
+	scored int
+}
+
+func (c *cancelAfter) Score(a, b *partition.Region) float64 {
+	c.scored++
+	if c.scored == c.after {
+		c.cancel()
+	}
+	return c.PairMetric.Score(a, b)
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// DenseAuditRegionPop is the per-region population of the dense-audit
+// benchmark universe. At 300 individuals per region every region clears the
+// default MinRegionSize of 100, so an R-region universe audits all R*(R-1)/2
+// pairs — the worst case the pair loop is optimized for.
+const DenseAuditRegionPop = 300
+
+// DenseAuditPartitioning builds a deterministic R-region universe shaped to
+// stress the audit's steady-state pair loop: every region draws incomes from
+// the same distribution (so the similarity gate almost never rejects and the
+// Mann–Whitney test runs on nearly every dissimilar pair), protected shares
+// alternate between 0.2 and 0.8 (so roughly half of all pairs pass the
+// dissimilarity gate), and positive rates hover at a common 0.62 (so most
+// candidates exit through the Eta outcome fast path, with a deterministic
+// minority proceeding to the likelihood-ratio test and Monte-Carlo
+// simulation). This is the workload behind BenchmarkAuditDense and the
+// BENCH_audit.json perf-trajectory file lcsf-bench emits.
+func DenseAuditPartitioning(regions int, seed uint64) *partition.Partitioning {
+	rng := stats.NewRNG(seed ^ 0xDE75EBE7C4)
+	obs := make([]partition.Observation, 0, regions*DenseAuditRegionPop)
+	for cell := 0; cell < regions; cell++ {
+		minorityP := 0.2
+		if cell%2 == 0 {
+			minorityP = 0.8
+		}
+		for i := 0; i < DenseAuditRegionPop; i++ {
+			obs = append(obs, partition.Observation{
+				Loc:       geo.Pt(float64(cell)+0.5, 0.5),
+				Positive:  rng.Bernoulli(0.62),
+				Protected: rng.Bernoulli(minorityP),
+				Income:    60000 + 12000*rng.NormFloat64(),
+			})
+		}
+	}
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(float64(regions), 1)), regions, 1)
+	return partition.ByGrid(grid, obs, partition.Options{Seed: seed})
+}

@@ -7,7 +7,9 @@
 // The backquoted string is an anchored-nowhere regular expression that must
 // match a diagnostic reported on that line; every diagnostic must be matched
 // by a want and every want must match a diagnostic, or the test fails with
-// one line per discrepancy.
+// one line per discrepancy. A want comment may carry several patterns
+// (space-separated, each in its own backquotes) for lines that produce
+// several diagnostics, e.g. a tuple assignment appending to two slices.
 package linttest
 
 import (
@@ -19,9 +21,12 @@ import (
 	"lcsf/internal/lint"
 )
 
-// wantRE extracts the expectation pattern from a "// want `...`" or
-// want-with-double-quotes comment.
-var wantRE = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"([^\"]*)\")")
+// wantRE locates a "// want" comment; wantPatternRE then extracts each
+// backquoted or double-quoted pattern from its remainder.
+var (
+	wantRE        = regexp.MustCompile("//\\s*want\\s+((`[^`]*`|\"[^\"]*\")(\\s+(`[^`]*`|\"[^\"]*\"))*)")
+	wantPatternRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+)
 
 // Run typechecks the fixture directory dir under the import path pkgPath and
 // applies the analyzer, comparing diagnostics to // want comments. pkgPath
@@ -55,16 +60,18 @@ func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
 				if m == nil {
 					continue
 				}
-				pattern := m[2]
-				if pattern == "" {
-					pattern = m[3]
+				for _, pm := range wantPatternRE.FindAllStringSubmatch(m[1], -1) {
+					pattern := pm[1]
+					if pattern == "" {
+						pattern = pm[2]
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pattern, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
 				}
-				re, err := regexp.Compile(pattern)
-				if err != nil {
-					t.Fatalf("bad want pattern %q: %v", pattern, err)
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
 			}
 		}
 	}

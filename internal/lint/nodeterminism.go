@@ -70,7 +70,8 @@ func runNoDeterminism(pass *Pass) error {
 // checkMapOrderAppend flags `for k := range m { s = append(s, ...) }` where m
 // is a map and s is declared outside the loop, unless the enclosing function
 // later sorts s. Such appends bake map iteration order — which Go randomizes
-// — into the slice.
+// — into the slice. Tuple assignments are checked position by position, so
+// `s, t = append(s, k), append(t, v)` flags both slices.
 func checkMapOrderAppend(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
 	t := pass.Info.Types[rng.X].Type
 	if t == nil {
@@ -81,31 +82,35 @@ func checkMapOrderAppend(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) 
 	}
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Rhs) != 1 {
+		// Only aligned assignments pair Lhs[i] with Rhs[i]; the unaligned
+		// forms (`v, ok = m[k]` and friends) cannot be appends.
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
 			return true
 		}
-		call, ok := assign.Rhs[0].(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
-			return true
-		}
-		target, ok := assign.Lhs[0].(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := pass.Info.ObjectOf(target)
-		if obj == nil || obj.Name() == "_" {
-			return true
-		}
-		// Appending to a loop-local slice is fine; the hazard is a slice
-		// that outlives the map iteration.
-		if rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End() {
-			return true
-		}
-		if !sortedAfter(pass, fnBody, obj, rng.End()) {
-			pass.Reportf(assign.Pos(), "append to %s in map iteration order without a subsequent sort; iterate sorted keys or sort %s before use", obj.Name(), obj.Name())
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+				continue
+			}
+			target, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.ObjectOf(target)
+			if obj == nil || obj.Name() == "_" {
+				continue
+			}
+			// Appending to a loop-local slice is fine; the hazard is a slice
+			// that outlives the map iteration.
+			if rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End() {
+				continue
+			}
+			if !sortedAfter(pass, fnBody, obj, rng.End()) {
+				pass.Reportf(assign.Pos(), "append to %s in map iteration order without a subsequent sort; iterate sorted keys or sort %s before use", obj.Name(), obj.Name())
+			}
 		}
 		return true
 	})

@@ -26,3 +26,26 @@ func mapOrderLeak(m map[string]int) []string {
 	}
 	return keys
 }
+
+// tupleMapOrderLeak hides the appends in one tuple assignment; both slices
+// still bake in map iteration order.
+func tupleMapOrderLeak(m map[string]int) ([]string, []int) {
+	var keys []string
+	var vals []int
+	for k, v := range m {
+		keys, vals = append(keys, k), append(vals, v) // want `append to keys in map iteration order` `append to vals in map iteration order`
+	}
+	return keys, vals
+}
+
+// precomputeFromMap models a precompute pass that builds per-region caches by
+// ranging over a map of regions: the cache slice ends up in iteration order.
+func precomputeFromMap(regions map[int][]float64) [][]float64 {
+	var caches [][]float64
+	for _, sample := range regions {
+		prepared := make([]float64, len(sample))
+		copy(prepared, sample)
+		caches = append(caches, prepared) // want `append to caches in map iteration order`
+	}
+	return caches
+}

@@ -3,6 +3,8 @@ package fixture
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -51,5 +53,38 @@ func rangeSlice(xs []int) []int {
 	for _, x := range xs {
 		out = append(out, x*2)
 	}
+	return out
+}
+
+// dynamicRowScheduler is the audit engine's sweep shape: workers claim rows
+// off an atomic counter (scheduling is nondeterministic, results are not),
+// append into per-worker shards, and the merged output is sorted before use.
+// Nothing here reads a map, so no append is flagged, and the final sort keeps
+// the merged order schedule-independent.
+func dynamicRowScheduler(rows [][]float64, workers int) []float64 {
+	shards := make([][]float64, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rows) {
+					return
+				}
+				for _, v := range rows[i] {
+					shards[w] = append(shards[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var out []float64
+	for _, sh := range shards {
+		out = append(out, sh...)
+	}
+	sort.Float64s(out)
 	return out
 }

@@ -19,10 +19,17 @@ const (
 	MAuditMCEarlyStops   = "audit.mc.early_stops"
 	MAuditFlagged        = "audit.pairs_flagged"
 	MAuditCanceled       = "audit.canceled"
+	// MAuditPreparedRegions counts per-region metric caches built by the
+	// audit's precompute phase (one per eligible region per metric
+	// implementing core.PreparedMetric).
+	MAuditPreparedRegions = "audit.prepared_regions"
 
 	// Audit-engine histograms (seconds).
-	MAuditSeconds      = "audit.seconds"
-	MAuditShardSeconds = "audit.shard_seconds"
+	MAuditSeconds = "audit.seconds"
+	// MAuditPrepareSeconds is the wall time of the parallel precompute phase
+	// that builds per-region metric caches before the pair sweep.
+	MAuditPrepareSeconds = "audit.prepare_seconds"
+	MAuditShardSeconds   = "audit.shard_seconds"
 
 	// HTTP-service metrics (internal/server).
 	MHTTPRequests       = "http.requests"

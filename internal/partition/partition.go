@@ -11,6 +11,8 @@ package partition
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"lcsf/internal/geo"
 	"lcsf/internal/stats"
@@ -47,6 +49,27 @@ type pairedSample struct {
 	seen    int
 	cap     int
 	rng     *stats.RNG
+
+	// Sorted-view cache behind SortedIncomeSample: rebuilt when the sample
+	// has admitted observations since it was last built (sortedSeen trails
+	// seen). The mutex only guards the cache — aggregation itself is
+	// single-goroutine per partitioning.
+	mu         sync.Mutex
+	sorted     []float64
+	sortedSeen int
+}
+
+// sortedIncomes returns the sample's incomes sorted ascending, building (or
+// rebuilding, if the reservoir admitted observations since) the cached copy.
+func (s *pairedSample) sortedIncomes() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sorted == nil || s.sortedSeen != s.seen {
+		s.sorted = append(s.sorted[:0], s.incomes...)
+		sort.Float64s(s.sorted)
+		s.sortedSeen = s.seen
+	}
+	return s.sorted
 }
 
 func newPairedSample(capacity int, rng *stats.RNG) *pairedSample {
@@ -97,6 +120,20 @@ func (r *Region) IncomeSample() []float64 {
 		return nil
 	}
 	return r.sample.incomes
+}
+
+// SortedIncomeSample returns the region's income sample sorted ascending —
+// the same observations as IncomeSample, reordered. The sorted copy is
+// computed on first call and cached (rebuilt if the region aggregates more
+// observations afterwards), so audits that compare each region against many
+// others sort each sample once instead of once per comparison. The slice is
+// owned by the region; callers must not modify it. Safe for concurrent
+// callers once aggregation is complete.
+func (r *Region) SortedIncomeSample() []float64 {
+	if r.sample == nil {
+		return nil
+	}
+	return r.sample.sortedIncomes()
 }
 
 // OutcomeSample returns the outcomes paired with IncomeSample, index for

@@ -16,24 +16,40 @@ type KSResult struct {
 // alternative similarity metric to the Mann–Whitney U test — sensitive to
 // any distributional difference (spread, shape), not only location shifts.
 // Empty samples give P = NaN.
+//
+// KolmogorovSmirnov sorts copies of both samples and delegates to
+// KolmogorovSmirnovSorted; callers that compare one sample against many
+// others should sort once and use the sorted variant directly.
 func KolmogorovSmirnov(xs, ys []float64) KSResult {
-	n1, n2 := len(xs), len(ys)
-	if n1 == 0 || n2 == 0 {
+	if len(xs) == 0 || len(ys) == 0 {
 		return KSResult{D: math.NaN(), P: math.NaN()}
 	}
 	a := append([]float64(nil), xs...)
 	b := append([]float64(nil), ys...)
 	sort.Float64s(a)
 	sort.Float64s(b)
+	return KolmogorovSmirnovSorted(a, b)
+}
+
+// KolmogorovSmirnovSorted is KolmogorovSmirnov for samples already sorted
+// ascending: a single merge pass over the two empirical CDFs — O(n1+n2)
+// time, zero allocations — with results bit-identical to KolmogorovSmirnov
+// on the same data. Inputs that are not sorted ascending yield unspecified
+// results.
+func KolmogorovSmirnovSorted(xs, ys []float64) KSResult {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return KSResult{D: math.NaN(), P: math.NaN()}
+	}
 
 	var d float64
 	i, j := 0, 0
 	for i < n1 && j < n2 {
-		v := math.Min(a[i], b[j])
-		for i < n1 && a[i] <= v {
+		v := math.Min(xs[i], ys[j])
+		for i < n1 && xs[i] <= v {
 			i++
 		}
-		for j < n2 && b[j] <= v {
+		for j < n2 && ys[j] <= v {
 			j++
 		}
 		f1 := float64(i) / float64(n1)

@@ -21,46 +21,79 @@ type MannWhitneyResult struct {
 //
 // When either sample is empty the result has P = NaN; callers treat such
 // pairs as non-comparable.
+//
+// MannWhitneyU sorts copies of both samples and delegates to
+// MannWhitneyUSorted; a caller that tests one sample against many others
+// should sort each sample once and call MannWhitneyUSorted directly (the
+// audit engine's PreparedMetric path does exactly this).
 func MannWhitneyU(xs, ys []float64) MannWhitneyResult {
+	if len(xs) == 0 || len(ys) == 0 {
+		return MannWhitneyResult{U: math.NaN(), Z: math.NaN(), P: math.NaN()}
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	return MannWhitneyUSorted(a, b)
+}
+
+// MannWhitneyUSorted is MannWhitneyU for samples already sorted ascending.
+// It merges the two sorted samples with two cursors — O(n1+n2) time, zero
+// allocations — assigning mid-ranks to ties across the union exactly as the
+// combined-sort implementation did, so results are bit-identical to
+// MannWhitneyU on the same data (rank sums and tie terms are sums and
+// products of exactly-representable multiples of one half, so neither
+// accumulation order nor multiply-versus-repeated-add changes a bit).
+//
+// Inputs that are not sorted ascending yield unspecified results.
+func MannWhitneyUSorted(xs, ys []float64) MannWhitneyResult {
 	n1, n2 := len(xs), len(ys)
 	if n1 == 0 || n2 == 0 {
 		return MannWhitneyResult{U: math.NaN(), Z: math.NaN(), P: math.NaN()}
 	}
 
-	type obs struct {
-		v     float64
-		first bool
-	}
-	all := make([]obs, 0, n1+n2)
-	for _, x := range xs {
-		all = append(all, obs{v: x, first: true})
-	}
-	for _, y := range ys {
-		all = append(all, obs{v: y})
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
-
-	// Assign mid-ranks to ties and accumulate the tie-correction term
+	// Walk both samples in lockstep, grouping ties across the union and
+	// accumulating the first sample's rank sum plus the tie-correction term
 	// sum(t^3 - t).
 	var rankSum1, tieTerm float64
-	for i := 0; i < len(all); {
-		j := i
-		for j < len(all) && all[j].v == all[i].v { //lint:floateq-ok exact-tie-grouping
+	i, j, consumed := 0, 0, 0
+	for i < n1 || j < n2 {
+		var v float64
+		switch {
+		case i >= n1:
+			v = ys[j]
+		case j >= n2:
+			v = xs[i]
+		case xs[i] <= ys[j]:
+			v = xs[i]
+		default:
+			v = ys[j]
+		}
+		cx, cy := 0, 0
+		for i < n1 && xs[i] == v { //lint:floateq-ok exact-tie-grouping
+			i++
+			cx++
+		}
+		for j < n2 && ys[j] == v { //lint:floateq-ok exact-tie-grouping
 			j++
+			cy++
 		}
-		t := float64(j - i)
-		midRank := float64(i+j+1) / 2 // ranks are 1-based
-		for k := i; k < j; k++ {
-			if all[k].first {
-				rankSum1 += midRank
-			}
-		}
+		t := cx + cy
+		midRank := float64(2*consumed+t+1) / 2 // ranks are 1-based
+		rankSum1 += float64(cx) * midRank
 		if t > 1 {
-			tieTerm += t*t*t - t
+			ft := float64(t)
+			tieTerm += ft*ft*ft - ft
 		}
-		i = j
+		consumed += t
 	}
+	return mannWhitneyFromRankSum(rankSum1, tieTerm, n1, n2)
+}
 
+// mannWhitneyFromRankSum finishes the test from the first sample's rank sum
+// and the tie-correction term: the U statistic, the tie-corrected normal
+// approximation with continuity correction, and the two-sided p-value.
+func mannWhitneyFromRankSum(rankSum1, tieTerm float64, n1, n2 int) MannWhitneyResult {
 	fn1, fn2 := float64(n1), float64(n2)
 	u1 := rankSum1 - fn1*(fn1+1)/2
 	mu := fn1 * fn2 / 2

@@ -74,6 +74,64 @@ func AdaptiveMonteCarloPStats(observed float64, m int, alpha float64, simulate f
 	return p, p <= alpha, MCStats{Worlds: m}
 }
 
+// pairNullDraw simulates one world of the paper's pairwise null hypothesis:
+// both regions' positive counts drawn from Binomial(n, pooledRate), scored by
+// the pairwise likelihood-ratio statistic. It is the body of
+// PairNullSimulator's closure, shared so the allocation-free entry points
+// below produce the identical stream.
+func pairNullDraw(rng *RNG, n1, n2 int, pooledRate float64) float64 {
+	k1 := rng.Binomial(n1, pooledRate)
+	k2 := rng.Binomial(n2, pooledRate)
+	return PairLRT(k1, n1, k2, n2)
+}
+
+// PairMonteCarloP is MonteCarloP specialized to the pairwise null of
+// PairNullSimulator, taking the generator and null parameters directly so a
+// hot loop can reuse one per-worker RNG (reseeded per pair with RNG.Seed)
+// without allocating a simulator closure. The stream and the returned
+// p-value are identical to
+//
+//	MonteCarloP(observed, m, PairNullSimulator(rng, n1, n2, pooledRate))
+//
+// with an equivalently seeded generator.
+func PairMonteCarloP(rng *RNG, observed float64, m, n1, n2 int, pooledRate float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	geq := 0
+	for i := 0; i < m; i++ {
+		if pairNullDraw(rng, n1, n2, pooledRate) >= observed {
+			geq++
+		}
+	}
+	return float64(1+geq) / float64(m+1)
+}
+
+// AdaptivePairMonteCarloPStats is AdaptiveMonteCarloPStats specialized to the
+// pairwise null, allocation-free like PairMonteCarloP. The stream, p-value,
+// significance decision, and effort stats are identical to
+//
+//	AdaptiveMonteCarloPStats(observed, m, alpha, PairNullSimulator(rng, n1, n2, pooledRate))
+//
+// with an equivalently seeded generator.
+func AdaptivePairMonteCarloPStats(rng *RNG, observed float64, m int, alpha float64, n1, n2 int, pooledRate float64) (p float64, significant bool, st MCStats) {
+	if m <= 0 {
+		return 1, false, MCStats{}
+	}
+	cut := alpha * float64(m+1)
+	geq := 0
+	for i := 0; i < m; i++ {
+		if pairNullDraw(rng, n1, n2, pooledRate) >= observed {
+			geq++
+			if float64(1+geq) > cut {
+				return float64(1+geq) / float64(m+1), false, MCStats{Worlds: i + 1, EarlyStopped: true}
+			}
+		}
+	}
+	p = float64(1+geq) / float64(m+1)
+	return p, p <= alpha, MCStats{Worlds: m}
+}
+
 // PairNullSimulator returns a closure that simulates the paper's pairwise
 // null hypothesis for two regions with n1 and n2 individuals: both regions'
 // positive counts are drawn from Binomial(n, pooledRate), and the pairwise
@@ -81,9 +139,7 @@ func AdaptiveMonteCarloPStats(observed float64, m int, alpha float64, simulate f
 // with MonteCarloP for the LC-SF test.
 func PairNullSimulator(rng *RNG, n1, n2 int, pooledRate float64) func() float64 {
 	return func() float64 {
-		k1 := rng.Binomial(n1, pooledRate)
-		k2 := rng.Binomial(n2, pooledRate)
-		return PairLRT(k1, n1, k2, n2)
+		return pairNullDraw(rng, n1, n2, pooledRate)
 	}
 }
 

@@ -22,8 +22,19 @@ func WelchT(xs, ys []float64) WelchTResult {
 	if n1 < 2 || n2 < 2 {
 		return WelchTResult{T: math.NaN(), DF: math.NaN(), P: math.NaN()}
 	}
-	m1, m2 := Mean(xs), Mean(ys)
-	v1, v2 := SampleVariance(xs), SampleVariance(ys)
+	return WelchTFromMoments(n1, Mean(xs), SampleVariance(xs), n2, Mean(ys), SampleVariance(ys))
+}
+
+// WelchTFromMoments is WelchT computed from each sample's size, mean, and
+// unbiased sample variance instead of the raw observations. A caller that
+// compares one sample against many others can compute the moments once per
+// sample (the audit engine's PreparedMetric path); results are bit-identical
+// to WelchT on the same data. Samples smaller than two observations return
+// P = NaN.
+func WelchTFromMoments(n1 int, m1, v1 float64, n2 int, m2, v2 float64) WelchTResult {
+	if n1 < 2 || n2 < 2 {
+		return WelchTResult{T: math.NaN(), DF: math.NaN(), P: math.NaN()}
+	}
 	se1, se2 := v1/float64(n1), v2/float64(n2)
 	se := math.Sqrt(se1 + se2)
 	if se == 0 { //lint:floateq-ok degenerate-variance-sentinel
