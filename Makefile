@@ -22,11 +22,13 @@ BENCHFLAGS ?= -benchtime 1x
 bench:
 	$(GO) test -run '^$$' -bench . $(BENCHFLAGS) .
 
-# One -race pass over the dense-audit benchmarks: cheap enough for every
-# check run, and it exercises the audit's parallel precompute phase, dynamic
-# row scheduler, and zero-alloc pair kernel under the race detector.
+# One -race pass over the dense-audit benchmarks in both candidate-generation
+# modes: cheap enough for every check run, and it exercises the audit's
+# parallel precompute phase, dynamic row scheduler, zero-alloc pair kernel,
+# sorted-index window join, and shared Monte-Carlo null cache under the race
+# detector.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'AuditDense/R' -benchtime 1x -race .
+	$(GO) test -run '^$$' -bench 'AuditDense/R=[0-9]+/(dense|indexed)' -benchtime 1x -race .
 
 # Project-specific static analysis (see internal/lint and README's "Static
 # analysis" section): determinism, RNG discipline, float safety, nil-safe

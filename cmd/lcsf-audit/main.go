@@ -22,6 +22,7 @@ import (
 	"lcsf/internal/core"
 	"lcsf/internal/geo"
 	"lcsf/internal/hmda"
+	"lcsf/internal/obs"
 	"lcsf/internal/partition"
 	"lcsf/internal/poi"
 	"lcsf/internal/report"
@@ -62,15 +63,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	var obs []partition.Observation
+	var observations []partition.Observation
 	switch {
 	case *lar != "":
 		records, err := hmda.ReadCSV(*lar)
 		if err != nil {
 			log.Fatal(err)
 		}
-		obs = hmda.ToObservations(records)
-		if len(obs) == 0 {
+		observations = hmda.ToObservations(records)
+		if len(observations) == 0 {
 			log.Fatal("no decisioned (approved/denied) records in input")
 		}
 	default:
@@ -86,7 +87,7 @@ func main() {
 				log.Fatalf("place %d references tract %d outside the census model (wrong -census-seed or -tracts?)", p.ID, p.Tract)
 			}
 		}
-		obs = poi.ToObservations(model, pl, *censusSeed+1)
+		observations = poi.ToObservations(model, pl, *censusSeed+1)
 	}
 
 	cfg := core.DefaultConfig()
@@ -127,8 +128,11 @@ func main() {
 		log.Fatalf("unknown -dissimilarity %q", *diss)
 	}
 
+	col := obs.NewCollector(16)
+	cfg.Collector = col
+
 	grid := geo.NewGrid(geo.ContinentalUS, *cols, *rows)
-	part := partition.ByGrid(grid, obs, partition.Options{Seed: *seed})
+	part := partition.ByGrid(grid, observations, partition.Options{Seed: *seed})
 	res, err := core.Audit(part, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -138,6 +142,7 @@ func main() {
 		part.TotalN, grid, res.GlobalRate)
 	fmt.Printf("eligible regions: %d; candidate pairs: %d; unfair pairs: %d\n",
 		res.EligibleRegions, res.Candidates, len(res.Pairs))
+	printFunnel(col.Snapshot())
 
 	for i, pr := range res.Top(*top) {
 		ci, cj := grid.CellCenter(pr.I), grid.CellCenter(pr.J)
@@ -184,5 +189,32 @@ func main() {
 			_, err = f.Write(data)
 			return err
 		})
+	}
+}
+
+// printFunnel reports how the audit spent its work: the candidate index's
+// pruning (when the indexed plan ran), the gate cascade's per-phase exits,
+// and the shared Monte-Carlo null cache's traffic (when enabled).
+func printFunnel(s obs.Snapshot) {
+	if total := s.Counter(obs.MAuditIndexPairsTotal); total > 0 {
+		emitted := s.Counter(obs.MAuditIndexWindowCandidates)
+		fmt.Printf("candidate index: emitted %d of %d pairs (%.1f%% pruned by windows), %d rejected by summary bounds\n",
+			emitted, total, 100*float64(total-emitted)/float64(total),
+			s.Counter(obs.MAuditIndexBoundsRejections))
+	}
+	fmt.Printf("gate funnel: %d scanned -> %d dissimilarity rejects, %d eta fast-path exits, %d similarity rejects -> %d candidates (%d prescreen skips) -> %d flagged\n",
+		s.Counter(obs.MAuditPairsScanned),
+		s.Counter(obs.MAuditDissRejections),
+		s.Counter(obs.MAuditEtaFastPath),
+		s.Counter(obs.MAuditSimRejections),
+		s.Counter(obs.MAuditCandidates),
+		s.Counter(obs.MAuditPrescreenSkips),
+		s.Counter(obs.MAuditFlagged))
+	fmt.Printf("monte carlo: %d worlds simulated, %d adaptive early stops\n",
+		s.Counter(obs.MAuditMCWorlds), s.Counter(obs.MAuditMCEarlyStops))
+	if hits, misses := s.Counter(obs.MMCNullCacheHits), s.Counter(obs.MMCNullCacheMisses); hits+misses > 0 {
+		fmt.Printf("null cache: %d hits, %d misses (%.1f%% hit rate), %d evictions\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses),
+			s.Counter(obs.MMCNullCacheEvictions))
 	}
 }

@@ -9,15 +9,21 @@ import (
 
 	"lcsf/internal/core"
 	"lcsf/internal/experiments"
+	"lcsf/internal/obs"
 )
 
-// auditBenchSizes are the dense-audit universe sizes the perf-trajectory file
+// auditBenchSizes are the audit universe sizes the perf-trajectory file
 // tracks. R=100 is the smoke size, R=400 the headline the README's perf notes
-// quote, R=1000 the half-million-pair stress point.
-var auditBenchSizes = []int{100, 400, 1000}
+// quote, R=1000 the half-million-pair stress point (kept comparable across
+// revisions), and R=3000 the 4.5-million-pair size only the indexed candidate
+// path makes practical.
+var auditBenchSizes = []int{100, 400, 1000, 3000}
 
-// auditBenchResult is one row of BENCH_audit.json: the cost of one full dense
-// audit at a given region count, plus the derived pair throughput.
+// auditBenchResult is one row of BENCH_audit.json: the cost of one full audit
+// at a given region count under DefaultConfig, the derived pair throughput,
+// and the candidate-generation statistics of one instrumented run — how many
+// pairs the window join emitted, the fraction of the full triangle pruned
+// before the gate cascade, and the shared null cache's traffic.
 type auditBenchResult struct {
 	Regions     int     `json:"regions"`
 	Pairs       int     `json:"pairs"`
@@ -25,6 +31,14 @@ type auditBenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	PairsPerSec float64 `json:"pairs_per_sec"`
+
+	CandidateGen     string  `json:"candidate_gen"`
+	WindowCandidates int64   `json:"window_candidates"`
+	PairsScanned     int64   `json:"pairs_scanned"`
+	PruningRatio     float64 `json:"pruning_ratio"`
+	CacheHits        int64   `json:"mc_null_cache_hits"`
+	CacheMisses      int64   `json:"mc_null_cache_misses"`
+	CacheHitRate     float64 `json:"mc_null_cache_hit_rate"`
 }
 
 type auditBenchFile struct {
@@ -66,6 +80,31 @@ func runAuditBench(regions int) (auditBenchResult, error) {
 	if ns > 0 {
 		res.PairsPerSec = float64(pairs) / (float64(ns) / 1e9)
 	}
+
+	// One instrumented run (outside the timing loop) to record the candidate
+	// funnel: window emissions, pairs surviving to the cascade, and the null
+	// cache's hit rate.
+	col := obs.NewCollector(16)
+	cfg := core.DefaultConfig()
+	cfg.Collector = col
+	if _, err := core.Audit(p, cfg); err != nil {
+		return auditBenchResult{}, err
+	}
+	s := col.Snapshot()
+	res.PairsScanned = s.Counter(obs.MAuditPairsScanned)
+	if total := s.Counter(obs.MAuditIndexPairsTotal); total > 0 {
+		res.CandidateGen = "indexed"
+		res.WindowCandidates = s.Counter(obs.MAuditIndexWindowCandidates)
+		res.PruningRatio = float64(total-res.WindowCandidates) / float64(total)
+	} else {
+		res.CandidateGen = "dense"
+		res.WindowCandidates = res.PairsScanned
+	}
+	res.CacheHits = s.Counter(obs.MMCNullCacheHits)
+	res.CacheMisses = s.Counter(obs.MMCNullCacheMisses)
+	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+		res.CacheHitRate = float64(res.CacheHits) / float64(lookups)
+	}
 	return res, nil
 }
 
@@ -85,8 +124,9 @@ func writeAuditBench(path string) error {
 		if err != nil {
 			return fmt.Errorf("R=%d: %w", r, err)
 		}
-		fmt.Printf("audit-bench R=%d: %d pairs, %.3fs/op, %d allocs/op, %.0f pairs/sec\n",
-			r, res.Pairs, float64(res.NsPerOp)/1e9, res.AllocsPerOp, res.PairsPerSec)
+		fmt.Printf("audit-bench R=%d: %d pairs, %.3fs/op, %d allocs/op, %.0f pairs/sec (%s: %.1f%% pruned, cache hit rate %.1f%%)\n",
+			r, res.Pairs, float64(res.NsPerOp)/1e9, res.AllocsPerOp, res.PairsPerSec,
+			res.CandidateGen, 100*res.PruningRatio, 100*res.CacheHitRate)
 		out.Benchmarks = append(out.Benchmarks, res)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -33,7 +33,7 @@ func main() {
 		only    = flag.String("only", "", "run a single artifact: table1, di, comparison, figure1, figure2, figure3, figures45, figure6, food, detection, ablations, table2, table3, table4")
 		svgDir  = flag.String("svg-dir", "", "also render the map figures as SVG files into this directory")
 		metrics = flag.Bool("metrics", true, "print an audit-engine metrics summary on exit")
-		abench  = flag.String("audit-bench", "", "run the dense-audit benchmarks (R=100, 400, 1000), write results as JSON to this file, and exit")
+		abench  = flag.String("audit-bench", "", "run the dense-audit benchmarks (R=100, 400, 1000, 3000), write results as JSON to this file, and exit")
 	)
 	flag.Parse()
 

@@ -51,6 +51,28 @@ type Config struct {
 	// MinRegionSize excludes regions with fewer individuals from every
 	// comparison; tiny regions carry no statistical signal.
 	MinRegionSize int
+	// Alpha is the significance level; see the field above. PrescreenTau is
+	// the likelihood-ratio statistic below which a candidate pair is never
+	// significant at practical Alpha levels and the Monte-Carlo simulation
+	// is skipped in favor of the asymptotic chi-square(1) p-value (tau = 2
+	// corresponds to an asymptotic p of ~0.157, far above any usable Alpha).
+	// Zero disables the prescreen and every candidate is simulated; negative
+	// values are rejected by validation.
+	PrescreenTau float64
+	// CandidateGen selects the pair-enumeration strategy; see the
+	// CandidateGen constants. The flagged set is identical under every
+	// strategy — indexing only prunes pairs the gates provably reject.
+	CandidateGen CandidateGen
+	// MCNullCacheSize bounds the shared Monte-Carlo null-distribution cache
+	// in entries (sorted null samples, one per distinct (n1, n2,
+	// pooledPositives) signature; an entry costs ~8*MCWorlds bytes). Zero
+	// disables the cache and every simulated pair draws its own
+	// identity-seeded stream as before; negative values are rejected. With
+	// the cache, a pair's p-value is derived from the key-seeded shared
+	// sample instead — equally valid Monte-Carlo estimates of the same null,
+	// still deterministic in (input, Config), but numerically different
+	// p-values than the per-pair streams produce.
+	MCNullCacheSize int
 	// Seed drives Monte-Carlo simulation. Audits are deterministic in
 	// (input, Config) regardless of parallelism.
 	Seed uint64
@@ -73,6 +95,22 @@ type Config struct {
 	// itself nil — a no-op — unless a harness installs one.
 	Collector *obs.Collector
 }
+
+// CandidateGen selects how the audit enumerates region pairs.
+type CandidateGen int
+
+const (
+	// CandidateAuto (the zero value) uses index-accelerated candidate
+	// generation whenever a window or bound provider is available — Eta is
+	// positive, or a gate metric implements PrunableMetric — and falls back
+	// to the dense sweep otherwise.
+	CandidateAuto CandidateGen = iota
+	// CandidateDense forces the exhaustive O(R^2) upper-triangle sweep.
+	CandidateDense
+	// CandidateIndexed requires index-accelerated generation; validation
+	// fails when no provider is available under the configured metrics.
+	CandidateIndexed
+)
 
 // defaultCollector is the fallback sink for audits whose Config carries no
 // Collector. Harnesses that cannot thread a collector through every call
@@ -122,9 +160,13 @@ func DefaultConfig() Config {
 		Delta:         0.001,
 		Eta:           0.05,
 		Alpha:         0.01,
+		PrescreenTau:  2.0,
 		MCWorlds:      999,
 		MinRegionSize: 100,
-		Seed:          1,
+		// 2048 null samples at m=999 is ~16 MiB — ample for audits whose
+		// regions repeat count signatures, bounded for those that do not.
+		MCNullCacheSize: 2048,
+		Seed:            1,
 	}
 }
 
@@ -154,6 +196,23 @@ func (c Config) validate() error {
 	}
 	if c.MinRegionSize < 1 {
 		return fmt.Errorf("core: MinRegionSize %d < 1", c.MinRegionSize)
+	}
+	if c.PrescreenTau < 0 {
+		return fmt.Errorf("core: PrescreenTau %v < 0", c.PrescreenTau)
+	}
+	if c.MCNullCacheSize < 0 {
+		return fmt.Errorf("core: MCNullCacheSize %d < 0", c.MCNullCacheSize)
+	}
+	switch c.CandidateGen {
+	case CandidateAuto, CandidateDense:
+	case CandidateIndexed:
+		_, dissPrunable := c.Dissimilarity.(PrunableMetric)
+		_, simPrunable := c.Similarity.(PrunableMetric)
+		if !dissPrunable && !simPrunable && c.Eta <= 0 {
+			return fmt.Errorf("core: CandidateIndexed requires Eta > 0 or a PrunableMetric gate; configured metrics offer no index provider")
+		}
+	default:
+		return fmt.Errorf("core: unknown CandidateGen %d", c.CandidateGen)
 	}
 	return nil
 }
@@ -281,16 +340,11 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		return nil, err
 	}
 
-	run := auditRunner{
-		cfg:     cfg,
-		fdr:     cfg.FDR > 0,
-		regions: make([]*partition.Region, len(eligible)),
-		sim:     newPreparedScorer(cfg.Similarity, len(eligible)),
-		diss:    newPreparedScorer(cfg.Dissimilarity, len(eligible)),
-	}
+	regions := make([]*partition.Region, len(eligible))
 	for i, idx := range eligible {
-		run.regions[i] = &p.Regions[idx]
+		regions[i] = &p.Regions[idx]
 	}
+	run := newAuditRunner(cfg, regions)
 
 	// Phase 1: parallel precompute. Each prepared gate metric builds its
 	// per-region cache exactly once, claimed dynamically off an atomic
@@ -330,13 +384,24 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		col.ObserveSeconds(obs.MAuditPrepareSeconds, now().Sub(prepStart))
 	}
 
-	// Phase 2: the pair sweep. Workers claim outer-loop rows in small chunks
-	// off an atomic counter — deterministic dynamic scheduling: which worker
-	// scores a pair never affects its result (per-pair Monte-Carlo seeds are
-	// identity-derived, per-worker state is score-neutral scratch), and the
-	// final sort fixes the ordering, so the schedule only shapes wall time.
-	// Static striping used to serialize early heavy rows on one worker;
-	// chunked claiming keeps every worker on the heavy head of the triangle.
+	// Candidate generation: under CandidateDense the plan walks the full
+	// upper triangle; otherwise the runner builds per-region summaries,
+	// sorted 1-D orders, and per-probe prune windows (see candidates.go).
+	// Indexed and dense plans yield the identical flagged set — windows and
+	// summary bounds only skip pairs the exact gates provably reject.
+	if cfg.CandidateGen != CandidateDense {
+		run.buildIndex()
+	}
+	indexed := run.plan.indexed
+
+	// Phase 2: the pair sweep. Workers claim outer-loop probe rows in small
+	// chunks off an atomic counter — deterministic dynamic scheduling: which
+	// worker scores a pair never affects its result (per-pair Monte-Carlo
+	// seeds are identity-derived, shared null-cache entries are key-seeded,
+	// per-worker state is score-neutral scratch), and the final sort fixes
+	// the ordering, so the schedule only shapes wall time. Static striping
+	// used to serialize early heavy rows on one worker; chunked claiming
+	// keeps every worker on the heavy head of the triangle.
 	type shard struct {
 		pairs      []UnfairPair
 		tally      pairTally
@@ -360,6 +425,33 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 			rng := stats.NewRNG(0)
 			var sc Scratch
 			sinceCheck := 0
+			probe := 0
+			// One closure per worker (not per probe): visits partner jj of
+			// the current probe, polling for cancellation and filtering
+			// indexed candidates through the O(1) summary bounds before the
+			// exact cascade. Returning false aborts the enumeration.
+			visit := func(jj int) bool {
+				sinceCheck++
+				if sinceCheck >= cancelCheckInterval {
+					sinceCheck = 0
+					if ctx.Err() != nil {
+						return false
+					}
+				}
+				if indexed {
+					sh.tally.windowCandidates++
+					if run.summaryReject(probe, jj, &sh.tally) {
+						return true
+					}
+				}
+				if pr, ok := run.auditPair(probe, jj, &sh.tally, &sc, rng); ok {
+					sh.candidates++
+					if run.fdr || pr.P <= cfg.Alpha {
+						sh.pairs = append(sh.pairs, pr)
+					}
+				}
+				return true
+			}
 			for {
 				rowBase := int(nextRow.Add(auditRowChunk)) - auditRowChunk
 				if rowBase >= len(run.regions) {
@@ -370,20 +462,9 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 					rowEnd = len(run.regions)
 				}
 				for ii := rowBase; ii < rowEnd; ii++ {
-					for jj := ii + 1; jj < len(run.regions); jj++ {
-						sinceCheck++
-						if sinceCheck >= cancelCheckInterval {
-							sinceCheck = 0
-							if ctx.Err() != nil {
-								return
-							}
-						}
-						if pr, ok := run.auditPair(ii, jj, &sh.tally, &sc, rng); ok {
-							sh.candidates++
-							if run.fdr || pr.P <= cfg.Alpha {
-								sh.pairs = append(sh.pairs, pr)
-							}
-						}
+					probe = ii
+					if !run.plan.forEachPartner(ii, len(run.regions), visit) {
+						return
 					}
 				}
 			}
@@ -435,10 +516,23 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 	})
 
 	tally.publish(col, res)
+	if indexed {
+		n := int64(len(run.regions))
+		col.Count(obs.MAuditIndexPairsTotal, n*(n-1)/2)
+		col.Count(obs.MAuditIndexWindowCandidates, tally.windowCandidates)
+		col.Count(obs.MAuditIndexBoundsRejections, tally.boundsRejections)
+	}
+	if run.nullCache != nil {
+		hits, misses, evictions := run.nullCache.Stats()
+		col.Count(obs.MMCNullCacheHits, hits)
+		col.Count(obs.MMCNullCacheMisses, misses)
+		col.Count(obs.MMCNullCacheEvictions, evictions)
+	}
 	elapsed := now().Sub(start)
 	col.ObserveSeconds(obs.MAuditSeconds, elapsed)
 	col.Event("audit.finish", "", "audit finished", map[string]any{
 		"candidates":    res.Candidates,
+		"candidate_gen": map[bool]string{true: "indexed", false: "dense"}[indexed],
 		"pairs_flagged": len(res.Pairs),
 		"seconds":       elapsed.Seconds(),
 	})
@@ -458,9 +552,16 @@ type pairTally struct {
 	dissRejections int64 // failed the dissimilarity gate
 	etaFastPath    int64 // dissimilar pairs exiting via the Eta outcome fast path
 	simRejections  int64 // passed dissimilarity and Eta, failed similarity
-	prescreenSkips int64 // candidates below prescreenTau, simulation skipped
+	prescreenSkips int64 // candidates below PrescreenTau, simulation skipped
 	mcWorlds       int64 // Monte-Carlo worlds actually simulated
 	mcEarlyStops   int64 // adaptive estimates that stopped early
+
+	// Indexed-plan counters (zero under a dense plan): pairs emitted by the
+	// window join, and emitted pairs the O(1) summary bounds (metric Bounds
+	// plus the exact Eta interval) rejected before the cascade. scanned ==
+	// windowCandidates - boundsRejections under an indexed plan.
+	windowCandidates int64
+	boundsRejections int64
 }
 
 func (t *pairTally) add(o *pairTally) {
@@ -471,6 +572,8 @@ func (t *pairTally) add(o *pairTally) {
 	t.prescreenSkips += o.prescreenSkips
 	t.mcWorlds += o.mcWorlds
 	t.mcEarlyStops += o.mcEarlyStops
+	t.windowCandidates += o.windowCandidates
+	t.boundsRejections += o.boundsRejections
 }
 
 // publish pushes the merged tally plus the result-level counts into the
@@ -487,19 +590,84 @@ func (t *pairTally) publish(col *obs.Collector, res *Result) {
 	col.Count(obs.MAuditFlagged, int64(len(res.Pairs)))
 }
 
-// prescreenTau is the likelihood-ratio statistic below which a candidate
-// pair is never significant at practical Alpha levels (chi-square(1) upper
-// tail at tau = 2 is ~0.157) and the Monte-Carlo simulation is skipped.
-const prescreenTau = 2.0
-
 // auditRunner carries one audit's immutable sweep state: the configuration,
 // the eligible regions (indexed by position in the eligible list, matching
-// the prepared scorers' caches), and the two gate scorers.
+// the prepared scorers' caches), the two gate scorers, the candidate plan,
+// and the optional shared Monte-Carlo null cache.
 type auditRunner struct {
 	cfg       Config
 	fdr       bool
 	regions   []*partition.Region
 	sim, diss preparedScorer
+
+	// nullCache, when non-nil, answers Monte-Carlo p-values from shared
+	// key-seeded null samples instead of per-pair streams.
+	nullCache *stats.PairNullCache
+
+	// Index state, populated by buildIndex (zero-valued under a dense plan):
+	// per-region summaries aligned with regions, the envelope stats the
+	// conservative bounds consume, the two gates' optional Bounds
+	// implementations, and the enumeration plan.
+	summaries []partition.RegionSummary
+	env       *partition.SummaryStats
+	dissB     PrunableMetric
+	simB      PrunableMetric
+	plan      *candidatePlan
+}
+
+// newAuditRunner assembles the sweep state shared by AuditContext and the
+// kernel tests: prepared scorers sized to the eligible set and, when
+// configured, the null cache. The candidate plan starts dense; AuditContext
+// calls buildIndex to upgrade it unless CandidateDense is forced.
+func newAuditRunner(cfg Config, regions []*partition.Region) *auditRunner {
+	run := &auditRunner{
+		cfg:     cfg,
+		fdr:     cfg.FDR > 0,
+		regions: regions,
+		sim:     newPreparedScorer(cfg.Similarity, len(regions)),
+		diss:    newPreparedScorer(cfg.Dissimilarity, len(regions)),
+		plan:    &candidatePlan{},
+	}
+	if cfg.MCNullCacheSize > 0 {
+		run.nullCache = stats.NewPairNullCache(cfg.Seed, cfg.MCWorlds, cfg.MCNullCacheSize)
+	}
+	return run
+}
+
+// buildIndex summarizes the eligible regions and builds the candidate plan.
+// When no window or bound provider is available under the configured metrics
+// the plan stays dense and the summary state is released.
+func (ar *auditRunner) buildIndex() {
+	ix := partition.NewSummaryIndex(ar.regions)
+	ar.plan = buildCandidatePlan(&ar.cfg, ix)
+	if !ar.plan.indexed {
+		return
+	}
+	ar.summaries = ix.Summaries
+	ar.env = &ix.Stats
+	ar.dissB, _ = ar.cfg.Dissimilarity.(PrunableMetric)
+	ar.simB, _ = ar.cfg.Similarity.(PrunableMetric)
+}
+
+// summaryReject applies the O(1) summary-level filters to an emitted
+// candidate: the exact Eta interval and each prunable gate's Bounds. True
+// means the exact cascade would certainly reject the pair, so it is skipped
+// (and tallied) without touching the regions.
+func (ar *auditRunner) summaryReject(ii, jj int, t *pairTally) bool {
+	sa, sb := &ar.summaries[ii], &ar.summaries[jj]
+	if ar.cfg.Eta > 0 && math.Abs(sa.PositiveRate-sb.PositiveRate) <= ar.cfg.Eta {
+		t.boundsRejections++
+		return true
+	}
+	if ar.dissB != nil && ar.dissB.Bounds(sa, sb, ar.cfg.Delta, ar.env) {
+		t.boundsRejections++
+		return true
+	}
+	if ar.simB != nil && ar.simB.Bounds(sa, sb, ar.cfg.Epsilon, ar.env) {
+		t.boundsRejections++
+		return true
+	}
+	return false
 }
 
 // auditPair applies the gate cascade — dissimilarity, the Eta outcome fast
@@ -545,25 +713,34 @@ func (ar *auditRunner) auditPair(ii, jj int, t *pairTally, sc *Scratch, rng *sta
 	tau := stats.PairLRT(a.Positives, a.N, b.Positives, b.N)
 	pooled := float64(a.Positives+b.Positives) / float64(a.N+b.N)
 	var pval float64
-	if tau <= prescreenTau {
-		// Asymptotically tau ~ chi-square(1) under H0, so tau <= 2
-		// corresponds to p ~ 0.157, far above any usable Alpha; the pair is
-		// a candidate but cannot be significant. Record the asymptotic
-		// p-value and skip the simulation.
+	switch {
+	case cfg.PrescreenTau > 0 && tau <= cfg.PrescreenTau:
+		// Asymptotically tau ~ chi-square(1) under H0, so tau <= the default
+		// PrescreenTau of 2 corresponds to p ~ 0.157, far above any usable
+		// Alpha; the pair is a candidate but cannot be significant. Record
+		// the asymptotic p-value and skip the simulation.
 		t.prescreenSkips++
 		pval = stats.ChiSquareSF(math.Max(tau, 0), 1)
-	} else {
-		rng.Seed(pairSeed(cfg.Seed, a.Index, b.Index))
-		if ar.fdr {
-			pval = stats.PairMonteCarloP(rng, tau, cfg.MCWorlds, a.N, b.N, pooled)
+	case ar.nullCache != nil:
+		// The shared null cache: one key-seeded sorted sample per count
+		// signature, p by binary search. Worlds are tallied once per fresh
+		// signature — the effort actually spent.
+		var hit bool
+		pval, hit = ar.nullCache.PValue(a.N, b.N, a.Positives+b.Positives, tau)
+		if !hit {
 			t.mcWorlds += int64(cfg.MCWorlds)
-		} else {
-			var st stats.MCStats
-			pval, _, st = stats.AdaptivePairMonteCarloPStats(rng, tau, cfg.MCWorlds, cfg.Alpha, a.N, b.N, pooled)
-			t.mcWorlds += int64(st.Worlds)
-			if st.EarlyStopped {
-				t.mcEarlyStops++
-			}
+		}
+	case ar.fdr:
+		rng.Seed(pairSeed(cfg.Seed, a.Index, b.Index))
+		pval = stats.PairMonteCarloP(rng, tau, cfg.MCWorlds, a.N, b.N, pooled)
+		t.mcWorlds += int64(cfg.MCWorlds)
+	default:
+		rng.Seed(pairSeed(cfg.Seed, a.Index, b.Index))
+		var st stats.MCStats
+		pval, _, st = stats.AdaptivePairMonteCarloPStats(rng, tau, cfg.MCWorlds, cfg.Alpha, a.N, b.N, pooled)
+		t.mcWorlds += int64(st.Worlds)
+		if st.EarlyStopped {
+			t.mcEarlyStops++
 		}
 	}
 

@@ -136,6 +136,19 @@ func TestAuditConfigValidation(t *testing.T) {
 		func() Config { c := DefaultConfig(); c.MCWorlds = 0; return c }(),
 		func() Config { c := DefaultConfig(); c.MinRegionSize = 0; return c }(),
 		func() Config { c := DefaultConfig(); c.Similarity = nil; return c }(),
+		func() Config { c := DefaultConfig(); c.PrescreenTau = -0.5; return c }(),
+		func() Config { c := DefaultConfig(); c.MCNullCacheSize = -1; return c }(),
+		func() Config { c := DefaultConfig(); c.CandidateGen = CandidateGen(99); return c }(),
+		func() Config {
+			// CandidateIndexed with no window or bound provider: both metrics
+			// wrapped to hide PrunableMetric and the Eta fast path disabled.
+			c := DefaultConfig()
+			c.Similarity = unpreparedMetric{c.Similarity}
+			c.Dissimilarity = unpreparedMetric{c.Dissimilarity}
+			c.Eta = 0
+			c.CandidateGen = CandidateIndexed
+			return c
+		}(),
 	}
 	for i, cfg := range bad {
 		if _, err := Audit(p, cfg); err == nil {

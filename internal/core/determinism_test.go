@@ -126,6 +126,11 @@ func TestAuditSeedChangesMonteCarlo(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Alpha = 0.05
 	cfg.MCWorlds = 199
+	// Exercise the per-pair identity-seeded streams: this fixture's flagged
+	// taus are so extreme that a 199-world shared null sample rarely crosses
+	// them under any seed, pinning p at 1/(m+1). Seed-liveness of the cached
+	// path is covered by the stats package's null-cache tests.
+	cfg.MCNullCacheSize = 0
 
 	cfg.Seed = 1
 	a1, err := Audit(p, cfg)

@@ -18,6 +18,12 @@ func TestAuditRecordsPhaseCounters(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Alpha = 0.05
 	cfg.MCWorlds = 199
+	// Pin the classic dense sweep with per-pair Monte-Carlo streams: this
+	// test asserts the full-triangle scan count and the adaptive early-stop
+	// counter, both of which the indexed plan and the shared null cache
+	// legitimately change (see TestAuditIndexedFunnelCounters).
+	cfg.CandidateGen = CandidateDense
+	cfg.MCNullCacheSize = 0
 	col := newTestCollector()
 	cfg.Collector = col
 
@@ -88,6 +94,101 @@ func TestAuditRecordsPhaseCounters(t *testing.T) {
 	}
 }
 
+// TestAuditIndexedFunnelCounters audits the same fixture under the default
+// indexed plan and checks the extended gate funnel: the window join's
+// emissions, the summary-bounds rejections, and the invariant tying them to
+// the cascade — every emitted pair is either bounds-rejected or scanned, and
+// every scanned pair is accounted for by exactly one cascade exit.
+func TestAuditIndexedFunnelCounters(t *testing.T) {
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 199
+	col := newTestCollector()
+	cfg.Collector = col
+
+	res, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+
+	n := int64(res.EligibleRegions)
+	total := s.Counter(obs.MAuditIndexPairsTotal)
+	if want := n * (n - 1) / 2; total != want {
+		t.Errorf("index pairs_total = %d, want %d", total, want)
+	}
+	emitted := s.Counter(obs.MAuditIndexWindowCandidates)
+	bounds := s.Counter(obs.MAuditIndexBoundsRejections)
+	scanned := s.Counter(obs.MAuditPairsScanned)
+	if emitted <= 0 || emitted > total {
+		t.Errorf("window candidates = %d outside (0, %d]", emitted, total)
+	}
+	if emitted >= total {
+		t.Errorf("window join emitted all %d pairs; no pruning happened", total)
+	}
+	if bounds <= 0 {
+		t.Error("summary bounds rejected nothing; fixture should exercise them")
+	}
+	if scanned != emitted-bounds {
+		t.Errorf("scanned = %d, want window candidates - bounds rejections = %d-%d", scanned, emitted, bounds)
+	}
+	accounted := s.Counter(obs.MAuditDissRejections) +
+		s.Counter(obs.MAuditSimRejections) +
+		s.Counter(obs.MAuditEtaFastPath) +
+		s.Counter(obs.MAuditCandidates)
+	if accounted != scanned {
+		t.Errorf("cascade counters don't partition the scan: %d accounted of %d scanned", accounted, scanned)
+	}
+
+	evs := col.Events().Recent(0)
+	if len(evs) != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if gen := evs[1].Fields["candidate_gen"]; gen != "indexed" {
+		t.Errorf("audit.finish candidate_gen = %v, want indexed", gen)
+	}
+}
+
+// TestAuditNullCacheCounters pins the shared-cache accounting: every simulated
+// candidate answers exactly one cache lookup, worlds are spent only on
+// misses, and the cached path never records an adaptive early stop.
+func TestAuditNullCacheCounters(t *testing.T) {
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 99
+	col := newTestCollector()
+	cfg.Collector = col
+
+	res, err := Audit(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+
+	hits := s.Counter(obs.MMCNullCacheHits)
+	misses := s.Counter(obs.MMCNullCacheMisses)
+	simulated := int64(res.Candidates) - s.Counter(obs.MAuditPrescreenSkips)
+	if hits+misses != simulated {
+		t.Errorf("cache lookups = %d hits + %d misses, want %d simulated candidates", hits, misses, simulated)
+	}
+	if misses <= 0 || misses > simulated {
+		t.Errorf("misses = %d outside (0, %d]", misses, simulated)
+	}
+	if got, want := s.Counter(obs.MAuditMCWorlds), misses*int64(cfg.MCWorlds); got != want {
+		t.Errorf("mc worlds = %d, want misses x m = %d", got, want)
+	}
+	if s.Counter(obs.MAuditMCEarlyStops) != 0 {
+		t.Errorf("cached audit recorded %d early stops; the cache path never stops early",
+			s.Counter(obs.MAuditMCEarlyStops))
+	}
+	if s.Counter(obs.MMCNullCacheEvictions) != 0 {
+		t.Errorf("default-sized cache evicted %d entries on a 12-region audit",
+			s.Counter(obs.MMCNullCacheEvictions))
+	}
+}
+
 // TestAuditFDRWorldsExact asserts the FDR path counts full (non-adaptive)
 // Monte-Carlo streams: every simulated candidate spends exactly MCWorlds
 // worlds and no early stops are recorded.
@@ -97,6 +198,10 @@ func TestAuditFDRWorldsExact(t *testing.T) {
 	cfg.Alpha = 0.05
 	cfg.FDR = 0.10
 	cfg.MCWorlds = 99
+	// Per-pair streams only: with the shared null cache, worlds are counted
+	// once per fresh count signature rather than once per simulated pair
+	// (see TestAuditNullCacheCounters).
+	cfg.MCNullCacheSize = 0
 	col := newTestCollector()
 	cfg.Collector = col
 

@@ -61,16 +61,11 @@ func makeCascadeFixture(t testing.TB) *partition.Partitioning {
 func newTestRunner(t testing.TB, p *partition.Partitioning, cfg Config) *auditRunner {
 	t.Helper()
 	eligible := p.NonEmpty(cfg.MinRegionSize)
-	run := &auditRunner{
-		cfg:     cfg,
-		fdr:     cfg.FDR > 0,
-		regions: make([]*partition.Region, len(eligible)),
-		sim:     newPreparedScorer(cfg.Similarity, len(eligible)),
-		diss:    newPreparedScorer(cfg.Dissimilarity, len(eligible)),
-	}
+	regions := make([]*partition.Region, len(eligible))
 	for i, idx := range eligible {
-		run.regions[i] = &p.Regions[idx]
+		regions[i] = &p.Regions[idx]
 	}
+	run := newAuditRunner(cfg, regions)
 	for i := range run.regions {
 		run.sim.prepare(i, run.regions[i])
 		run.diss.prepare(i, run.regions[i])
@@ -98,6 +93,10 @@ func TestAuditPairKernelZeroAlloc(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MinRegionSize = 10
 	cfg.MCWorlds = 199
+	// The per-pair adaptive and FDR-exact streams are the paths under test
+	// here; the shared cache (which shadows both under DefaultConfig) gets its
+	// own runner below.
+	cfg.MCNullCacheSize = 0
 
 	run := newTestRunner(t, p, cfg)
 	rng := stats.NewRNG(0)
@@ -126,12 +125,20 @@ func TestAuditPairKernelZeroAlloc(t *testing.T) {
 	fdrCfg.FDR = 0.10
 	fdrRun := newTestRunner(t, p, fdrCfg)
 
+	// The cached path: AllocsPerRun's warm-up invocation populates the cache
+	// entries, so the measured sweeps answer every p-value from the hit path,
+	// which must also be allocation-free (read-lock, binary search, atomics).
+	cachedCfg := cfg
+	cachedCfg.MCNullCacheSize = 2048
+	cachedRun := newTestRunner(t, p, cachedCfg)
+
 	for _, tc := range []struct {
 		name string
 		run  *auditRunner
 	}{
 		{"adaptive", run},
 		{"fdr-exact", fdrRun},
+		{"null-cache-hit", cachedRun},
 	} {
 		allocs := testing.AllocsPerRun(5, func() {
 			var tally pairTally
@@ -209,6 +216,11 @@ func TestAuditCancellationMidSweep(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MinRegionSize = 10
 	cfg.Workers = 1
+	// Force the dense plan: every cell here has the same positive rate, so
+	// an Eta-windowed plan would (correctly) emit no candidates and the
+	// wrapped metric would never be consulted. The indexed path's in-loop
+	// poll is covered by TestAuditCancellationMidSweepIndexed.
+	cfg.CandidateGen = CandidateDense
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -225,6 +237,54 @@ func TestAuditCancellationMidSweep(t *testing.T) {
 	if diss.scored > 2*cancelCheckInterval {
 		t.Errorf("worker scored %d pairs after cancellation, want <= %d (one poll interval plus slack)",
 			diss.scored, 2*cancelCheckInterval)
+	}
+}
+
+// TestAuditCancellationMidSweepIndexed is the indexed counterpart of the
+// mid-sweep cancellation test: the window join must run the same
+// every-cancelCheckInterval poll as the dense sweep, counted per emitted
+// candidate. The fixture alternates rates and shares so the windows emit far
+// more than one poll interval of candidates, all of which reach the
+// similarity metric (where the wrapped cancel fires).
+func TestAuditCancellationMidSweepIndexed(t *testing.T) {
+	const cells, perCell = 50, 20
+	rng := stats.NewRNG(321)
+	var observations []partition.Observation
+	for c := 0; c < cells; c++ {
+		rate, share := 0.25, 0.1
+		if c%2 == 0 {
+			rate, share = 0.75, 0.8
+		}
+		for i := 0; i < perCell; i++ {
+			observations = append(observations, partition.Observation{
+				Loc:       geo.Pt(float64(c)+0.5, 0.5),
+				Positive:  rng.Bernoulli(rate),
+				Protected: rng.Bernoulli(share),
+				Income:    50000 + 9000*rng.NormFloat64(),
+			})
+		}
+	}
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(cells, 1)), cells, 1)
+	p := partition.ByGrid(grid, observations, partition.Options{Seed: 5})
+
+	cfg := DefaultConfig()
+	cfg.MinRegionSize = 10
+	cfg.Workers = 1
+	cfg.CandidateGen = CandidateIndexed // dissimilarity gate is prunable, so this holds
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sim := &cancelAfter{PairMetric: cfg.Similarity, cancel: cancel, after: 3}
+	cfg.Similarity = sim
+
+	if _, err := AuditContext(ctx, p, cfg); err != context.Canceled {
+		t.Fatalf("mid-sweep cancellation returned %v, want context.Canceled", err)
+	}
+	// Opposite-parity pairs dominate the window emissions: ~cells^2/4 of them,
+	// far beyond one poll interval, and each reaches the similarity metric.
+	if sim.scored > 2*cancelCheckInterval {
+		t.Errorf("worker scored %d pairs after cancellation, want <= %d (one poll interval plus slack)",
+			sim.scored, 2*cancelCheckInterval)
 	}
 }
 

@@ -1,0 +1,30 @@
+// Fixture: determinism violations in candidate-index shapes. The audit's
+// index build must never bake map iteration order into its probe arrays or
+// time a window join with the ambient clock.
+package fixture
+
+import "time"
+
+// summaryIndexFromMap builds a per-dimension probe array by ranging over a
+// map of region summary keys: the array lands in map iteration order, so two
+// runs disagree on tie order before any sort runs.
+func summaryIndexFromMap(summaries map[int]float64) []float64 {
+	var probes []float64
+	for _, s := range summaries {
+		probes = append(probes, s) // want `append to probes in map iteration order`
+	}
+	return probes
+}
+
+// timedWindowJoin times the sliding-window join with wall-clock reads instead
+// of an injected Clock, leaking ambient time into recorded durations.
+func timedWindowJoin(keys []float64, lo, hi float64) (int, time.Duration) {
+	start := time.Now() // want `wall-clock read time.Now`
+	count := 0
+	for _, k := range keys {
+		if k >= lo && k <= hi {
+			count++
+		}
+	}
+	return count, time.Since(start) // want `wall-clock read time.Since`
+}

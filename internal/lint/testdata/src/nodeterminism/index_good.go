@@ -1,0 +1,30 @@
+// Fixture: the index and scheduler shapes the audit actually uses, which
+// must stay silent — positions built from ordered slices, permutations
+// sorted by key before use, and windows resolved by binary search.
+package fixture
+
+import "sort"
+
+// buildSortedIndex mirrors the per-dimension summary index build: positions
+// come from an ordered slice and the permutation is sorted by key (NaN keys
+// excluded by the caller), so the order is input-determined.
+func buildSortedIndex(keys []float64) []int {
+	pos := make([]int, 0, len(keys))
+	for i := range keys {
+		pos = append(pos, i)
+	}
+	sort.Slice(pos, func(a, b int) bool { return keys[pos[a]] < keys[pos[b]] })
+	return pos
+}
+
+// windowCount mirrors the candidate plan's estimate step: two binary
+// searches over a sorted probe array, clamped so an inverted interval is
+// empty rather than negative. No ambient state is consulted.
+func windowCount(sorted []float64, lo, hi float64) int {
+	left := sort.SearchFloat64s(sorted, lo)
+	right := sort.SearchFloat64s(sorted, hi)
+	if right < left {
+		right = left
+	}
+	return right - left
+}

@@ -1,0 +1,28 @@
+// Fixture: RNG sharing in a cache-fill shape the analyzer must catch — one
+// parent generator feeding every entry's null-world simulation while the
+// fills run on separate goroutines.
+package fixture
+
+import (
+	"sync"
+
+	"lcsf/internal/stats"
+)
+
+// sharedCacheFill simulates null worlds for many cache keys concurrently,
+// with every fill goroutine drawing from the same parent stream: the worlds
+// any one key sees now depend on goroutine interleaving.
+func sharedCacheFill(keys []uint64, worlds int) {
+	rng := stats.NewRNG(9)
+	var wg sync.WaitGroup
+	for range keys {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for w := 0; w < worlds; w++ {
+				_ = rng.Float64() // want `captured by a goroutine launched in a loop`
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,28 @@
+// Fixture: the null cache's fill discipline, which must stay silent — each
+// key derives its own seed and owns a fresh generator for its simulation, so
+// cached values are a pure function of the key and the audit seed.
+package fixture
+
+import (
+	"sync"
+
+	"lcsf/internal/stats"
+)
+
+// perKeyCacheFill derives one generator per key from a mixed per-key seed
+// (the null-cache seeding pattern); no generator crosses a goroutine
+// boundary, so eviction and re-simulation reproduce identical worlds.
+func perKeyCacheFill(keys []uint64, worlds int) {
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed)
+			for w := 0; w < worlds; w++ {
+				_ = rng.Float64()
+			}
+		}(0x9E3779B97F4A7C15 ^ key)
+	}
+	wg.Wait()
+}

@@ -24,6 +24,22 @@ const (
 	// implementing core.PreparedMetric).
 	MAuditPreparedRegions = "audit.prepared_regions"
 
+	// Index-accelerated candidate generation (internal/core). Recorded only
+	// when the audit ran an indexed plan: the full triangle size, the pairs
+	// the sorted window join emitted, and the emitted pairs the O(1)
+	// summary bounds rejected before the exact cascade (pairs_scanned ==
+	// window_candidates - bounds_rejections on indexed audits).
+	MAuditIndexPairsTotal       = "audit.index.pairs_total"
+	MAuditIndexWindowCandidates = "audit.index.window_candidates"
+	MAuditIndexBoundsRejections = "audit.index.bounds_rejections"
+
+	// Shared Monte-Carlo null-distribution cache (internal/stats): lookups
+	// served by an existing sorted null sample, lookups that simulated a
+	// fresh one, and entries evicted by the per-shard LRU.
+	MMCNullCacheHits      = "mc.null_cache_hits"
+	MMCNullCacheMisses    = "mc.null_cache_misses"
+	MMCNullCacheEvictions = "mc.null_cache_evictions"
+
 	// Audit-engine histograms (seconds).
 	MAuditSeconds = "audit.seconds"
 	// MAuditPrepareSeconds is the wall time of the parallel precompute phase

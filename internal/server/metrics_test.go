@@ -59,6 +59,11 @@ func TestMetricsAfterAudit(t *testing.T) {
 		t.Fatalf("POST /audit = %d: %s", rec.Code, rec.Body.String())
 	}
 
+	// The default config audits with the indexed candidate plan and the
+	// shared null cache: pairs the gates provably reject are pruned before
+	// the cascade (so the window/bounds counters fire instead of the
+	// dissimilarity/Eta cascade counters) and cached p-values never stop
+	// early (so mc.early_stops stays zero by design).
 	doc := getMetrics(t, srv)
 	for _, name := range []string{
 		obs.MAuditRuns,
@@ -66,11 +71,12 @@ func TestMetricsAfterAudit(t *testing.T) {
 		obs.MAuditPairsScanned,
 		obs.MAuditCandidates,
 		obs.MAuditFlagged,
-		obs.MAuditDissRejections,
 		obs.MAuditSimRejections,
-		obs.MAuditEtaFastPath,
 		obs.MAuditMCWorlds,
-		obs.MAuditMCEarlyStops,
+		obs.MAuditIndexPairsTotal,
+		obs.MAuditIndexWindowCandidates,
+		obs.MAuditIndexBoundsRejections,
+		obs.MMCNullCacheMisses,
 		obs.MHTTPRequests,
 	} {
 		if doc.Counters[name] == 0 {

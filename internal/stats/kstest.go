@@ -64,6 +64,23 @@ func KolmogorovSmirnovSorted(xs, ys []float64) KSResult {
 	return KSResult{D: d, P: ksProbability(lambda)}
 }
 
+// KolmogorovSmirnovSeparatedP returns the KS p-value at the maximal statistic
+// D = 1, which two samples attain exactly when their value ranges are
+// disjoint. Because the asymptotic tail is decreasing in D, this is a lower
+// bound on the p-value of any two samples — and the exact p-value for
+// range-disjoint ones, which is how the audit engine's conservative KS bound
+// uses it: a range-disjoint pair rejects exactly when this p is already below
+// the similarity threshold. Empty samples give NaN, matching
+// KolmogorovSmirnov.
+func KolmogorovSmirnovSeparatedP(n1, n2 int) float64 {
+	if n1 == 0 || n2 == 0 {
+		return math.NaN()
+	}
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * 1
+	return ksProbability(lambda)
+}
+
 // ksProbability is the asymptotic Kolmogorov distribution tail
 // Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
 func ksProbability(lambda float64) float64 {

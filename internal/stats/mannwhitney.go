@@ -90,6 +90,24 @@ func MannWhitneyUSorted(xs, ys []float64) MannWhitneyResult {
 	return mannWhitneyFromRankSum(rankSum1, tieTerm, n1, n2)
 }
 
+// MannWhitneySeparatedP returns the two-sided Mann–Whitney p-value for two
+// completely separated samples of the given sizes: every observation of the
+// first sample below every observation of the second, no cross-sample ties.
+// It is the smallest p the test can produce at these sizes assuming no ties,
+// and an upper bound on the p-value of ANY pair of samples with disjoint
+// value ranges — internal ties only shrink the variance and push p lower, and
+// cross-sample ties are impossible when the ranges are disjoint. The audit
+// engine's conservative Mann–Whitney bound rejects a range-disjoint pair
+// exactly when this upper bound is already below the similarity threshold.
+// Empty samples give NaN, matching MannWhitneyU.
+func MannWhitneySeparatedP(n1, n2 int) float64 {
+	if n1 == 0 || n2 == 0 {
+		return math.NaN()
+	}
+	rankSum1 := float64(n1) * float64(n1+1) / 2 // first sample occupies ranks 1..n1
+	return mannWhitneyFromRankSum(rankSum1, 0, n1, n2).P
+}
+
 // mannWhitneyFromRankSum finishes the test from the first sample's rank sum
 // and the tie-correction term: the U statistic, the tie-corrected normal
 // approximation with continuity correction, and the two-sided p-value.

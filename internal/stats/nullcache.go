@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// PairNullCache memoizes sorted Monte-Carlo null samples of the pairwise
+// likelihood-ratio statistic. The null distribution of PairLRT depends only on
+// the integer triple (n1, n2, pooledPositives) — both regions' counts are
+// drawn from Binomial(n, pooledPositives/(n1+n2)) — so audits over universes
+// with repeated count signatures can share one simulation per signature and
+// answer each pair's p-value by binary search instead of re-simulating m
+// worlds.
+//
+// Determinism: each entry's simulation stream is seeded purely from the cache
+// seed and the normalized key, so the sample — and every p-value derived from
+// it — is a function of (seed, worlds, key) alone, independent of which
+// goroutine populates the entry, of arrival order, and of eviction history.
+// The cache is safe for concurrent use.
+//
+// Capacity is bounded: entries beyond the configured size evict the least
+// recently used entry of their shard (approximate LRU — recency ticks are
+// process-wide, eviction is per-shard). A re-simulated entry reproduces the
+// evicted one exactly, so eviction affects cost, never values.
+type PairNullCache struct {
+	seed     uint64
+	worlds   int
+	perShard int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	tick      atomic.Uint64
+
+	shards [nullCacheShards]nullCacheShard
+}
+
+// nullCacheShards spreads lock contention; must be a power of two.
+const nullCacheShards = 16
+
+type nullCacheShard struct {
+	mu      sync.RWMutex
+	entries map[pairNullKey]*nullCacheEntry
+	// keys mirrors the map's key set in insertion order so eviction scans a
+	// slice rather than ranging over the map (map iteration order is
+	// nondeterministic; the victim choice must not be).
+	keys []pairNullKey
+}
+
+// pairNullKey is the normalized cache key: n1 <= n2 (the null is symmetric in
+// the two regions' sizes given the pooled count).
+type pairNullKey struct {
+	n1, n2          int
+	pooledPositives int
+}
+
+type nullCacheEntry struct {
+	once     sync.Once
+	sorted   []float64 // ascending null statistics, length = worlds
+	lastUsed atomic.Uint64
+}
+
+// NewPairNullCache returns a cache producing worlds-long null samples seeded
+// from seed. maxEntries bounds the number of retained keys (values below the
+// shard count are raised to it so every shard can hold at least one entry).
+func NewPairNullCache(seed uint64, worlds, maxEntries int) *PairNullCache {
+	if maxEntries < nullCacheShards {
+		maxEntries = nullCacheShards
+	}
+	c := &PairNullCache{
+		seed:     seed,
+		worlds:   worlds,
+		perShard: (maxEntries + nullCacheShards - 1) / nullCacheShards,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[pairNullKey]*nullCacheEntry)
+	}
+	return c
+}
+
+// Worlds returns the per-entry sample length m.
+func (c *PairNullCache) Worlds() int { return c.worlds }
+
+// Stats reports cumulative cache traffic: lookups answered by an existing
+// entry, lookups that simulated a fresh one, and entries evicted.
+func (c *PairNullCache) Stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+// PValue returns the add-one Monte-Carlo p-value of an observed statistic
+// against the cached null sample for (n1, n2, pooledPositives), simulating
+// the sample on first use:
+//
+//	p = (1 + #{tau_null >= observed}) / (m + 1)
+//
+// — the same estimator as MonteCarloP, with the count answered by binary
+// search over the sorted sample. hit reports whether the entry already
+// existed (false exactly once per key per residency in the cache). The
+// returned p is deterministic in (seed, worlds, key, observed) either way.
+func (c *PairNullCache) PValue(n1, n2, pooledPositives int, observed float64) (p float64, hit bool) {
+	if c.worlds <= 0 {
+		return 1, false
+	}
+	if n1 > n2 {
+		n1, n2 = n2, n1
+	}
+	key := pairNullKey{n1: n1, n2: n2, pooledPositives: pooledPositives}
+	e, hit := c.lookupOrInsert(key)
+	e.once.Do(func() { e.sorted = c.simulate(key) })
+	e.lastUsed.Store(c.tick.Add(1))
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	idx := sort.SearchFloat64s(e.sorted, observed) // first index with value >= observed
+	geq := len(e.sorted) - idx
+	return float64(1+geq) / float64(len(e.sorted)+1), hit
+}
+
+// lookupOrInsert finds the entry for key, inserting an empty one (and
+// possibly evicting its shard's least-recently-used entry) when absent.
+// Exactly one caller per key residency observes hit == false.
+func (c *PairNullCache) lookupOrInsert(key pairNullKey) (e *nullCacheEntry, hit bool) {
+	sh := &c.shards[nullKeyHash(key)&(nullCacheShards-1)]
+	sh.mu.RLock()
+	e = sh.entries[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e, true
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.entries[key]; e != nil {
+		return e, true // another goroutine inserted between the locks
+	}
+	if len(sh.keys) >= c.perShard {
+		victim := 0
+		oldest := sh.entries[sh.keys[0]].lastUsed.Load()
+		for i := 1; i < len(sh.keys); i++ {
+			if used := sh.entries[sh.keys[i]].lastUsed.Load(); used < oldest {
+				victim, oldest = i, used
+			}
+		}
+		delete(sh.entries, sh.keys[victim])
+		sh.keys[victim] = sh.keys[len(sh.keys)-1]
+		sh.keys = sh.keys[:len(sh.keys)-1]
+		c.evictions.Add(1)
+	}
+	e = &nullCacheEntry{}
+	sh.entries[key] = e
+	sh.keys = append(sh.keys, key)
+	return e, false
+}
+
+// simulate draws the key's null sample with a generator seeded from
+// (cache seed, key) alone and sorts it ascending for binary search.
+func (c *PairNullCache) simulate(key pairNullKey) []float64 {
+	rng := NewRNG(nullCacheSeed(c.seed, key))
+	pooledRate := float64(key.pooledPositives) / float64(key.n1+key.n2)
+	out := make([]float64, c.worlds)
+	for i := range out {
+		out[i] = pairNullDraw(rng, key.n1, key.n2, pooledRate)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// nullCacheSeed derives an entry's RNG seed from the cache seed and the
+// normalized key — an FNV-style mix over the three key integers, salted
+// differently from the audit engine's per-pair seed derivation so the cached
+// and per-pair streams never alias.
+func nullCacheSeed(seed uint64, key pairNullKey) uint64 {
+	h := seed ^ 0x9E2AC4F1D7
+	h = h*0x100000001b3 ^ uint64(key.n1)
+	h = h*0x100000001b3 ^ uint64(key.n2)
+	h = h*0x100000001b3 ^ uint64(key.pooledPositives)
+	return h
+}
+
+// nullKeyHash spreads keys across shards (distinct from nullCacheSeed so
+// shard placement and stream seeding are uncorrelated).
+func nullKeyHash(key pairNullKey) uint64 {
+	h := uint64(0x517cc1b727220a95)
+	h = (h ^ uint64(key.n1)) * 0x2545F4914F6CDD1D
+	h = (h ^ uint64(key.n2)) * 0x2545F4914F6CDD1D
+	h = (h ^ uint64(key.pooledPositives)) * 0x2545F4914F6CDD1D
+	return h ^ h>>32
+}

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestPairNullCachePValueMatchesEstimator asserts the cache's binary-search
+// p-value is exactly MonteCarloP's add-one estimator over the same key-seeded
+// stream: the cache changes where the null sample lives, not what it is.
+func TestPairNullCachePValueMatchesEstimator(t *testing.T) {
+	const seed, worlds = 42, 499
+	c := NewPairNullCache(seed, worlds, 64)
+	for _, tc := range []struct {
+		n1, n2, pooled int
+		observed       float64
+	}{
+		{300, 300, 180, 0.5},
+		{300, 300, 180, 2.0},
+		{300, 300, 180, 9.0},
+		{120, 500, 77, 1.3},
+		{500, 120, 77, 1.3}, // normalized to the previous key
+		{50, 50, 5, 0.0},
+	} {
+		got, _ := c.PValue(tc.n1, tc.n2, tc.pooled, tc.observed)
+		n1, n2 := tc.n1, tc.n2
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		rng := NewRNG(nullCacheSeed(seed, pairNullKey{n1: n1, n2: n2, pooledPositives: tc.pooled}))
+		pooledRate := float64(tc.pooled) / float64(n1+n2)
+		want := MonteCarloP(tc.observed, worlds, PairNullSimulator(rng, n1, n2, pooledRate))
+		if got != want {
+			t.Errorf("PValue(%d,%d,%d,%v) = %v, want estimator's %v",
+				tc.n1, tc.n2, tc.pooled, tc.observed, got, want)
+		}
+	}
+}
+
+// TestPairNullCacheDeterministicConcurrent hammers one cache from many
+// goroutines and asserts every answer matches a serial reference cache: entry
+// values must not depend on which goroutine simulates them or on arrival
+// order.
+func TestPairNullCacheDeterministicConcurrent(t *testing.T) {
+	const seed, worlds = 7, 199
+	keys := []struct{ n1, n2, pooled int }{
+		{300, 300, 100}, {300, 300, 200}, {250, 310, 150},
+		{100, 100, 50}, {400, 200, 333}, {80, 90, 60},
+	}
+	taus := []float64{0.1, 0.7, 1.5, 3.0, 6.0}
+
+	ref := NewPairNullCache(seed, worlds, 64)
+	want := map[[4]float64]float64{}
+	for _, k := range keys {
+		for _, tau := range taus {
+			p, _ := ref.PValue(k.n1, k.n2, k.pooled, tau)
+			want[[4]float64{float64(k.n1), float64(k.n2), float64(k.pooled), tau}] = p
+		}
+	}
+
+	c := NewPairNullCache(seed, worlds, 64)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the keys from a different starting offset,
+			// so insertion races cover every key.
+			for i := range keys {
+				k := keys[(i+g)%len(keys)]
+				for _, tau := range taus {
+					p, _ := c.PValue(k.n1, k.n2, k.pooled, tau)
+					if p != want[[4]float64{float64(k.n1), float64(k.n2), float64(k.pooled), tau}] {
+						errs <- "concurrent p-value diverged from serial reference"
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestPairNullCacheStatsAccounting checks the hit/miss contract — exactly one
+// miss per key residency — and that eviction under a tiny capacity both
+// counts and re-simulates evicted entries to identical values.
+func TestPairNullCacheStatsAccounting(t *testing.T) {
+	c := NewPairNullCache(3, 99, 16) // 16 entries -> one per shard
+	if p1, hit := c.PValue(300, 300, 150, 1.0); hit {
+		t.Error("first lookup reported a hit")
+	} else if p2, hit2 := c.PValue(300, 300, 150, 1.0); !hit2 || p2 != p1 {
+		t.Errorf("second lookup: hit=%v p=%v, want hit with p=%v", hit2, p2, p1)
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats after two lookups = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+
+	// Flood with distinct keys: with one slot per shard, collisions must
+	// evict. Record each key's p-value on first contact, then replay — every
+	// re-simulated entry must reproduce the original exactly.
+	first := map[int]float64{}
+	for k := 0; k < 64; k++ {
+		p, _ := c.PValue(200+k, 300, 100+k, 2.0)
+		first[k] = p
+	}
+	_, _, evictions := c.Stats()
+	if evictions == 0 {
+		t.Fatal("64 keys through 16 slots caused no evictions")
+	}
+	for k := 0; k < 64; k++ {
+		if p, _ := c.PValue(200+k, 300, 100+k, 2.0); p != first[k] {
+			t.Errorf("key %d: p after eviction churn = %v, want original %v", k, p, first[k])
+		}
+	}
+}
+
+// TestPairNullCacheSeedLiveness asserts the cache seed actually reaches the
+// simulation streams: across several seeds, some mid-distribution p-value
+// must differ (an extreme tau would pin p at 1/(m+1) under every seed and
+// prove nothing).
+func TestPairNullCacheSeedLiveness(t *testing.T) {
+	var ps []float64
+	for seed := uint64(1); seed <= 4; seed++ {
+		c := NewPairNullCache(seed, 199, 16)
+		p, _ := c.PValue(300, 300, 180, 1.0) // tau = 1: well inside the null bulk
+		ps = append(ps, p)
+	}
+	for _, p := range ps[1:] {
+		if p != ps[0] {
+			return
+		}
+	}
+	t.Fatalf("p-values identical across seeds %v; cache seeding looks dead", ps)
+}
+
+// TestPairNullCacheDisabledWorlds pins the degenerate contract: a cache built
+// with zero worlds answers p = 1, never a hit.
+func TestPairNullCacheDisabledWorlds(t *testing.T) {
+	c := NewPairNullCache(1, 0, 16)
+	if p, hit := c.PValue(10, 10, 5, 3.0); p != 1 || hit {
+		t.Errorf("zero-world cache answered (%v, %v), want (1, false)", p, hit)
+	}
+}
+
+// TestMannWhitneySeparatedPBounds asserts the closed-form separated-sample
+// p-value is a true upper bound on the exact U test whenever the two samples'
+// ranges are disjoint — the soundness fact the audit's conservative
+// Mann–Whitney summary bound relies on — and that it is exact for tie-free
+// separated samples.
+func TestMannWhitneySeparatedPBounds(t *testing.T) {
+	for _, tc := range []struct{ n1, n2 int }{
+		{5, 5}, {10, 30}, {40, 40}, {200, 300}, {1, 50},
+	} {
+		bound := MannWhitneySeparatedP(tc.n1, tc.n2)
+		if math.IsNaN(bound) || bound <= 0 || bound > 1 {
+			t.Fatalf("SeparatedP(%d,%d) = %v", tc.n1, tc.n2, bound)
+		}
+		// Tie-free separated samples: exact equality with the real test.
+		lo := make([]float64, tc.n1)
+		hi := make([]float64, tc.n2)
+		for i := range lo {
+			lo[i] = float64(i)
+		}
+		for i := range hi {
+			hi[i] = 1e6 + float64(i)
+		}
+		if p := MannWhitneyU(lo, hi).P; math.Abs(p-bound) > 1e-12 {
+			t.Errorf("(%d,%d) tie-free: exact p = %v, bound = %v", tc.n1, tc.n2, p, bound)
+		}
+		// Heavy internal ties shrink the null variance and push |z| further
+		// out: the exact p must stay at or below the bound.
+		for i := range lo {
+			lo[i] = float64(i % 2)
+		}
+		for i := range hi {
+			hi[i] = 1e6 + float64(i%3)
+		}
+		if p := MannWhitneyU(lo, hi).P; p > bound+1e-12 {
+			t.Errorf("(%d,%d) tied: exact p = %v exceeds bound %v", tc.n1, tc.n2, p, bound)
+		}
+	}
+	if !math.IsNaN(MannWhitneySeparatedP(0, 5)) || !math.IsNaN(MannWhitneySeparatedP(5, 0)) {
+		t.Error("empty sample must yield NaN")
+	}
+}
+
+// TestKolmogorovSmirnovSeparatedPExact asserts the closed form equals the
+// real KS test on range-disjoint samples, where D is exactly 1.
+func TestKolmogorovSmirnovSeparatedPExact(t *testing.T) {
+	for _, tc := range []struct{ n1, n2 int }{
+		{5, 5}, {10, 30}, {40, 40}, {100, 250},
+	} {
+		bound := KolmogorovSmirnovSeparatedP(tc.n1, tc.n2)
+		lo := make([]float64, tc.n1)
+		hi := make([]float64, tc.n2)
+		for i := range lo {
+			lo[i] = float64(i)
+		}
+		for i := range hi {
+			hi[i] = 1e6 + float64(i)
+		}
+		res := KolmogorovSmirnov(lo, hi)
+		if res.D != 1 {
+			t.Fatalf("(%d,%d): separated D = %v, want 1", tc.n1, tc.n2, res.D)
+		}
+		if math.Abs(res.P-bound) > 1e-12 {
+			t.Errorf("(%d,%d): exact p = %v, closed form = %v", tc.n1, tc.n2, res.P, bound)
+		}
+	}
+	if !math.IsNaN(KolmogorovSmirnovSeparatedP(0, 5)) {
+		t.Error("empty sample must yield NaN")
+	}
+}

@@ -104,6 +104,29 @@ type Cluster = core.Cluster
 // metrics (Definition 3.3's Sim and Diss).
 type PairMetric = core.PairMetric
 
+// PrunableMetric extends PairMetric with sound summary-based pruning for the
+// audit's index-accelerated candidate generation; every built-in metric
+// implements it.
+type PrunableMetric = core.PrunableMetric
+
+// CandidateGen selects the audit's pair-enumeration strategy (Config
+// field of the same name); the flagged set is identical under every
+// strategy.
+type CandidateGen = core.CandidateGen
+
+// Candidate-generation strategies.
+const (
+	// CandidateAuto indexes when a provider is available, else dense.
+	CandidateAuto = core.CandidateAuto
+	// CandidateDense forces the exhaustive pair sweep.
+	CandidateDense = core.CandidateDense
+	// CandidateIndexed requires index-accelerated generation.
+	CandidateIndexed = core.CandidateIndexed
+)
+
+// RegionSummary is the O(1) per-region digest behind candidate pruning.
+type RegionSummary = partition.RegionSummary
+
 // Metric implementations available out of the box.
 type (
 	// MannWhitneySimilarity gates income similarity with the Mann–Whitney U
