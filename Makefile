@@ -1,14 +1,18 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke lint check
+.PHONY: all build test race vet bench bench-smoke lint check \
+	examples-smoke fuzz-smoke cover
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test and subtest order so accidental order
+# dependencies surface; on failure the test binary prints its
+# `-test.shuffle <seed>` line, which reproduces the failing order exactly.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-verify the concurrent collector and everything that records into it.
 race:
@@ -36,4 +40,38 @@ bench-smoke:
 lint:
 	$(GO) run ./cmd/lcsf-lint ./...
 
-check: build vet test race bench-smoke lint
+# Build and run every example at reduced size (LCSF_EXAMPLE_FAST, see
+# examples/internal/exenv) so example drift against the library API fails
+# the check run instead of rotting silently. Output is discarded; only the
+# exit status matters.
+examples-smoke:
+	@for d in examples/*/; do \
+		case $$d in examples/internal/) continue;; esac; \
+		echo "example $$d"; \
+		LCSF_EXAMPLE_FAST=1 $(GO) run ./$$d >/dev/null || exit 1; \
+	done
+
+# A bounded pass of every differential fuzz target in internal/verify: each
+# target first replays its checked-in corpus, then mutates for FUZZTIME.
+# The go tool accepts one -fuzz pattern per invocation, hence the loop.
+FUZZTIME ?= 4s
+fuzz-smoke:
+	@for t in FuzzMannWhitneySorted FuzzKolmogorovSmirnovSorted \
+		FuzzWelchTFromMoments FuzzPairNullCache FuzzNormalRoundTrip FuzzFDR; do \
+		echo "fuzz $$t"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/verify || exit 1; \
+	done
+
+# Statement-coverage gate over the numerical heart of the framework. The
+# floor lives in COVERAGE.txt; ratchet it up when coverage improves, never
+# down. (Coverage of a fixed tree is deterministic, so a small safety margin
+# below the measured value absorbs legitimate refactors, not regressions.)
+cover:
+	@$(GO) test -coverprofile=coverage.out ./internal/core ./internal/stats
+	@actual=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat COVERAGE.txt); \
+	echo "coverage: $$actual% of statements (floor $$floor%)"; \
+	awk -v a="$$actual" -v f="$$floor" 'BEGIN { exit !(a+0 >= f+0) }' || \
+		{ echo "coverage $$actual% is below the $$floor% floor in COVERAGE.txt"; exit 1; }
+
+check: build vet test race bench-smoke lint examples-smoke cover fuzz-smoke

@@ -15,7 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"lcsf/internal/census"
@@ -30,37 +30,49 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lcsf-audit: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable body of the command: it parses args, runs the audit,
+// writes human output to stdout and errors to stderr, and returns the
+// process exit code (0 success, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lcsf-audit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		lar        = flag.String("lar", "", "LAR CSV file to audit (mutually exclusive with -places)")
-		places     = flag.String("places", "", "points-of-interest CSV to audit (food-access use case)")
-		censusSeed = flag.Uint64("census-seed", 2020, "seed of the census model the -places file was generated against")
-		tracts     = flag.Int("tracts", 0, "tract count of that census model (0 = default)")
-		ethical    = flag.Bool("ethical", false, "use the relaxed ethical-spatial-fairness thresholds")
-		cols       = flag.Int("cols", 100, "grid columns")
-		rows       = flag.Int("rows", 50, "grid rows")
-		epsilon    = flag.Float64("epsilon", 0.001, "similarity threshold (Mann-Whitney p-value floor)")
-		delta      = flag.Float64("delta", 0.001, "dissimilarity threshold")
-		eta        = flag.Float64("eta", 0.05, "outcome-similarity threshold (rate-gap fast path; 0 disables)")
-		alpha      = flag.Float64("alpha", 0.01, "Monte-Carlo significance level")
-		worlds     = flag.Int("worlds", 999, "Monte-Carlo worlds (the paper's m)")
-		minSize    = flag.Int("min-region", 100, "minimum individuals per region")
-		diss       = flag.String("dissimilarity", "zscore", "dissimilarity metric: zscore, statparity, or di")
-		top        = flag.Int("top", 5, "number of most-unfair pairs to describe")
-		showMap    = flag.Bool("map", false, "print a terminal map of the unfair regions")
-		seed       = flag.Uint64("seed", 1, "Monte-Carlo seed")
-		outJSON    = flag.String("out-json", "", "write the full report as JSON to this file")
-		outCSV     = flag.String("out-csv", "", "write the unfair pairs as CSV to this file")
-		outMD      = flag.String("out-md", "", "write a Markdown report to this file")
-		outGeoJSON = flag.String("out-geojson", "", "write the flagged regions as GeoJSON to this file")
+		lar        = fs.String("lar", "", "LAR CSV file to audit (mutually exclusive with -places)")
+		places     = fs.String("places", "", "points-of-interest CSV to audit (food-access use case)")
+		censusSeed = fs.Uint64("census-seed", 2020, "seed of the census model the -places file was generated against")
+		tracts     = fs.Int("tracts", 0, "tract count of that census model (0 = default)")
+		ethical    = fs.Bool("ethical", false, "use the relaxed ethical-spatial-fairness thresholds")
+		cols       = fs.Int("cols", 100, "grid columns")
+		rows       = fs.Int("rows", 50, "grid rows")
+		epsilon    = fs.Float64("epsilon", 0.001, "similarity threshold (Mann-Whitney p-value floor)")
+		delta      = fs.Float64("delta", 0.001, "dissimilarity threshold")
+		eta        = fs.Float64("eta", 0.05, "outcome-similarity threshold (rate-gap fast path; 0 disables)")
+		alpha      = fs.Float64("alpha", 0.01, "Monte-Carlo significance level")
+		worlds     = fs.Int("worlds", 999, "Monte-Carlo worlds (the paper's m)")
+		minSize    = fs.Int("min-region", 100, "minimum individuals per region")
+		diss       = fs.String("dissimilarity", "zscore", "dissimilarity metric: zscore, statparity, or di")
+		top        = fs.Int("top", 5, "number of most-unfair pairs to describe")
+		showMap    = fs.Bool("map", false, "print a terminal map of the unfair regions")
+		seed       = fs.Uint64("seed", 1, "Monte-Carlo seed")
+		outJSON    = fs.String("out-json", "", "write the full report as JSON to this file")
+		outCSV     = fs.String("out-csv", "", "write the unfair pairs as CSV to this file")
+		outMD      = fs.String("out-md", "", "write a Markdown report to this file")
+		outGeoJSON = fs.String("out-geojson", "", "write the flagged regions as GeoJSON to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "lcsf-audit: "+format+"\n", a...)
+		return 1
+	}
 	if (*lar == "") == (*places == "") {
-		fmt.Fprintln(os.Stderr, "exactly one of -lar or -places is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "exactly one of -lar or -places is required")
+		fs.Usage()
+		return 2
 	}
 
 	var observations []partition.Observation
@@ -68,23 +80,23 @@ func main() {
 	case *lar != "":
 		records, err := hmda.ReadCSV(*lar)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		observations = hmda.ToObservations(records)
 		if len(observations) == 0 {
-			log.Fatal("no decisioned (approved/denied) records in input")
+			return fail("no decisioned (approved/denied) records in input")
 		}
 	default:
 		pl, err := poi.ReadCSV(*places)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		// Places carry only tract references; rebuild the census model the
 		// file was generated against to attach neighborhood demographics.
 		model := census.Generate(census.Config{Seed: *censusSeed, NumTracts: *tracts})
 		for _, p := range pl {
 			if p.Tract < 0 || p.Tract >= len(model.Tracts) {
-				log.Fatalf("place %d references tract %d outside the census model (wrong -census-seed or -tracts?)", p.ID, p.Tract)
+				return fail("place %d references tract %d outside the census model (wrong -census-seed or -tracts?)", p.ID, p.Tract)
 			}
 		}
 		observations = poi.ToObservations(model, pl, *censusSeed+1)
@@ -97,7 +109,7 @@ func main() {
 	// Threshold flags override the chosen base configuration only when the
 	// user set them explicitly, so -ethical keeps its relaxed defaults.
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["epsilon"] {
 		cfg.Epsilon = *epsilon
 	}
@@ -125,7 +137,7 @@ func main() {
 	case "di":
 		cfg.Dissimilarity = core.DisparateImpactDissimilarity{}
 	default:
-		log.Fatalf("unknown -dissimilarity %q", *diss)
+		return fail("unknown -dissimilarity %q", *diss)
 	}
 
 	col := obs.NewCollector(16)
@@ -135,74 +147,84 @@ func main() {
 	part := partition.ByGrid(grid, observations, partition.Options{Seed: *seed})
 	res, err := core.Audit(part, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 
-	fmt.Printf("audited %d observations over a %s grid (global positive rate %.3f)\n",
+	fmt.Fprintf(stdout, "audited %d observations over a %s grid (global positive rate %.3f)\n",
 		part.TotalN, grid, res.GlobalRate)
-	fmt.Printf("eligible regions: %d; candidate pairs: %d; unfair pairs: %d\n",
+	fmt.Fprintf(stdout, "eligible regions: %d; candidate pairs: %d; unfair pairs: %d\n",
 		res.EligibleRegions, res.Candidates, len(res.Pairs))
-	printFunnel(col.Snapshot())
+	printFunnel(stdout, col.Snapshot())
 
 	for i, pr := range res.Top(*top) {
 		ci, cj := grid.CellCenter(pr.I), grid.CellCenter(pr.J)
-		fmt.Printf("%2d. region %d at %s (rate %.2f, protected share %.2f) vs region %d at %s (rate %.2f, protected share %.2f)  tau=%.1f p=%.3f\n",
+		fmt.Fprintf(stdout, "%2d. region %d at %s (rate %.2f, protected share %.2f) vs region %d at %s (rate %.2f, protected share %.2f)  tau=%.1f p=%.3f\n",
 			i+1, pr.I, ci, pr.RateI, pr.SharedI, pr.J, cj, pr.RateJ, pr.SharedJ, pr.Tau, pr.P)
 	}
 
 	if *showMap {
 		set := res.UnfairRegionSet()
-		fmt.Println("unfair regions ('1'):")
-		fmt.Print(viz.HighlightMap(grid, []map[int]bool{set}))
+		fmt.Fprintln(stdout, "unfair regions ('1'):")
+		fmt.Fprint(stdout, viz.HighlightMap(grid, []map[int]bool{set}))
 	}
 
 	if *outJSON != "" || *outCSV != "" || *outMD != "" || *outGeoJSON != "" {
 		doc := report.Build(part, grid, res)
-		write := func(path string, fn func(*os.File) error) {
+		write := func(path string, fn func(*os.File) error) error {
 			if path == "" {
-				return
+				return nil
 			}
 			f, err := os.Create(path)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := fn(f); err != nil {
 				_ = f.Close() // the write error is the one worth reporting
-				log.Fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+			return nil
 		}
-		write(*outJSON, func(f *os.File) error { return doc.WriteJSON(f) })
-		write(*outCSV, func(f *os.File) error { return doc.WriteCSV(f) })
-		write(*outMD, func(f *os.File) error {
+		if err := write(*outJSON, func(f *os.File) error { return doc.WriteJSON(f) }); err != nil {
+			return fail("%v", err)
+		}
+		if err := write(*outCSV, func(f *os.File) error { return doc.WriteCSV(f) }); err != nil {
+			return fail("%v", err)
+		}
+		if err := write(*outMD, func(f *os.File) error {
 			_, err := f.WriteString(doc.Markdown(20))
 			return err
-		})
-		write(*outGeoJSON, func(f *os.File) error {
+		}); err != nil {
+			return fail("%v", err)
+		}
+		if err := write(*outGeoJSON, func(f *os.File) error {
 			data, err := report.GeoJSON(part, grid, res)
 			if err != nil {
 				return err
 			}
 			_, err = f.Write(data)
 			return err
-		})
+		}); err != nil {
+			return fail("%v", err)
+		}
 	}
+	return 0
 }
 
 // printFunnel reports how the audit spent its work: the candidate index's
 // pruning (when the indexed plan ran), the gate cascade's per-phase exits,
 // and the shared Monte-Carlo null cache's traffic (when enabled).
-func printFunnel(s obs.Snapshot) {
+func printFunnel(w io.Writer, s obs.Snapshot) {
 	if total := s.Counter(obs.MAuditIndexPairsTotal); total > 0 {
 		emitted := s.Counter(obs.MAuditIndexWindowCandidates)
-		fmt.Printf("candidate index: emitted %d of %d pairs (%.1f%% pruned by windows), %d rejected by summary bounds\n",
+		fmt.Fprintf(w, "candidate index: emitted %d of %d pairs (%.1f%% pruned by windows), %d rejected by summary bounds\n",
 			emitted, total, 100*float64(total-emitted)/float64(total),
 			s.Counter(obs.MAuditIndexBoundsRejections))
 	}
-	fmt.Printf("gate funnel: %d scanned -> %d dissimilarity rejects, %d eta fast-path exits, %d similarity rejects -> %d candidates (%d prescreen skips) -> %d flagged\n",
+	fmt.Fprintf(w, "gate funnel: %d scanned -> %d dissimilarity rejects, %d eta fast-path exits, %d similarity rejects -> %d candidates (%d prescreen skips) -> %d flagged\n",
 		s.Counter(obs.MAuditPairsScanned),
 		s.Counter(obs.MAuditDissRejections),
 		s.Counter(obs.MAuditEtaFastPath),
@@ -210,10 +232,10 @@ func printFunnel(s obs.Snapshot) {
 		s.Counter(obs.MAuditCandidates),
 		s.Counter(obs.MAuditPrescreenSkips),
 		s.Counter(obs.MAuditFlagged))
-	fmt.Printf("monte carlo: %d worlds simulated, %d adaptive early stops\n",
+	fmt.Fprintf(w, "monte carlo: %d worlds simulated, %d adaptive early stops\n",
 		s.Counter(obs.MAuditMCWorlds), s.Counter(obs.MAuditMCEarlyStops))
 	if hits, misses := s.Counter(obs.MMCNullCacheHits), s.Counter(obs.MMCNullCacheMisses); hits+misses > 0 {
-		fmt.Printf("null cache: %d hits, %d misses (%.1f%% hit rate), %d evictions\n",
+		fmt.Fprintf(w, "null cache: %d hits, %d misses (%.1f%% hit rate), %d evictions\n",
 			hits, misses, 100*float64(hits)/float64(hits+misses),
 			s.Counter(obs.MMCNullCacheEvictions))
 	}

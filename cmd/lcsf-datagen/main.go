@@ -8,12 +8,13 @@
 //	lcsf-datagen -out data/                     # everything, default seed
 //	lcsf-datagen -out data/ -dataset mortgage -lender "Loan Depot"
 //	lcsf-datagen -out data/ -dataset places -seed 7
+//	lcsf-datagen -out data/ -tracts 500 -scale 0.01   # small fixture
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,44 +27,71 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lcsf-datagen: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable body of the command: it parses args, writes the
+// requested datasets, and returns the process exit code (0 success, 1
+// runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lcsf-datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out     = flag.String("out", "data", "output directory (created if missing)")
-		seed    = flag.Uint64("seed", 2020, "master seed of the synthetic universe")
-		dataset = flag.String("dataset", "all", "which dataset to write: census, mortgage, places, or all")
-		lender  = flag.String("lender", "", "lender name for -dataset mortgage (default: all four)")
-		tracts  = flag.Int("tracts", 0, "number of census tracts (0 = default 8000)")
-		geoJSON = flag.Bool("geojson", false, "also write the census tracts as GeoJSON (tracts.geojson)")
+		out     = fs.String("out", "data", "output directory (created if missing)")
+		seed    = fs.Uint64("seed", 2020, "master seed of the synthetic universe")
+		dataset = fs.String("dataset", "all", "which dataset to write: census, mortgage, places, or all")
+		lender  = fs.String("lender", "", "lender name for -dataset mortgage (default: all four)")
+		tracts  = fs.Int("tracts", 0, "number of census tracts (0 = default 8000)")
+		scale   = fs.Float64("scale", 1, "scale lender application volumes by this factor (fixtures, smoke tests)")
+		geoJSON = fs.Bool("geojson", false, "also write the census tracts as GeoJSON (tracts.geojson)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "lcsf-datagen: %v\n", err)
+		return 1
+	}
+	if *scale <= 0 {
+		fmt.Fprintf(stderr, "lcsf-datagen: -scale %v must be positive\n", *scale)
+		return 2
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	model := census.Generate(census.Config{Seed: *seed, NumTracts: *tracts})
 
 	if *geoJSON {
-		writeCensusGeoJSON(model, *out)
+		if err := writeCensusGeoJSON(stdout, model, *out); err != nil {
+			return fail(err)
+		}
 	}
+	var err error
 	switch *dataset {
 	case "census":
-		writeCensus(model, *out)
+		err = writeCensus(stdout, model, *out)
 	case "mortgage":
-		writeMortgages(model, *out, *lender)
+		err = writeMortgages(stdout, model, *out, *lender, *scale)
 	case "places":
-		writePlaces(model, *out, *seed)
+		err = writePlaces(stdout, model, *out, *seed)
 	case "all":
-		writeCensus(model, *out)
-		writeMortgages(model, *out, *lender)
-		writePlaces(model, *out, *seed)
+		if err = writeCensus(stdout, model, *out); err == nil {
+			if err = writeMortgages(stdout, model, *out, *lender, *scale); err == nil {
+				err = writePlaces(stdout, model, *out, *seed)
+			}
+		}
 	default:
-		log.Fatalf("unknown -dataset %q (want census, mortgage, places, or all)", *dataset)
+		fmt.Fprintf(stderr, "lcsf-datagen: unknown -dataset %q (want census, mortgage, places, or all)\n", *dataset)
+		return 2
 	}
+	if err != nil {
+		return fail(err)
+	}
+	return 0
 }
 
-func writeCensus(model *census.Model, dir string) {
+func writeCensus(stdout io.Writer, model *census.Model, dir string) error {
 	t := table.New(table.Schema{
 		{Name: "id", Type: table.Int64},
 		{Name: "lon", Type: table.Float64},
@@ -78,17 +106,18 @@ func writeCensus(model *census.Model, dir string) {
 		err := t.AppendRow(int64(tr.ID), tr.Center.X, tr.Center.Y, int64(tr.Population),
 			tr.MeanIncome, tr.IncomeSD, tr.MinorityShare, tr.Metro)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	path := filepath.Join(dir, "census_tracts.csv")
 	if err := t.WriteCSVFile(path); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s (%d tracts)\n", path, len(model.Tracts))
+	fmt.Fprintf(stdout, "wrote %s (%d tracts)\n", path, len(model.Tracts))
+	return nil
 }
 
-func writeCensusGeoJSON(model *census.Model, dir string) {
+func writeCensusGeoJSON(stdout io.Writer, model *census.Model, dir string) error {
 	polys := make([]geo.Polygon, len(model.Tracts))
 	props := make([]map[string]any, len(model.Tracts))
 	for i, tr := range model.Tracts {
@@ -103,41 +132,49 @@ func writeCensusGeoJSON(model *census.Model, dir string) {
 	}
 	data, err := geo.FeatureCollection(polys, props)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	path := filepath.Join(dir, "tracts.geojson")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s (%d features)\n", path, len(polys))
+	fmt.Fprintf(stdout, "wrote %s (%d features)\n", path, len(polys))
+	return nil
 }
 
-func writeMortgages(model *census.Model, dir, name string) {
+func writeMortgages(stdout io.Writer, model *census.Model, dir, name string, scale float64) error {
 	lenders := hmda.DefaultLenders()
 	if name != "" {
 		l, err := hmda.LenderByName(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		lenders = []hmda.Lender{l}
 	}
 	for _, l := range lenders {
+		// Exact at scale 1: lender volumes are far below 2^53.
+		l.Decisioned = int(float64(l.Decisioned) * scale)
+		if l.Decisioned < 1 {
+			l.Decisioned = 1
+		}
 		recs := hmda.Generate(model, l)
 		path := filepath.Join(dir, "lar_"+slug(l.Name)+".csv")
 		if err := hmda.WriteCSV(path, recs); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s (%d applications)\n", path, len(recs))
+		fmt.Fprintf(stdout, "wrote %s (%d applications)\n", path, len(recs))
 	}
+	return nil
 }
 
-func writePlaces(model *census.Model, dir string, seed uint64) {
+func writePlaces(stdout io.Writer, model *census.Model, dir string, seed uint64) error {
 	places := poi.Generate(model, poi.Config{Seed: seed + 55})
 	path := filepath.Join(dir, "places.csv")
 	if err := poi.WriteCSV(path, places); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s (%d places)\n", path, len(places))
+	fmt.Fprintf(stdout, "wrote %s (%d places)\n", path, len(places))
+	return nil
 }
 
 func slug(name string) string {

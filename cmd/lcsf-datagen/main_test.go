@@ -1,0 +1,108 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lcsf/internal/hmda"
+	"lcsf/internal/poi"
+)
+
+// runCmd invokes run with captured output and reports (exit code, stdout,
+// stderr).
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"unknown dataset", []string{"-dataset", "mortgages"}},
+		{"non-positive scale", []string{"-scale", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append(tc.args, "-out", t.TempDir())
+			if code, _, stderr := runCmd(t, args...); code != 2 {
+				t.Errorf("run(%v) = %d, want exit 2; stderr: %s", args, code, stderr)
+			}
+		})
+	}
+}
+
+func TestUnknownLenderFails(t *testing.T) {
+	code, _, stderr := runCmd(t, "-out", t.TempDir(), "-dataset", "mortgage", "-lender", "No Such Bank")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "No Such Bank") {
+		t.Errorf("stderr does not name the unknown lender: %s", stderr)
+	}
+}
+
+// TestGenerateAllRoundTrips writes every dataset at fixture scale and reads
+// the generated CSVs back through the same loaders the audit CLI uses.
+func TestGenerateAllRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCmd(t,
+		"-out", dir, "-tracts", "300", "-scale", "0.002", "-geojson")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"census_tracts.csv", "places.csv", "tracts.geojson", "lar_bank_of_america.csv"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout does not report writing %s:\n%s", want, stdout)
+		}
+	}
+
+	recs, err := hmda.ReadCSV(filepath.Join(dir, "lar_bank_of_america.csv"))
+	if err != nil {
+		t.Fatalf("LAR round-trip: %v", err)
+	}
+	dec := hmda.FilterDecisioned(recs)
+	// 224145 decisioned applications scaled by 0.002.
+	if want := 448; len(dec) != want {
+		t.Errorf("decisioned records = %d, want %d (scaled volume)", len(dec), want)
+	}
+	if len(hmda.ToObservations(recs)) != len(dec) {
+		t.Errorf("ToObservations = %d observations, want %d", len(hmda.ToObservations(recs)), len(dec))
+	}
+
+	places, err := poi.ReadCSV(filepath.Join(dir, "places.csv"))
+	if err != nil {
+		t.Fatalf("places round-trip: %v", err)
+	}
+	if len(places) == 0 {
+		t.Error("places.csv round-tripped to zero places")
+	}
+	for _, p := range places {
+		if p.Tract < 0 || p.Tract >= 300 {
+			t.Fatalf("place %d references tract %d outside the 300-tract model", p.ID, p.Tract)
+		}
+	}
+}
+
+func TestLenderFilterWritesOneFile(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCmd(t,
+		"-out", dir, "-dataset", "mortgage", "-lender", "Loan Depot", "-tracts", "200", "-scale", "0.001")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "lar_loan_depot.csv") {
+		t.Errorf("stdout does not report the Loan Depot file:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "wells_fargo") {
+		t.Errorf("-lender filter leaked other lenders:\n%s", stdout)
+	}
+	if _, err := hmda.ReadCSV(filepath.Join(dir, "lar_loan_depot.csv")); err != nil {
+		t.Errorf("round-trip: %v", err)
+	}
+}

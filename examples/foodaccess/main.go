@@ -14,10 +14,13 @@ import (
 	"sort"
 
 	"lcsf"
+	"lcsf/examples/internal/exenv"
 )
 
 func main() {
-	model := lcsf.GenerateCensus(lcsf.CensusConfig{Seed: 2020})
+	// NumTracts 0 keeps the default 8000-tract census; the outlet universe
+	// scales with the census, so fast mode shrinks both together.
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{Seed: 2020, NumTracts: exenv.Scale(0, 500)})
 	// The paper's scale: 106,091 fast-food outlets of the top 15 brands,
 	// plus grocery stores, with a planted food-desert structure.
 	places := lcsf.GeneratePlaces(model, lcsf.POIConfig{Seed: 2075})

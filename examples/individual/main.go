@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"lcsf"
+	"lcsf/examples/internal/exenv"
 )
 
 func main() {
@@ -27,7 +28,7 @@ func main() {
 	var pts []lcsf.Point
 	var outs []float64
 	rng := pcg{state: 7}
-	for i := 0; i < 400; i++ {
+	for i := 0; i < exenv.Scale(400, 150); i++ {
 		p := lcsf.Pt(rng.float()*10-5, rng.float()*10-5)
 		out := 0.05
 		if p.DistanceTo(store) < 3 {

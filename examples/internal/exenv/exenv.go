@@ -1,0 +1,20 @@
+// Package exenv lets the runnable examples shrink themselves for smoke
+// testing: when LCSF_EXAMPLE_FAST is set (as `make examples-smoke` does),
+// every example swaps its full workload sizes for reduced ones so the whole
+// suite builds and runs in seconds. The output stays the same shape — the
+// smoke run exists to catch example drift against the library API and the
+// audit's invariants, not to reproduce the paper's numbers.
+package exenv
+
+import "os"
+
+// Fast reports whether the examples should run at smoke-test size.
+func Fast() bool { return os.Getenv("LCSF_EXAMPLE_FAST") != "" }
+
+// Scale returns full normally and fast under LCSF_EXAMPLE_FAST.
+func Scale(full, fast int) int {
+	if Fast() {
+		return fast
+	}
+	return full
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"lcsf"
+	"lcsf/examples/internal/exenv"
 )
 
 func main() {
@@ -75,7 +76,7 @@ func buildScenario() []lcsf.Observation {
 	var obs []lcsf.Observation
 	rng := pcg{state: 42}
 	addCol := func(col int, minorityP, rate, income float64) {
-		n := 3000
+		n := exenv.Scale(3000, 600)
 		for k := 0; k < n; k++ {
 			obs = append(obs, lcsf.Observation{
 				Loc:       lcsf.Pt(float64(col)+rng.float(), rng.float()),

@@ -11,18 +11,19 @@ import (
 	"log"
 
 	"lcsf"
+	"lcsf/examples/internal/exenv"
 )
 
 func main() {
-	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 2000, Seed: 1})
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: exenv.Scale(2000, 300), Seed: 1})
 	records := lcsf.GenerateMortgages(model, lcsf.Lender{
-		Name: "Example Bank", Decisioned: 80000, Bias: 0.15, Seed: 2,
+		Name: "Example Bank", Decisioned: exenv.Scale(80000, 12000), Bias: 0.15, Seed: 2,
 	})
 	obs := lcsf.MortgageObservations(records)
 	grid := lcsf.NewGrid(lcsf.ContinentalUS, 40, 20)
 
 	report, err := lcsf.Mitigate(grid, obs, lcsf.DefaultConfig(),
-		lcsf.PartitionOptions{Seed: 3}, 6, 99)
+		lcsf.PartitionOptions{Seed: 3}, exenv.Scale(6, 3), 99)
 	if err != nil {
 		log.Fatal(err)
 	}

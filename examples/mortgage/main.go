@@ -12,18 +12,21 @@ import (
 	"log"
 
 	"lcsf"
+	"lcsf/examples/internal/exenv"
 )
 
 func main() {
 	// The full paper-scale universe: 8000 tracts, Bank of America's 224,145
-	// decisioned applications.
-	model := lcsf.GenerateCensus(lcsf.CensusConfig{Seed: 2020})
+	// decisioned applications. (NumTracts 0 keeps the 8000-tract default;
+	// under LCSF_EXAMPLE_FAST both the census and the filings shrink.)
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{Seed: 2020, NumTracts: exenv.Scale(0, 500)})
 	var lender lcsf.Lender
 	for _, l := range lcsf.DefaultLenders() {
 		if l.Name == "Bank of America" {
 			lender = l
 		}
 	}
+	lender.Decisioned = exenv.Scale(lender.Decisioned, 8000)
 	records := lcsf.GenerateMortgages(model, lender)
 	obs := lcsf.MortgageObservations(records)
 
@@ -45,8 +48,10 @@ func main() {
 	fmt.Printf("global disparate impact: %.3f (80%% rule flags bias: %v)\n",
 		di, lcsf.ViolatesEightyPercentRule(prot, ref))
 
-	// LC-SF audit at the paper's resolution.
-	part := lcsf.PartitionGrid(lcsf.ContinentalUS, 100, 50, obs, lcsf.PartitionOptions{Seed: 1})
+	// LC-SF audit at the paper's resolution (coarser in fast mode, so the
+	// shrunken filings still populate regions past the eligibility floor).
+	cols, rows := exenv.Scale(100, 24), exenv.Scale(50, 12)
+	part := lcsf.PartitionGrid(lcsf.ContinentalUS, cols, rows, obs, lcsf.PartitionOptions{Seed: 1})
 	result, err := lcsf.Audit(part, lcsf.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)

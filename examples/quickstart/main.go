@@ -10,18 +10,19 @@ import (
 	"log"
 
 	"lcsf"
+	"lcsf/examples/internal/exenv"
 )
 
 func main() {
 	// 1. A synthetic census: income and minority share over the continental
 	// US, with redlining-legacy spatial structure.
-	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 2000, Seed: 1})
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: exenv.Scale(2000, 300), Seed: 1})
 
 	// 2. A synthetic lender that discriminates in segregated metros: its
 	// decision model penalizes minority applicants there, on top of a
 	// legitimate income effect everywhere.
 	records := lcsf.GenerateMortgages(model, lcsf.Lender{
-		Name: "Example Bank", Decisioned: 80000, Bias: 0.15, Seed: 2,
+		Name: "Example Bank", Decisioned: exenv.Scale(80000, 12000), Bias: 0.15, Seed: 2,
 	})
 	obs := lcsf.MortgageObservations(records)
 	fmt.Printf("auditing %d mortgage decisions\n", len(obs))

@@ -11,17 +11,18 @@ import (
 	"log"
 
 	"lcsf"
+	"lcsf/examples/internal/exenv"
 )
 
 func main() {
-	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: 2000, Seed: 1})
+	model := lcsf.GenerateCensus(lcsf.CensusConfig{NumTracts: exenv.Scale(2000, 300), Seed: 1})
 
 	// Six filing years; the planted bias declines after the decree.
 	biases := []float64{0.20, 0.18, 0.13, 0.09, 0.05, 0.02}
 	var periods []lcsf.TrendPeriod
 	for i, b := range biases {
 		records := lcsf.GenerateMortgages(model, lcsf.Lender{
-			Name: "Decree Bank", Decisioned: 60000, Bias: b, Seed: uint64(10 + i),
+			Name: "Decree Bank", Decisioned: exenv.Scale(60000, 5000), Bias: b, Seed: uint64(10 + i),
 		})
 		periods = append(periods, lcsf.TrendPeriod{
 			Label:        fmt.Sprintf("%d", 2019+i),

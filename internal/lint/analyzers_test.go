@@ -16,6 +16,14 @@ func TestNoDeterminism(t *testing.T) {
 	linttest.Run(t, lint.NoDeterminism, "testdata/src/nodeterminism", "lcsf/internal/core/fixture")
 }
 
+// TestNoDeterminismCoversVerify rechecks the same fixtures under an
+// internal/verify import path: the verification subsystem's scenario
+// generators are determinism-critical (its oracles assert bit-identical
+// flagged sets), so the analyzer must fire there too.
+func TestNoDeterminismCoversVerify(t *testing.T) {
+	linttest.Run(t, lint.NoDeterminism, "testdata/src/nodeterminism", "lcsf/internal/verify/fixture")
+}
+
 func TestRNGDiscipline(t *testing.T) {
 	linttest.Run(t, lint.RNGDiscipline, "testdata/src/rngdiscipline", "lcsf/lintfixture/rngdiscipline")
 }

@@ -11,9 +11,11 @@ import (
 // NoDeterminismScope lists the import-path substrings that mark a package as
 // a determinism-critical hot path. Audits must be bit-reproducible in
 // (input, Config), so the core engine and the statistical machinery may not
-// read wall clocks or ambient randomness. Tests may override this (nil means
-// every package is in scope).
-var NoDeterminismScope = []string{"internal/core", "internal/stats"}
+// read wall clocks or ambient randomness; internal/verify is in scope
+// because its scenario generators and metamorphic oracles certify exactly
+// that reproducibility and must themselves derive everything from explicit
+// seeds. Tests may override this (nil means every package is in scope).
+var NoDeterminismScope = []string{"internal/core", "internal/stats", "internal/verify"}
 
 // NoDeterminismAllowlist names functions (as "pkgpath.Func" or
 // "pkgpath.(Type).Method") permitted to read the wall clock — e.g. a timing
@@ -32,7 +34,7 @@ var NoDeterminismAllowlist = map[string]bool{}
 var NoDeterminism = &Analyzer{
 	Name: "nodeterminism",
 	Doc: "forbid global math/rand, wall-clock reads, and unsorted map-order appends " +
-		"in determinism-critical packages (internal/core, internal/stats)",
+		"in determinism-critical packages (internal/core, internal/stats, internal/verify)",
 	Run: runNoDeterminism,
 }
 

@@ -1,0 +1,39 @@
+// Fixture: nondeterministic scenario-generator shapes the analyzer must
+// catch. internal/verify's generators and perturbations feed metamorphic
+// oracles that assert bit-identical flagged sets, so a generator that seeds
+// itself from the environment would make every oracle flaky by construction.
+package fixture
+
+import "time"
+
+// clockSeededScenario models the classic mistake: defaulting a scenario
+// seed to the wall clock "for variety".
+func clockSeededScenario(tracts int) []float64 {
+	seed := uint64(time.Now().UnixNano()) // want `wall-clock read time.Now`
+	out := make([]float64, tracts)
+	for i := range out {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		out[i] = float64(seed>>11) / (1 << 53)
+	}
+	return out
+}
+
+// timedPerturbation models a perturbation that times itself inline instead
+// of going through an injected clock or the observability layer.
+func timedPerturbation(obs []float64) ([]float64, time.Duration) {
+	start := time.Now() // want `wall-clock read time.Now`
+	shuffled := make([]float64, len(obs))
+	copy(shuffled, obs)
+	return shuffled, time.Since(start) // want `wall-clock read time.Since`
+}
+
+// perturbationsFromMap models a scenario builder collecting its perturbation
+// set from a registry map: the resulting order — and therefore every
+// derived RNG stream — would change run to run.
+func perturbationsFromMap(registry map[string]func([]float64) []float64) []func([]float64) []float64 {
+	var perturbations []func([]float64) []float64
+	for _, p := range registry {
+		perturbations = append(perturbations, p) // want `append to perturbations in map iteration order`
+	}
+	return perturbations
+}

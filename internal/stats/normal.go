@@ -73,9 +73,14 @@ func NormalQuantile(p float64) float64 {
 			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
 	}
 
-	// One Halley refinement step sharpens the approximation.
+	// One Halley refinement step sharpens the approximation. In the extreme
+	// tails exp(z^2/2) overflows and the step degenerates to Inf/Inf = NaN;
+	// the rational approximation is already at float64's limit there, so a
+	// non-finite correction is skipped rather than applied.
 	e := NormalCDF(z) - p
 	u := e * math.Sqrt(2*math.Pi) * math.Exp(z*z/2)
-	z = z - u/(1+z*u/2)
+	if h := u / (1 + z*u/2); !math.IsNaN(h) && !math.IsInf(h, 0) {
+		z -= h
+	}
 	return z
 }

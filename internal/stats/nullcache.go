@@ -168,6 +168,25 @@ func (c *PairNullCache) simulate(key pairNullKey) []float64 {
 	return out
 }
 
+// NullCacheReferenceP computes, with no cache at all, the p-value a
+// PairNullCache constructed with the same seed and worlds returns for the
+// key (n1, n2, pooledPositives) at the observed statistic. It re-derives the
+// key-seeded stream and counts exceedances directly, so it is the oracle the
+// verification harness fuzzes PairNullCache against: cached, evicted, and
+// re-simulated lookups must all be bit-identical to this uncached reference.
+func NullCacheReferenceP(seed uint64, worlds, n1, n2, pooledPositives int, observed float64) float64 {
+	if worlds <= 0 {
+		return 1
+	}
+	if n1 > n2 {
+		n1, n2 = n2, n1
+	}
+	key := pairNullKey{n1: n1, n2: n2, pooledPositives: pooledPositives}
+	rng := NewRNG(nullCacheSeed(seed, key))
+	pooledRate := float64(key.pooledPositives) / float64(key.n1+key.n2)
+	return PairMonteCarloP(rng, observed, worlds, key.n1, key.n2, pooledRate)
+}
+
 // nullCacheSeed derives an entry's RNG seed from the cache seed and the
 // normalized key — an FNV-style mix over the three key integers, salted
 // differently from the audit engine's per-pair seed derivation so the cached

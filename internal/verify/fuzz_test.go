@@ -1,0 +1,179 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"lcsf/internal/stats"
+)
+
+// The differential fuzz targets. Each one decodes fuzzer-chosen bytes into a
+// valid input, runs the optimized kernel and its naive reference from
+// reference_test.go, and demands bit-identical results (floatEq). The checked
+// in corpora under testdata/fuzz run as ordinary regression cases on every
+// `go test`; `make fuzz-smoke` additionally gives each target a bounded
+// mutation budget.
+
+// maxFuzzSample bounds decoded sample sizes so the O(n^2) references stay
+// fast enough for mutation-mode fuzzing.
+const maxFuzzSample = 256
+
+// absRem reduces a fuzzer-chosen int into [0, m) without the sign and
+// overflow traps of v % m (Go's remainder is negative for negative v, and
+// -MinInt overflows).
+func absRem(v, m int) int {
+	r := v % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func FuzzMannWhitneySorted(f *testing.F) {
+	f.Add([]byte("AAABBBCCC"), []byte("ABCABC"))
+	f.Add([]byte("aaaa"), []byte("zzzz"))
+	f.Add([]byte("m"), []byte("m"))
+	f.Add([]byte{}, []byte("xy"))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		xs := sortedSampleFromBytes(a, maxFuzzSample)
+		ys := sortedSampleFromBytes(b, maxFuzzSample)
+		got := stats.MannWhitneyUSorted(xs, ys)
+		want := refMannWhitney(xs, ys)
+		if !floatEq(got.U, want.U) || !floatEq(got.Z, want.Z) || !floatEq(got.P, want.P) {
+			t.Fatalf("MannWhitneyUSorted(%v, %v) = %+v, naive reference = %+v", xs, ys, got, want)
+		}
+	})
+}
+
+func FuzzKolmogorovSmirnovSorted(f *testing.F) {
+	f.Add([]byte("AAABBBCCC"), []byte("ABCABC"))
+	f.Add([]byte("aaaa"), []byte("zzzz"))
+	f.Add([]byte("ABABAB"), []byte("BABA"))
+	f.Add([]byte{}, []byte("xy"))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		xs := sortedSampleFromBytes(a, maxFuzzSample)
+		ys := sortedSampleFromBytes(b, maxFuzzSample)
+		got := stats.KolmogorovSmirnovSorted(xs, ys)
+		want := refKolmogorovSmirnov(xs, ys)
+		if !floatEq(got.D, want.D) || !floatEq(got.P, want.P) {
+			t.Fatalf("KolmogorovSmirnovSorted(%v, %v) = %+v, naive reference = %+v", xs, ys, got, want)
+		}
+	})
+}
+
+func FuzzWelchTFromMoments(f *testing.F) {
+	f.Add([]byte("Quartiles"), []byte("spread!!"))
+	f.Add([]byte("aaaa"), []byte("aaaa")) // zero variance, equal means
+	f.Add([]byte("aaaa"), []byte("bbbb")) // zero variance, distinct means
+	f.Add([]byte("a"), []byte("xyz"))     // undersized first sample
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		xs := sampleFromBytes(a, maxFuzzSample)
+		ys := sampleFromBytes(b, maxFuzzSample)
+		got := stats.WelchTFromMoments(
+			len(xs), stats.Mean(xs), stats.SampleVariance(xs),
+			len(ys), stats.Mean(ys), stats.SampleVariance(ys),
+		)
+		want := refWelch(xs, ys)
+		if !floatEq(got.T, want.T) || !floatEq(got.DF, want.DF) || !floatEq(got.P, want.P) {
+			t.Fatalf("WelchTFromMoments(%v, %v) = %+v, naive reference = %+v", xs, ys, got, want)
+		}
+	})
+}
+
+// FuzzPairNullCache drives one cache through interleaved lookups over a
+// cluster of related keys — twice, with a capacity small enough to force
+// evictions — and checks every returned p-value against the uncached
+// reference. Hits, misses, evicted-and-resimulated entries: all must be
+// bit-identical to replaying the key-seeded stream from scratch.
+func FuzzPairNullCache(f *testing.F) {
+	f.Add(uint64(1), 33, 40, 25, 12, 1.5, 8)
+	f.Add(uint64(99), 7, 3, 3, 6, 0.0, 0)
+	f.Add(uint64(2), 50, 120, 80, 55, -2.25, 40)
+	f.Fuzz(func(t *testing.T, seed uint64, worlds, n1, n2, pooled int, observed float64, entries int) {
+		worlds = 1 + absRem(worlds, 64)
+		n1 = 1 + absRem(n1, 200)
+		n2 = 1 + absRem(n2, 200)
+		pooled = absRem(pooled, n1+n2+1)
+		entries = absRem(entries, 64)
+		if math.IsNaN(observed) {
+			// The cache counts exceedances by binary search, the reference by
+			// streaming >= comparison; NaN is unordered under both but lands
+			// on opposite sides, and no audit statistic is NaN.
+			observed = 0
+		}
+		c := stats.NewPairNullCache(seed, worlds, entries)
+		for round := 0; round < 2; round++ {
+			for k := 0; k < 24; k++ {
+				kn1 := 1 + (n1+k)%200
+				kn2 := 1 + (n2+7*k)%200
+				kp := (pooled + k) % (kn1 + kn2 + 1)
+				obs := observed + float64(k)*0.125
+				got, _ := c.PValue(kn1, kn2, kp, obs)
+				want := stats.NullCacheReferenceP(seed, worlds, kn1, kn2, kp, obs)
+				if got != want {
+					t.Fatalf("round %d key (%d,%d,%d) obs %v: cache p = %v, uncached reference = %v",
+						round, kn1, kn2, kp, obs, got, want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzNormalRoundTrip checks NormalQuantile against its defining equation:
+// for any p in (0, 1) the quantile must be finite and NormalCDF must carry it
+// back to p within the approximation's documented accuracy.
+func FuzzNormalRoundTrip(f *testing.F) {
+	f.Add(0.025)
+	f.Add(0.5)
+	f.Add(0.999)
+	f.Add(1e-12)
+	f.Add(5e-324) // denormal tail: the Halley step must not blow up
+	f.Fuzz(func(t *testing.T, p float64) {
+		if !(p > 0 && p < 1) {
+			t.Skip()
+		}
+		z := stats.NormalQuantile(p)
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			t.Fatalf("NormalQuantile(%v) = %v, want finite", p, z)
+		}
+		back := stats.NormalCDF(z)
+		if math.Abs(back-p) > 1e-9 {
+			t.Fatalf("NormalCDF(NormalQuantile(%v)) = %v, round-trip error %v > 1e-9", p, back, back-p)
+		}
+		if s := stats.NormalSF(z) + stats.NormalCDF(z); math.Abs(s-1) > 1e-12 {
+			t.Fatalf("NormalSF(%v) + NormalCDF(%v) = %v, want 1", z, z, s)
+		}
+	})
+}
+
+// FuzzFDR decodes bytes into p-values on the grid k/255 — dense enough that
+// ties and threshold collisions are routine — and checks BenjaminiHochberg
+// against the textbook step-up definition.
+func FuzzFDR(f *testing.F) {
+	f.Add([]byte{1, 5, 5, 32, 128, 255}, 0.1)
+	f.Add([]byte{0, 0, 255}, 0.05)
+	f.Add([]byte{200, 220, 240}, 0.2)
+	f.Add([]byte{}, 0.1)
+	f.Fuzz(func(t *testing.T, data []byte, q float64) {
+		if !(q > 0 && q < 1) {
+			t.Skip()
+		}
+		if len(data) > maxFuzzSample {
+			data = data[:maxFuzzSample]
+		}
+		pvalues := make([]float64, len(data))
+		for i, b := range data {
+			pvalues[i] = float64(b) / 255
+		}
+		got := stats.BenjaminiHochberg(pvalues, q)
+		want := refBenjaminiHochberg(pvalues, q)
+		if len(got) != len(want) {
+			t.Fatalf("BenjaminiHochberg length %d, reference %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("BenjaminiHochberg(%v, %v)[%d] = %v, reference = %v", pvalues, q, i, got[i], want[i])
+			}
+		}
+	})
+}
