@@ -16,7 +16,7 @@ test:
 
 # Race-verify the concurrent collector and everything that records into it.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/server/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/partition/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -57,7 +57,8 @@ examples-smoke:
 FUZZTIME ?= 4s
 fuzz-smoke:
 	@for t in FuzzMannWhitneySorted FuzzKolmogorovSmirnovSorted \
-		FuzzWelchTFromMoments FuzzPairNullCache FuzzNormalRoundTrip FuzzFDR; do \
+		FuzzWelchTFromMoments FuzzPairNullCache FuzzNormalRoundTrip FuzzFDR \
+		FuzzDeltaPartition; do \
 		echo "fuzz $$t"; \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/verify || exit 1; \
 	done

@@ -48,6 +48,9 @@ type auditBenchFile struct {
 	CPUs       int                `json:"cpus"`
 	Config     string             `json:"config"`
 	Benchmarks []auditBenchResult `json:"benchmarks"`
+	// DeltaBenchmarks is the incremental-engine trajectory -delta-bench
+	// appends alongside the cold-audit rows.
+	DeltaBenchmarks []deltaBenchResult `json:"delta_benchmarks,omitempty"`
 }
 
 // runAuditBench benchmarks one full audit of the R-region dense universe
@@ -118,6 +121,14 @@ func writeAuditBench(path string) error {
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 		Config:    "DefaultConfig",
+	}
+	// Keep the delta rows of an existing trajectory file; only the cold-audit
+	// section is regenerated here (-delta-bench mirrors this).
+	if data, err := os.ReadFile(path); err == nil {
+		var prev auditBenchFile
+		if json.Unmarshal(data, &prev) == nil {
+			out.DeltaBenchmarks = prev.DeltaBenchmarks
+		}
 	}
 	for _, r := range auditBenchSizes {
 		res, err := runAuditBench(r)

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunDeltaBenchSmall smokes the delta benchmark at a small size: the
+// returned row must carry positive timings, the single-region dirty funnel,
+// and — enforced inside runDeltaBench before it returns — a delta result
+// byte-identical to the cold batch audit.
+func TestRunDeltaBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark driver run")
+	}
+	res, err := runDeltaBench(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regions != 40 || res.BatchUpdates != 2*deltaBenchBatch {
+		t.Fatalf("row shape wrong: %+v", res)
+	}
+	if res.UpdatesPerSec <= 0 || res.DeltaNsPerOp <= 0 || res.ColdNsPerOp <= 0 || res.DeltaOverCold <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	if res.DirtyRegions != 1 {
+		t.Fatalf("single-region batch dirtied %d regions", res.DirtyRegions)
+	}
+	if res.ReusedPairs == 0 {
+		t.Fatalf("no cached pairs reused; the workload exercises nothing incremental: %+v", res)
+	}
+}
+
+// TestBenchFileMerge checks that the two writers share BENCH_audit.json
+// without clobbering each other's section: cold rows survive -delta-bench,
+// delta rows survive -audit-bench.
+func TestBenchFileMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark driver run")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_audit.json")
+
+	defer func(a, d []int) { auditBenchSizes, deltaBenchSizes = a, d }(auditBenchSizes, deltaBenchSizes)
+	auditBenchSizes = []int{40}
+	deltaBenchSizes = []int{40}
+
+	if err := writeAuditBench(path); err != nil {
+		t.Fatalf("audit-bench: %v", err)
+	}
+	if err := writeDeltaBench(path); err != nil {
+		t.Fatalf("delta-bench: %v", err)
+	}
+
+	read := func() auditBenchFile {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f auditBenchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f := read()
+	if len(f.Benchmarks) != 1 || len(f.DeltaBenchmarks) != 1 {
+		t.Fatalf("after delta-bench: %d cold rows, %d delta rows; want 1 and 1", len(f.Benchmarks), len(f.DeltaBenchmarks))
+	}
+
+	// Regenerating the cold section must keep the delta rows.
+	if err := writeAuditBench(path); err != nil {
+		t.Fatalf("audit-bench rerun: %v", err)
+	}
+	f = read()
+	if len(f.Benchmarks) != 1 || len(f.DeltaBenchmarks) != 1 {
+		t.Fatalf("audit-bench rerun dropped a section: %d cold rows, %d delta rows", len(f.Benchmarks), len(f.DeltaBenchmarks))
+	}
+}

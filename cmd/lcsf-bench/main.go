@@ -8,6 +8,7 @@
 //	lcsf-bench -quick                       # skip the three partitioning sweeps
 //	lcsf-bench -only table2                 # one artifact
 //	lcsf-bench -audit-bench BENCH_audit.json  # dense-audit perf trajectory only
+//	lcsf-bench -delta-bench BENCH_audit.json  # incremental delta-audit trajectory only
 package main
 
 import (
@@ -34,12 +35,19 @@ func main() {
 		svgDir  = flag.String("svg-dir", "", "also render the map figures as SVG files into this directory")
 		metrics = flag.Bool("metrics", true, "print an audit-engine metrics summary on exit")
 		abench  = flag.String("audit-bench", "", "run the dense-audit benchmarks (R=100, 400, 1000, 3000), write results as JSON to this file, and exit")
+		dbench  = flag.String("delta-bench", "", "run the incremental delta-audit benchmarks (R=400, 1000), append results to this JSON file, and exit")
 	)
 	flag.Parse()
 
 	if *abench != "" {
 		if err := writeAuditBench(*abench); err != nil {
 			log.Fatalf("audit-bench: %v", err)
+		}
+		return
+	}
+	if *dbench != "" {
+		if err := writeDeltaBench(*dbench); err != nil {
+			log.Fatalf("delta-bench: %v", err)
 		}
 		return
 	}

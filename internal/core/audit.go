@@ -73,6 +73,15 @@ type Config struct {
 	// still deterministic in (input, Config), but numerically different
 	// p-values than the per-pair streams produce.
 	MCNullCacheSize int
+	// DeltaDirtyFallback tunes delta audits (see DeltaAuditor): when the
+	// dirty fraction of the region roster after an update batch exceeds it,
+	// the incremental rescore would approach a full sweep's cost with worse
+	// constants, so the auditor falls back to the batch engine (which also
+	// refreshes every cache at once). Zero selects the default of 0.25; 1
+	// disables the fallback; values outside [0,1] are rejected. The result
+	// is identical either way — the fallback is purely a cost policy.
+	// Ignored by batch Audit calls.
+	DeltaDirtyFallback float64
 	// Seed drives Monte-Carlo simulation. Audits are deterministic in
 	// (input, Config) regardless of parallelism.
 	Seed uint64
@@ -203,6 +212,9 @@ func (c Config) validate() error {
 	if c.MCNullCacheSize < 0 {
 		return fmt.Errorf("core: MCNullCacheSize %d < 0", c.MCNullCacheSize)
 	}
+	if c.DeltaDirtyFallback < 0 || c.DeltaDirtyFallback > 1 {
+		return fmt.Errorf("core: DeltaDirtyFallback %v outside [0,1]", c.DeltaDirtyFallback)
+	}
 	switch c.CandidateGen {
 	case CandidateAuto, CandidateDense:
 	case CandidateIndexed:
@@ -281,6 +293,18 @@ func Audit(p *partition.Partitioning, cfg Config) (*Result, error) {
 	return AuditContext(context.Background(), p, cfg)
 }
 
+// auditHooks are the engine extension points the delta auditor drives:
+// keepAll retains every candidate (not just flagged pairs) so the caller can
+// seed its pair cache, and nullCache substitutes a caller-owned Monte-Carlo
+// null cache so amortized entries survive across audits. Both are
+// result-neutral: keepAll only widens what is returned alongside the result,
+// and a PairNullCache's p-values are bit-identical regardless of which cache
+// instance (or prior fill state) serves them.
+type auditHooks struct {
+	keepAll   bool
+	nullCache *stats.PairNullCache
+}
+
 // cancelCheckInterval bounds how many pairs a worker processes between
 // context checks. Dense first rows can carry thousands of pairs each running
 // Monte-Carlo simulation; checking only between rows made cancellation
@@ -300,8 +324,18 @@ const auditRowChunk = 4
 // cancelCheckInterval pairs within each worker; on cancellation the
 // context's error is returned and the partial result discarded.
 func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*Result, error) {
+	res, _, _, err := auditEngine(ctx, p, cfg, auditHooks{})
+	return res, err
+}
+
+// auditEngine is the full batch sweep behind AuditContext and the delta
+// auditor's cold start. It additionally returns the assembled runner (so an
+// incremental caller can adopt its prepared caches and summary index) and,
+// under hooks.keepAll, the complete candidate list with exact per-pair
+// fields — the content Result.Pairs is filtered from.
+func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hooks auditHooks) (*Result, *auditRunner, []UnfairPair, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	col := cfg.collector()
 	now := cfg.clock()
@@ -332,12 +366,12 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		"fdr":              cfg.FDR > 0,
 	})
 
-	canceled := func(err error) (*Result, error) {
+	canceled := func(err error) (*Result, *auditRunner, []UnfairPair, error) {
 		col.Inc(obs.MAuditCanceled)
 		col.Event("audit.canceled", "", "audit canceled", map[string]any{
 			"after_seconds": now().Sub(start).Seconds(),
 		})
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	regions := make([]*partition.Region, len(eligible))
@@ -345,6 +379,9 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		regions[i] = &p.Regions[idx]
 	}
 	run := newAuditRunner(cfg, regions)
+	if hooks.nullCache != nil {
+		run.nullCache = hooks.nullCache
+	}
 
 	// Phase 1: parallel precompute. Each prepared gate metric builds its
 	// per-region cache exactly once, claimed dynamically off an atomic
@@ -446,7 +483,7 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 				}
 				if pr, ok := run.auditPair(probe, jj, &sh.tally, &sc, rng); ok {
 					sh.candidates++
-					if run.fdr || pr.P <= cfg.Alpha {
+					if run.fdr || hooks.keepAll || pr.P <= cfg.Alpha {
 						sh.pairs = append(sh.pairs, pr)
 					}
 				}
@@ -485,35 +522,13 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		res.Pairs = append(res.Pairs, sh.pairs...)
 		tally.add(&sh.tally)
 	}
-	if fdr {
-		// Under FDR control every candidate was collected with its exact
-		// p-value; keep only the Benjamini–Hochberg rejections.
-		pvals := make([]float64, len(res.Pairs))
-		for i, pr := range res.Pairs {
-			pvals[i] = pr.P
-		}
-		keep := stats.BenjaminiHochberg(pvals, cfg.FDR)
-		kept := res.Pairs[:0]
-		for i, pr := range res.Pairs {
-			if keep[i] {
-				kept = append(kept, pr)
-			}
-		}
-		res.Pairs = kept
+	var candidates []UnfairPair
+	if hooks.keepAll {
+		// Snapshot every candidate before finalize filters in place; the copy
+		// is what the delta auditor seeds its pair cache with.
+		candidates = append([]UnfairPair(nil), res.Pairs...)
 	}
-	sort.Slice(res.Pairs, func(i, j int) bool {
-		a, b := res.Pairs[i], res.Pairs[j]
-		if a.Tau != b.Tau { //lint:floateq-ok deterministic-tie-break
-			return a.Tau > b.Tau
-		}
-		if a.P != b.P { //lint:floateq-ok deterministic-tie-break
-			return a.P < b.P
-		}
-		if a.I != b.I {
-			return a.I < b.I
-		}
-		return a.J < b.J
-	})
+	res.Pairs = finalizePairs(&cfg, fdr, res.Pairs)
 
 	tally.publish(col, res)
 	if indexed {
@@ -536,7 +551,58 @@ func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*
 		"pairs_flagged": len(res.Pairs),
 		"seconds":       elapsed.Seconds(),
 	})
-	return res, nil
+	return res, run, candidates, nil
+}
+
+// finalizePairs turns a collected pair list into Result.Pairs: under FDR it
+// keeps the Benjamini–Hochberg rejections, otherwise the pairs at or below
+// Alpha, then fixes the canonical order. It filters in place. Both filters
+// are pure value thresholds (BH's rejection mask depends only on the p-value
+// multiset), so the outcome is independent of the input order — which is what
+// lets the delta auditor assemble the same Result from a pair cache that was
+// filled across many incremental audits.
+func finalizePairs(cfg *Config, fdr bool, pairs []UnfairPair) []UnfairPair {
+	if fdr {
+		pvals := make([]float64, len(pairs))
+		for i, pr := range pairs {
+			pvals[i] = pr.P
+		}
+		keep := stats.BenjaminiHochberg(pvals, cfg.FDR)
+		kept := pairs[:0]
+		for i, pr := range pairs {
+			if keep[i] {
+				kept = append(kept, pr)
+			}
+		}
+		pairs = kept
+	} else {
+		kept := pairs[:0]
+		for _, pr := range pairs {
+			if pr.P <= cfg.Alpha {
+				kept = append(kept, pr)
+			}
+		}
+		pairs = kept
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		return lessUnfair(pairs[i], pairs[j])
+	})
+	return pairs
+}
+
+// lessUnfair is the canonical result order: most unfair first (largest
+// likelihood-ratio statistic), ties by smaller p-value, then region labels.
+func lessUnfair(a, b UnfairPair) bool {
+	if a.Tau != b.Tau { //lint:floateq-ok deterministic-tie-break
+		return a.Tau > b.Tau
+	}
+	if a.P != b.P { //lint:floateq-ok deterministic-tie-break
+		return a.P < b.P
+	}
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
 }
 
 // pairTally accumulates one shard's per-phase counts with plain (non-atomic)
@@ -605,9 +671,11 @@ type auditRunner struct {
 	nullCache *stats.PairNullCache
 
 	// Index state, populated by buildIndex (zero-valued under a dense plan):
-	// per-region summaries aligned with regions, the envelope stats the
-	// conservative bounds consume, the two gates' optional Bounds
+	// the summary index itself (retained so the delta auditor can repair it
+	// incrementally), per-region summaries aligned with regions, the envelope
+	// stats the conservative bounds consume, the two gates' optional Bounds
 	// implementations, and the enumeration plan.
+	ix        *partition.SummaryIndex
 	summaries []partition.RegionSummary
 	env       *partition.SummaryStats
 	dissB     PrunableMetric
@@ -643,6 +711,7 @@ func (ar *auditRunner) buildIndex() {
 	if !ar.plan.indexed {
 		return
 	}
+	ar.ix = ix
 	ar.summaries = ix.Summaries
 	ar.env = &ix.Stats
 	ar.dissB, _ = ar.cfg.Dissimilarity.(PrunableMetric)

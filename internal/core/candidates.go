@@ -179,6 +179,55 @@ func windowCount(keys []float64, w PruneWindow) int {
 	return left + (len(keys) - right)
 }
 
+// forEachPartnerAll streams every partner j != i the probe's own window
+// admits — both directions, unlike forEachPartner's j > i. The delta auditor
+// probes each dirty region with it: a pair the probe's window rejects is a
+// certified gate failure whichever endpoint the certificate came from, so
+// enumerating only the dirty endpoint's window is sound even when the cold
+// sweep would have emitted the pair through the other endpoint's (different)
+// window.
+func (pl *candidatePlan) forEachPartnerAll(i, regions int, yield func(j int) bool) bool {
+	if !pl.indexed || !pl.hasWindow[i] {
+		for j := 0; j < regions; j++ {
+			if j != i && !yield(j) {
+				return false
+			}
+		}
+		return true
+	}
+	w := pl.windows[i]
+	if w.Inside {
+		for idx := sort.SearchFloat64s(pl.keys, w.Lo); idx < len(pl.keys) && pl.keys[idx] <= w.Hi; idx++ {
+			if j := int(pl.pos[idx]); j != i {
+				if !yield(j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	left := sort.Search(len(pl.keys), func(k int) bool { return pl.keys[k] > w.Lo })
+	right := sort.SearchFloat64s(pl.keys, w.Hi)
+	if right < left {
+		right = left
+	}
+	for idx := 0; idx < left; idx++ {
+		if j := int(pl.pos[idx]); j != i {
+			if !yield(j) {
+				return false
+			}
+		}
+	}
+	for idx := right; idx < len(pl.keys); idx++ {
+		if j := int(pl.pos[idx]); j != i {
+			if !yield(j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // forEachPartner streams the plan's partners j > i for probe i into yield,
 // stopping early (and returning false) when yield returns false. Dense plans
 // and window-less probes walk the remainder of the row; windowed probes walk

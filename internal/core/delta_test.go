@@ -1,0 +1,514 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/obs"
+	"lcsf/internal/partition"
+	"lcsf/internal/stats"
+)
+
+// deltaUniverse is a mutable test world: the grid, the delta partitioning
+// under audit, and the mirror of live observations a cold rebuild consumes.
+type deltaUniverse struct {
+	grid geo.Grid
+	opts partition.Options
+	dp   *partition.DeltaPartitioning
+	live []partition.Observation
+}
+
+// newDeltaUniverse builds a randomized universe in the shape of
+// randomAuditPartitioning: per-cell share/rate/income levels chosen so gates
+// reject, fast-path, and pass across pairs.
+func newDeltaUniverse(rng *stats.RNG, cells int, opts partition.Options) *deltaUniverse {
+	shareLevels := []float64{0.1, 0.12, 0.5, 0.85}
+	incomeBase := []float64{50_000, 52_000, 250_000}
+	var data []partition.Observation
+	for c := 0; c < cells; c++ {
+		n := int(rng.Float64() * 250)
+		if rng.Float64() < 0.1 {
+			n = 0
+		}
+		rate := 0.05 + 0.9*rng.Float64()
+		share := shareLevels[rng.Intn(len(shareLevels))]
+		base := incomeBase[rng.Intn(len(incomeBase))]
+		for i := 0; i < n; i++ {
+			data = append(data, randomCellObs(rng, c, rate, share, base))
+		}
+	}
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(float64(cells), 1)), cells, 1)
+	u := &deltaUniverse{grid: grid, opts: opts, live: data}
+	u.dp = partition.NewDeltaByGrid(grid, data, opts)
+	return u
+}
+
+func randomCellObs(rng *stats.RNG, cell int, rate, share, base float64) partition.Observation {
+	return partition.Observation{
+		Loc:       geo.Pt(float64(cell)+0.05+0.9*rng.Float64(), 0.5),
+		Positive:  rng.Bernoulli(rate),
+		Protected: rng.Bernoulli(share),
+		Income:    base + 400*rng.Float64(),
+	}
+}
+
+// mutate applies nOps random updates (inserts into random cells, deletes of
+// random live observations) to both the delta partitioning and the mirror.
+func (u *deltaUniverse) mutate(t *testing.T, rng *stats.RNG, nOps int) {
+	t.Helper()
+	cells := u.grid.NumCells()
+	for op := 0; op < nOps; op++ {
+		if len(u.live) > 0 && rng.Bernoulli(0.4) {
+			k := rng.Intn(len(u.live))
+			if _, err := u.dp.Delete(u.live[k]); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			u.live[k] = u.live[len(u.live)-1]
+			u.live = u.live[:len(u.live)-1]
+		} else {
+			o := randomCellObs(rng, rng.Intn(cells), 0.05+0.9*rng.Float64(), rng.Float64(), 50_000+10_000*rng.Float64())
+			u.dp.Insert(o)
+			u.live = append(u.live, o)
+		}
+	}
+}
+
+// mutateCell is mutate restricted to one cell, for fixtures that must keep
+// the dirty set small relative to the eligible roster.
+func (u *deltaUniverse) mutateCell(t *testing.T, rng *stats.RNG, cell, nOps int) {
+	t.Helper()
+	inCell := func(o partition.Observation) bool {
+		return o.Loc.X >= float64(cell) && o.Loc.X < float64(cell+1)
+	}
+	for op := 0; op < nOps; op++ {
+		k := -1
+		if rng.Bernoulli(0.4) {
+			for i, o := range u.live {
+				if inCell(o) {
+					k = i
+					break
+				}
+			}
+		}
+		if k >= 0 {
+			if _, err := u.dp.Delete(u.live[k]); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			u.live[k] = u.live[len(u.live)-1]
+			u.live = u.live[:len(u.live)-1]
+		} else {
+			o := randomCellObs(rng, cell, 0.05+0.9*rng.Float64(), rng.Float64(), 50_000+10_000*rng.Float64())
+			u.dp.Insert(o)
+			u.live = append(u.live, o)
+		}
+	}
+}
+
+// sparsestCell returns the cell with the fewest live entries (ties to the
+// lowest index), for fixtures that need a region near the eligibility floor.
+func (u *deltaUniverse) sparsestCell() (cell, n int) {
+	n = -1
+	for c := 0; c < u.grid.NumCells(); c++ {
+		if k := u.dp.NumEntries(c); n < 0 || k < n {
+			cell, n = c, k
+		}
+	}
+	return cell, n
+}
+
+// coldResult audits a cold rebuild of the universe's current mirror — the
+// reference every delta result must match byte-for-byte.
+func (u *deltaUniverse) coldResult(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	cold := partition.NewDeltaByGrid(u.grid, u.live, u.opts)
+	res, err := Audit(cold.Snapshot(), cfg)
+	if err != nil {
+		t.Fatalf("cold audit: %v", err)
+	}
+	return res
+}
+
+// requireSameResult asserts byte-identity of two audit results: candidate and
+// eligibility counts, the global rate, and every flagged pair field-for-field
+// (UnfairPair is comparable, so == is bitwise on its float fields).
+func requireSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Candidates != want.Candidates || got.EligibleRegions != want.EligibleRegions {
+		t.Fatalf("%s: counts differ: candidates %d/%d, eligible %d/%d",
+			label, got.Candidates, want.Candidates, got.EligibleRegions, want.EligibleRegions)
+	}
+	if got.GlobalRate != want.GlobalRate { //lint:floateq-ok byte-identity-assertion
+		t.Fatalf("%s: global rate differs: %v vs %v", label, got.GlobalRate, want.GlobalRate)
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("%s: flagged %d pairs, want %d\n got: %+v\nwant: %+v",
+			label, len(got.Pairs), len(want.Pairs), got.Pairs, want.Pairs)
+	}
+	for i := range got.Pairs {
+		if got.Pairs[i] != want.Pairs[i] {
+			t.Fatalf("%s: pair %d differs:\n got %+v\nwant %+v", label, i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+}
+
+// requireFunnel asserts the DeltaStats internal invariants that hold on every
+// incremental pass.
+func requireFunnel(t *testing.T, label string, res *Result, st DeltaStats) {
+	t.Helper()
+	if st.FullSweep {
+		if st.ReusedPairs != 0 || st.RescoredCandidates != res.Candidates {
+			t.Fatalf("%s: full-sweep stats inconsistent: %+v vs %d candidates", label, st, res.Candidates)
+		}
+		return
+	}
+	if res.Candidates != st.ReusedPairs+st.RescoredCandidates {
+		t.Fatalf("%s: candidates %d != reused %d + rescored candidates %d",
+			label, res.Candidates, st.ReusedPairs, st.RescoredCandidates)
+	}
+	if st.RescoredPairs != st.WindowCandidates-st.BoundsRejections {
+		t.Fatalf("%s: rescored %d != window %d - bounds %d",
+			label, st.RescoredPairs, st.WindowCandidates, st.BoundsRejections)
+	}
+}
+
+// TestDeltaAuditorMatchesBatchQuick is the delta engine's core contract,
+// property-tested: across randomized universes, engine configurations, and
+// update batches, every delta audit is byte-identical to a cold batch audit
+// of the same snapshot. Both the incremental path (fallback disabled) and
+// the dirty-fraction fallback are exercised.
+func TestDeltaAuditorMatchesBatchQuick(t *testing.T) {
+	rng := stats.NewRNG(60112)
+	gens := []CandidateGen{CandidateAuto, CandidateDense, CandidateIndexed}
+	sawIncremental := false
+	for trial := 0; trial < 10; trial++ {
+		cfg := DefaultConfig()
+		cfg.Alpha = 0.05
+		cfg.MCWorlds = 199
+		cfg.MinRegionSize = 40
+		cfg.Seed = uint64(trial + 1)
+		cfg.CandidateGen = gens[trial%len(gens)]
+		cfg.MCNullCacheSize = []int{0, 1024}[trial%2]
+		cfg.Workers = []int{1, 4}[trial%2]
+		if trial%3 == 0 {
+			cfg.FDR = 0.1
+		}
+		if trial%2 == 0 {
+			cfg.DeltaDirtyFallback = 1 // force the incremental path
+		}
+
+		u := newDeltaUniverse(rng, 6+rng.Intn(7), partition.Options{Seed: rng.Uint64(), IncomeSampleCap: 64})
+		da, err := NewDeltaAuditor(u.dp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 3; batch++ {
+			if batch > 0 {
+				u.mutate(t, rng, 10+rng.Intn(40))
+			}
+			res, st, err := da.Audit(context.Background())
+			if err != nil {
+				t.Fatalf("trial %d batch %d: delta audit: %v", trial, batch, err)
+			}
+			if batch == 0 && !st.FullSweep {
+				t.Fatalf("trial %d: first audit was not a full sweep", trial)
+			}
+			if batch > 0 && !st.FullSweep {
+				sawIncremental = true
+			}
+			requireFunnel(t, "quick", res, st)
+			requireSameResult(t, "delta vs cold", res, u.coldResult(t, cfg))
+		}
+	}
+	if !sawIncremental {
+		t.Fatal("no trial exercised the incremental path; the property is vacuous")
+	}
+}
+
+// pairFingerprint is the exact per-pair score vector: if any component moves
+// between snapshots, the pair's audit outcome may move with it.
+type pairFingerprint struct {
+	diss, sim, tau uint64 // math.Float64bits, so NaN compares stably
+}
+
+func fingerprints(cfg *Config, p *partition.Partitioning) map[[2]int]pairFingerprint {
+	out := make(map[[2]int]pairFingerprint)
+	for i := range p.Regions {
+		for j := i + 1; j < len(p.Regions); j++ {
+			a, b := &p.Regions[i], &p.Regions[j]
+			out[[2]int{i, j}] = pairFingerprint{
+				diss: math.Float64bits(cfg.Dissimilarity.Score(a, b)),
+				sim:  math.Float64bits(cfg.Similarity.Score(a, b)),
+				tau:  math.Float64bits(stats.PairLRT(a.Positives, a.N, b.Positives, b.N)),
+			}
+		}
+	}
+	return out
+}
+
+// TestDeltaInvalidationSupersetQuick is the invalidation-soundness property,
+// brute-forced in the spirit of TestAuditCandidateSupersetQuick: every pair
+// whose exact score vector (gate scores, likelihood-ratio statistic) changes
+// between two snapshots must have an endpoint in the dirty set the delta
+// engine derives its invalidation from. It also requires changed pairs to
+// have occurred, so the containment is not vacuous.
+func TestDeltaInvalidationSupersetQuick(t *testing.T) {
+	rng := stats.NewRNG(71509)
+	cfg := DefaultConfig()
+	changed := 0
+	for trial := 0; trial < 25; trial++ {
+		u := newDeltaUniverse(rng, 4+rng.Intn(8), partition.Options{Seed: rng.Uint64(), IncomeSampleCap: 32})
+		before := fingerprints(&cfg, u.dp.Snapshot())
+		u.dp.ClearDirty()
+		u.mutate(t, rng, 1+rng.Intn(25))
+		dirty := map[int]bool{}
+		for _, idx := range u.dp.Dirty() {
+			dirty[idx] = true
+		}
+		after := fingerprints(&cfg, u.dp.Snapshot())
+		for key, fpB := range after {
+			if fpA := before[key]; fpA != fpB {
+				changed++
+				if !dirty[key[0]] && !dirty[key[1]] {
+					t.Fatalf("trial %d: pair %v changed scores without a dirty endpoint (dirty=%v)",
+						trial, key, u.dp.Dirty())
+				}
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no pair changed scores across any trial; the property is vacuous")
+	}
+}
+
+// TestDeltaAuditorFallback pins the dirty-fraction fallback policy: with a
+// tiny threshold, any real update batch triggers a full sweep — and the
+// result still matches the cold batch audit.
+func TestDeltaAuditorFallback(t *testing.T) {
+	rng := stats.NewRNG(8055)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 199
+	cfg.MinRegionSize = 40
+	cfg.DeltaDirtyFallback = 0.001
+	u := newDeltaUniverse(rng, 10, partition.Options{Seed: 5, IncomeSampleCap: 64})
+	da, err := NewDeltaAuditor(u.dp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := da.Audit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	u.mutate(t, rng, 30)
+	res, st, err := da.Audit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullSweep {
+		t.Fatalf("expected full-sweep fallback at threshold %v with %d dirty regions",
+			cfg.DeltaDirtyFallback, st.DirtyRegions)
+	}
+	requireSameResult(t, "fallback vs cold", res, u.coldResult(t, cfg))
+}
+
+// TestDeltaAuditorEligibilityChurn drives a region across MinRegionSize in
+// both directions; the delta result must track the cold audit through both
+// roster changes.
+func TestDeltaAuditorEligibilityChurn(t *testing.T) {
+	rng := stats.NewRNG(9120)
+	u := newDeltaUniverse(rng, 8, partition.Options{Seed: 77, IncomeSampleCap: 64})
+	newCell, minN := u.sparsestCell()
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 199
+	cfg.MinRegionSize = minN + 20 // the sparsest cell sits below the floor
+	cfg.DeltaDirtyFallback = 1
+	da, err := NewDeltaAuditor(u.dp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := da.Audit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEligible := res.EligibleRegions
+	if baseEligible < 2 {
+		t.Fatalf("fixture too sparse: %d eligible regions", baseEligible)
+	}
+
+	// Grow the sub-floor region past the floor.
+	var added []partition.Observation
+	for i := 0; i < 40; i++ {
+		o := randomCellObs(rng, newCell, 0.3, 0.8, 51_000)
+		added = append(added, o)
+		u.dp.Insert(o)
+		u.live = append(u.live, o)
+	}
+	res, st, err := da.Audit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullSweep {
+		t.Fatal("eligibility growth forced a full sweep; expected incremental handling")
+	}
+	if res.EligibleRegions <= baseEligible {
+		t.Fatalf("eligible regions did not grow (%d -> %d); fixture broken", baseEligible, res.EligibleRegions)
+	}
+	requireSameResult(t, "after growth", res, u.coldResult(t, cfg))
+
+	// Shrink it back below the floor.
+	for _, o := range added {
+		if _, err := u.dp.Delete(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.live = u.live[:len(u.live)-len(added)]
+	res, _, err = da.Audit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EligibleRegions != baseEligible {
+		t.Fatalf("eligible regions = %d after shrink, want %d", res.EligibleRegions, baseEligible)
+	}
+	requireSameResult(t, "after shrink", res, u.coldResult(t, cfg))
+}
+
+// TestDeltaAuditorCancel: a canceled audit returns the context error, leaves
+// the dirty set pending, and a retry produces the exact batch-equivalent
+// result.
+func TestDeltaAuditorCancel(t *testing.T) {
+	rng := stats.NewRNG(3371)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 199
+	cfg.MinRegionSize = 40
+	cfg.DeltaDirtyFallback = 1
+	u := newDeltaUniverse(rng, 8, partition.Options{Seed: 13, IncomeSampleCap: 64})
+	da, err := NewDeltaAuditor(u.dp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := da.Audit(canceled); err == nil {
+		t.Fatal("first audit with canceled context succeeded")
+	}
+	if _, _, err := da.Audit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	u.mutateCell(t, rng, 1, 12)
+	u.mutateCell(t, rng, 6, 8)
+	if _, _, err := da.Audit(canceled); err == nil {
+		t.Fatal("delta audit with canceled context succeeded")
+	}
+	res, st, err := da.Audit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullSweep {
+		t.Fatal("retry fell back to a full sweep; dirty set should have been retained for an incremental pass")
+	}
+	if st.DirtyRegions == 0 {
+		t.Fatal("retry observed no dirty regions; cancellation lost the pending work")
+	}
+	requireSameResult(t, "retry vs cold", res, u.coldResult(t, cfg))
+}
+
+// TestDeltaAuditorFunnelCounters checks the audit.delta.* observability
+// funnel: counters accumulate exactly the DeltaStats of each pass, and the
+// per-pass invariants (candidates = reused + rescored candidates, rescored =
+// window - bounds) hold through the collector too.
+func TestDeltaAuditorFunnelCounters(t *testing.T) {
+	rng := stats.NewRNG(41888)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.05
+	cfg.MCWorlds = 199
+	cfg.MinRegionSize = 40
+	cfg.DeltaDirtyFallback = 1
+	col := newTestCollector()
+	cfg.Collector = col
+
+	u := newDeltaUniverse(rng, 10, partition.Options{Seed: 23, IncomeSampleCap: 64})
+	da, err := NewDeltaAuditor(u.dp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want DeltaStats
+	runs := 0
+	fullSweeps := 0
+	for batch := 0; batch < 4; batch++ {
+		if batch > 0 {
+			// Touch only two cells so the dirty fraction stays below the
+			// fallback and every follow-up pass runs incrementally.
+			u.mutateCell(t, rng, 2, 8)
+			u.mutateCell(t, rng, 5, 7)
+		}
+		res, st, err := da.Audit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireFunnel(t, "funnel", res, st)
+		runs++
+		if st.FullSweep {
+			fullSweeps++
+		}
+		want.DirtyRegions += st.DirtyRegions
+		want.InvalidatedPairs += st.InvalidatedPairs
+		want.ReusedPairs += st.ReusedPairs
+		want.RescoredPairs += st.RescoredPairs
+		want.RescoredCandidates += st.RescoredCandidates
+	}
+
+	s := col.Snapshot()
+	if got := s.Counter(obs.MAuditDeltaRuns); got != int64(runs) {
+		t.Errorf("delta runs = %d, want %d", got, runs)
+	}
+	if got := s.Counter(obs.MAuditDeltaFullSweeps); got != int64(fullSweeps) {
+		t.Errorf("full sweeps = %d, want %d", got, fullSweeps)
+	}
+	if fullSweeps != 1 {
+		t.Errorf("fixture ran %d full sweeps, want exactly the seeding sweep", fullSweeps)
+	}
+	checks := []struct {
+		name string
+		want int
+	}{
+		{obs.MAuditDeltaDirtyRegions, want.DirtyRegions},
+		{obs.MAuditDeltaInvalidated, want.InvalidatedPairs},
+		{obs.MAuditDeltaReused, want.ReusedPairs},
+		{obs.MAuditDeltaRescored, want.RescoredPairs},
+		{obs.MAuditDeltaRescoredCands, want.RescoredCandidates},
+	}
+	for _, c := range checks {
+		if got := s.Counter(c.name); got != int64(c.want) {
+			t.Errorf("counter %s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	for _, c := range checks[:1] {
+		if s.Counter(c.name) == 0 {
+			t.Errorf("counter %s = 0; fixture should dirty regions", c.name)
+		}
+	}
+	if h := s.Histograms[obs.MAuditDeltaSeconds]; h.Count != int64(runs) {
+		t.Errorf("delta seconds histogram count = %d, want %d", h.Count, runs)
+	}
+}
+
+// TestDeltaConfigValidation: the new knob rejects nonsense.
+func TestDeltaConfigValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.5} {
+		cfg := DefaultConfig()
+		cfg.DeltaDirtyFallback = bad
+		u := newDeltaUniverse(stats.NewRNG(1), 4, partition.Options{Seed: 1})
+		if _, err := NewDeltaAuditor(u.dp, cfg); err == nil {
+			t.Errorf("DeltaDirtyFallback=%v accepted", bad)
+		}
+		if _, err := Audit(u.dp.Snapshot(), cfg); err == nil {
+			t.Errorf("batch audit accepted DeltaDirtyFallback=%v", bad)
+		}
+	}
+}

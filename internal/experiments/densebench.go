@@ -12,17 +12,12 @@ import (
 // pairs — the worst case the pair loop is optimized for.
 const DenseAuditRegionPop = 300
 
-// DenseAuditPartitioning builds a deterministic R-region universe shaped to
-// stress the audit's steady-state pair loop: every region draws incomes from
-// the same distribution (so the similarity gate almost never rejects and the
-// Mann–Whitney test runs on nearly every dissimilar pair), protected shares
-// alternate between 0.2 and 0.8 (so roughly half of all pairs pass the
-// dissimilarity gate), and positive rates hover at a common 0.62 (so most
-// candidates exit through the Eta outcome fast path, with a deterministic
-// minority proceeding to the likelihood-ratio test and Monte-Carlo
-// simulation). This is the workload behind BenchmarkAuditDense and the
-// BENCH_audit.json perf-trajectory file lcsf-bench emits.
-func DenseAuditPartitioning(regions int, seed uint64) *partition.Partitioning {
+// DenseAuditObservations generates the dense-audit universe's raw material:
+// the observations (laid out cell-major, DenseAuditRegionPop per cell, so
+// obs[r*Pop:(r+1)*Pop] is exactly region r's population) and the grid that
+// partitions them. The delta benchmark consumes these directly to drive
+// update streams against a DeltaPartitioning over the same universe.
+func DenseAuditObservations(regions int, seed uint64) ([]partition.Observation, geo.Grid) {
 	rng := stats.NewRNG(seed ^ 0xDE75EBE7C4)
 	obs := make([]partition.Observation, 0, regions*DenseAuditRegionPop)
 	for cell := 0; cell < regions; cell++ {
@@ -40,5 +35,20 @@ func DenseAuditPartitioning(regions int, seed uint64) *partition.Partitioning {
 		}
 	}
 	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(float64(regions), 1)), regions, 1)
+	return obs, grid
+}
+
+// DenseAuditPartitioning builds a deterministic R-region universe shaped to
+// stress the audit's steady-state pair loop: every region draws incomes from
+// the same distribution (so the similarity gate almost never rejects and the
+// Mann–Whitney test runs on nearly every dissimilar pair), protected shares
+// alternate between 0.2 and 0.8 (so roughly half of all pairs pass the
+// dissimilarity gate), and positive rates hover at a common 0.62 (so most
+// candidates exit through the Eta outcome fast path, with a deterministic
+// minority proceeding to the likelihood-ratio test and Monte-Carlo
+// simulation). This is the workload behind BenchmarkAuditDense and the
+// BENCH_audit.json perf-trajectory file lcsf-bench emits.
+func DenseAuditPartitioning(regions int, seed uint64) *partition.Partitioning {
+	obs, grid := DenseAuditObservations(regions, seed)
 	return partition.ByGrid(grid, obs, partition.Options{Seed: seed})
 }

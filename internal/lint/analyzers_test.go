@@ -24,6 +24,14 @@ func TestNoDeterminismCoversVerify(t *testing.T) {
 	linttest.Run(t, lint.NoDeterminism, "testdata/src/nodeterminism", "lcsf/internal/verify/fixture")
 }
 
+// TestNoDeterminismCoversPartition rechecks the same fixtures under an
+// internal/partition import path: the delta layer's canonical sampling and
+// dirty-set bookkeeping carry the delta-equals-batch byte-identity contract,
+// so the analyzer must fire there too.
+func TestNoDeterminismCoversPartition(t *testing.T) {
+	linttest.Run(t, lint.NoDeterminism, "testdata/src/nodeterminism", "lcsf/internal/partition/fixture")
+}
+
 func TestRNGDiscipline(t *testing.T) {
 	linttest.Run(t, lint.RNGDiscipline, "testdata/src/rngdiscipline", "lcsf/lintfixture/rngdiscipline")
 }

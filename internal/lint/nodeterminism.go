@@ -14,8 +14,11 @@ import (
 // read wall clocks or ambient randomness; internal/verify is in scope
 // because its scenario generators and metamorphic oracles certify exactly
 // that reproducibility and must themselves derive everything from explicit
-// seeds. Tests may override this (nil means every package is in scope).
-var NoDeterminismScope = []string{"internal/core", "internal/stats", "internal/verify"}
+// seeds; internal/partition is in scope because the delta layer's canonical
+// sampling and dirty-set bookkeeping (hash-priority bottom-k, sorted stale
+// refresh) underpin the delta-equals-batch byte-identity contract. Tests may
+// override this (nil means every package is in scope).
+var NoDeterminismScope = []string{"internal/core", "internal/stats", "internal/verify", "internal/partition"}
 
 // NoDeterminismAllowlist names functions (as "pkgpath.Func" or
 // "pkgpath.(Type).Method") permitted to read the wall clock — e.g. a timing
@@ -34,7 +37,7 @@ var NoDeterminismAllowlist = map[string]bool{}
 var NoDeterminism = &Analyzer{
 	Name: "nodeterminism",
 	Doc: "forbid global math/rand, wall-clock reads, and unsorted map-order appends " +
-		"in determinism-critical packages (internal/core, internal/stats, internal/verify)",
+		"in determinism-critical packages (internal/core, internal/stats, internal/verify, internal/partition)",
 	Run: runNoDeterminism,
 }
 

@@ -1,0 +1,29 @@
+// Fixture: determinism violations in delta-maintenance shapes. The delta
+// partition layer's dirty-set and update-stream bookkeeping feeds the
+// delta-equals-batch byte-identity contract, so region order must never come
+// from map iteration and update application must never read the clock.
+package fixture
+
+import "time"
+
+// dirtyRegionsFromSet flattens a dirty-region set by ranging over the map:
+// the rescore order — and with it the result assembly — would follow map
+// iteration order, which Go randomizes per run.
+func dirtyRegionsFromSet(dirty map[int]struct{}) []int {
+	var regions []int
+	for r := range dirty {
+		regions = append(regions, r) // want `append to regions in map iteration order`
+	}
+	return regions
+}
+
+// timedApply stamps each applied update with the wall clock instead of an
+// injected clock, so two replays of the same stream disagree.
+func timedApply(stream []int) (int, time.Duration) {
+	start := time.Now() // want `wall-clock read time.Now`
+	applied := 0
+	for range stream {
+		applied++
+	}
+	return applied, time.Since(start) // want `wall-clock read time.Since`
+}

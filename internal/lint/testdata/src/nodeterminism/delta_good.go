@@ -1,0 +1,39 @@
+// Fixture: the delta-maintenance shapes that must stay silent — dirty sets
+// flattened then sorted before use, and canonical sample selection driven by
+// a seeded hash rather than ambient randomness.
+package fixture
+
+import "sort"
+
+// sortedDirtyRegions mirrors DeltaPartitioning.Dirty: the set is flattened
+// from the map and sorted in the same function, so downstream rescore order
+// is input-determined.
+func sortedDirtyRegions(dirty map[int]struct{}) []int {
+	var regions []int
+	for r := range dirty {
+		regions = append(regions, r)
+	}
+	sort.Ints(regions)
+	return regions
+}
+
+// bottomKByRank mirrors the canonical sampler's selection: ranks come from a
+// seeded hash of (region, position), ties break on position, and the chosen
+// positions are re-sorted into canonical order — no ambient state anywhere.
+func bottomKByRank(ranks []uint64, k int) []int {
+	sel := make([]int, 0, len(ranks))
+	for pos := range ranks {
+		sel = append(sel, pos)
+	}
+	sort.Slice(sel, func(a, b int) bool {
+		if ranks[sel[a]] != ranks[sel[b]] {
+			return ranks[sel[a]] < ranks[sel[b]]
+		}
+		return sel[a] < sel[b]
+	})
+	if len(sel) > k {
+		sel = sel[:k]
+	}
+	sort.Ints(sel)
+	return sel
+}

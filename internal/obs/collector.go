@@ -33,6 +33,25 @@ const (
 	MAuditIndexWindowCandidates = "audit.index.window_candidates"
 	MAuditIndexBoundsRejections = "audit.index.bounds_rejections"
 
+	// Delta-audit counters (internal/core): incremental audits over a
+	// DeltaPartitioning. Per delta audit, dirty_regions is the number of
+	// regions the preceding update batch touched, invalidated_pairs the
+	// cached candidate pairs dropped because a dirty region participates,
+	// rescored_pairs the pairs re-run through the exact gate cascade,
+	// rescored_candidates those that passed every gate again, and
+	// reused_pairs the cached candidates carried over untouched
+	// (audit.candidates == reused_pairs + rescored_candidates on every
+	// incremental pass). full_sweeps counts the audits that fell back to the
+	// batch engine (first run, or a dirty fraction above
+	// Config.DeltaDirtyFallback).
+	MAuditDeltaRuns          = "audit.delta.runs"
+	MAuditDeltaFullSweeps    = "audit.delta.full_sweeps"
+	MAuditDeltaDirtyRegions  = "audit.delta.dirty_regions"
+	MAuditDeltaInvalidated   = "audit.delta.invalidated_pairs"
+	MAuditDeltaReused        = "audit.delta.reused_pairs"
+	MAuditDeltaRescored      = "audit.delta.rescored_pairs"
+	MAuditDeltaRescoredCands = "audit.delta.rescored_candidates"
+
 	// Shared Monte-Carlo null-distribution cache (internal/stats): lookups
 	// served by an existing sorted null sample, lookups that simulated a
 	// fresh one, and entries evicted by the per-shard LRU.
@@ -46,6 +65,9 @@ const (
 	// that builds per-region metric caches before the pair sweep.
 	MAuditPrepareSeconds = "audit.prepare_seconds"
 	MAuditShardSeconds   = "audit.shard_seconds"
+	// MAuditDeltaSeconds is the wall time of one delta audit (incremental or
+	// fallen back to a full sweep), update application excluded.
+	MAuditDeltaSeconds = "audit.delta.seconds"
 
 	// HTTP-service metrics (internal/server).
 	MHTTPRequests       = "http.requests"

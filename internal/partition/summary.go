@@ -178,6 +178,62 @@ func (o *dimOrder) Swap(i, j int) {
 	o.pos[i], o.pos[j] = o.pos[j], o.pos[i]
 }
 
+// UpdateRegion replaces the summary at position pos with a fresh digest of r
+// and repairs every sorted order and the envelope stats, leaving the index
+// bit-identical to NewSummaryIndex over the updated region set. The repair is
+// O(R) per call (linear removal plus an envelope rescan) — cheap against the
+// audit work a dirty region triggers, and idempotent, so a retried delta
+// audit can re-apply it safely.
+func (ix *SummaryIndex) UpdateRegion(pos int, r *Region) {
+	ix.Summaries[pos] = Summarize(r)
+	for d := SummaryDim(0); d < numSummaryDims; d++ {
+		ix.dims[d].update(pos, summaryKey(&ix.Summaries[pos], d))
+	}
+	ix.Stats = SummaryStats{}
+	for i := range ix.Summaries {
+		s := &ix.Summaries[i]
+		if s.N > ix.Stats.MaxN {
+			ix.Stats.MaxN = s.N
+		}
+		if s.SampleN >= 2 {
+			if ix.Stats.MinSampleN == 0 || s.SampleN < ix.Stats.MinSampleN {
+				ix.Stats.MinSampleN = s.SampleN
+			}
+			if se2 := s.IncomeVariance / float64(s.SampleN); se2 > ix.Stats.MaxMeanSE2 {
+				ix.Stats.MaxMeanSE2 = se2
+			}
+		}
+	}
+}
+
+// update removes position pos from the order (if present) and re-inserts it
+// under key, preserving the ascending-by-key, ties-by-position invariant. A
+// NaN key leaves the position absent, matching buildDimOrder.
+func (o *dimOrder) update(pos int, key float64) {
+	for i := range o.pos {
+		if int(o.pos[i]) == pos {
+			o.keys = append(o.keys[:i], o.keys[i+1:]...)
+			o.pos = append(o.pos[:i], o.pos[i+1:]...)
+			break
+		}
+	}
+	if math.IsNaN(key) {
+		return
+	}
+	at := sort.Search(len(o.keys), func(k int) bool {
+		if o.keys[k] != key { //lint:floateq-ok deterministic-tie-break
+			return o.keys[k] > key
+		}
+		return int(o.pos[k]) > pos
+	})
+	o.keys = append(o.keys, 0)
+	o.pos = append(o.pos, 0)
+	copy(o.keys[at+1:], o.keys[at:])
+	copy(o.pos[at+1:], o.pos[at:])
+	o.keys[at] = key
+	o.pos[at] = int32(pos)
+}
+
 // Dim returns the sorted keys and their region positions for one dimension.
 // Both slices are owned by the index; callers must not modify them. Regions
 // whose key is NaN on this dimension do not appear.

@@ -2,8 +2,11 @@ package verify
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"lcsf/internal/geo"
+	"lcsf/internal/partition"
 	"lcsf/internal/stats"
 )
 
@@ -176,4 +179,123 @@ func FuzzFDR(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzDeltaPartition decodes fuzzer-chosen bytes into an arbitrary
+// insert/delete stream over a small grid and demands that the incrementally
+// maintained DeltaPartitioning — region aggregates, bounds, canonical income
+// samples, and a SummaryIndex repaired region-by-region through UpdateRegion
+// — is indistinguishable from rebuilding everything from scratch over the
+// surviving observation multiset. Incomes are drawn from a 16-value grid so
+// duplicate entries (the exact-match deletion edge) are routine.
+func FuzzDeltaPartition(f *testing.F) {
+	f.Add(uint64(1), 8, []byte("insert-delete-reinsert, repeat"))
+	f.Add(uint64(42), 3, []byte{0x00, 0x10, 0x21, 0x81, 0x10, 0x02, 0x06, 0x10, 0x03})
+	f.Add(uint64(7), 1, []byte("aAbBcCdDeEfFgGhHaAbBcCdDeEfFgGhH"))
+	f.Add(uint64(99), 16, []byte{})
+	f.Fuzz(func(t *testing.T, seed uint64, capN int, ops []byte) {
+		capN = 1 + absRem(capN, 16)
+		grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(4, 2)), 4, 2)
+		opts := partition.Options{Seed: seed, IncomeSampleCap: capN}
+		dp := partition.NewDeltaByGrid(grid, nil, opts)
+
+		snap := dp.Snapshot()
+		ptrs := make([]*partition.Region, len(snap.Regions))
+		for i := range snap.Regions {
+			ptrs[i] = &snap.Regions[i]
+		}
+		ix := partition.NewSummaryIndex(ptrs)
+
+		// live mirrors the surviving multiset; deletes pick a live entry, so
+		// every delete targets an observation that is actually present.
+		var live []partition.Observation
+		for i := 0; i+2 < len(ops) && i < 3*192; i += 3 {
+			b0, b1, b2 := ops[i], ops[i+1], ops[i+2]
+			if b0&1 == 1 && len(live) > 0 {
+				k := absRem(int(b1), len(live))
+				if _, err := dp.Delete(live[k]); err != nil {
+					t.Fatalf("delete of live observation %+v failed: %v", live[k], err)
+				}
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			cell := absRem(int(b0>>1), grid.NumCells()+1)
+			loc := geo.Pt(-1, -1) // out of grid: the stream must ignore it
+			if cell < grid.NumCells() {
+				loc = geo.Pt(
+					float64(cell%grid.Cols)+0.05+0.9*float64(b2>>2&0x3F)/64,
+					float64(cell/grid.Cols)+0.5,
+				)
+			}
+			o := partition.Observation{
+				Loc:       loc,
+				Positive:  b2&1 != 0,
+				Protected: b2&2 != 0,
+				Income:    20000 + 1000*float64(b1%16),
+			}
+			if dp.Insert(o) >= 0 {
+				live = append(live, o)
+			}
+		}
+
+		// Repair the summary index from the dirty set, then refresh the
+		// snapshot (same backing array, so ptrs stay valid).
+		dirty := dp.Dirty()
+		snap = dp.Snapshot()
+		for _, idx := range dirty {
+			ix.UpdateRegion(idx, &snap.Regions[idx])
+		}
+		dp.ClearDirty()
+
+		cold := partition.NewDeltaByGrid(grid, live, opts).Snapshot()
+		if snap.TotalN != cold.TotalN || snap.TotalPositives != cold.TotalPositives {
+			t.Fatalf("totals diverged: incremental %d/%d, cold rebuild %d/%d",
+				snap.TotalN, snap.TotalPositives, cold.TotalN, cold.TotalPositives)
+		}
+		for i := range snap.Regions {
+			a, b := &snap.Regions[i], &cold.Regions[i]
+			if a.N != b.N || a.Positives != b.Positives || a.Protected != b.Protected ||
+				a.NonProtected != b.NonProtected || a.Bounds != b.Bounds {
+				t.Fatalf("region %d aggregates diverged:\n incremental %+v\n cold        %+v", i, a, b)
+			}
+			if !reflect.DeepEqual(a.IncomeSample(), b.IncomeSample()) ||
+				!reflect.DeepEqual(a.OutcomeSample(), b.OutcomeSample()) ||
+				!reflect.DeepEqual(a.SortedIncomeSample(), b.SortedIncomeSample()) {
+				t.Fatalf("region %d samples diverged:\n incremental %v %v\n cold        %v %v",
+					i, a.IncomeSample(), a.OutcomeSample(), b.IncomeSample(), b.OutcomeSample())
+			}
+		}
+
+		fresh := partition.NewSummaryIndex(ptrs)
+		for i := range fresh.Summaries {
+			if !summaryBitsEqual(&ix.Summaries[i], &fresh.Summaries[i]) {
+				t.Fatalf("summary %d diverged:\n incremental %+v\n fresh       %+v",
+					i, ix.Summaries[i], fresh.Summaries[i])
+			}
+		}
+		if ix.Stats != fresh.Stats {
+			t.Fatalf("summary stats diverged: incremental %+v, fresh %+v", ix.Stats, fresh.Stats)
+		}
+		for d := partition.DimProtectedShare; d <= partition.DimIncomeMean; d++ {
+			ik, ip := ix.Dim(d)
+			fk, fp := fresh.Dim(d)
+			if !reflect.DeepEqual(ik, fk) || !reflect.DeepEqual(ip, fp) {
+				t.Fatalf("dim %d order diverged:\n incremental %v %v\n fresh       %v %v", d, ik, ip, fk, fp)
+			}
+		}
+	})
+}
+
+// summaryBitsEqual compares two summaries field-for-field with NaN-stable
+// float comparison (empty regions carry NaN income moments by contract).
+func summaryBitsEqual(a, b *partition.RegionSummary) bool {
+	return a.N == b.N && a.Positives == b.Positives && a.Protected == b.Protected &&
+		a.SampleN == b.SampleN &&
+		math.Float64bits(a.PositiveRate) == math.Float64bits(b.PositiveRate) &&
+		math.Float64bits(a.ProtectedShare) == math.Float64bits(b.ProtectedShare) &&
+		math.Float64bits(a.IncomeMean) == math.Float64bits(b.IncomeMean) &&
+		math.Float64bits(a.IncomeVariance) == math.Float64bits(b.IncomeVariance) &&
+		math.Float64bits(a.IncomeMin) == math.Float64bits(b.IncomeMin) &&
+		math.Float64bits(a.IncomeMax) == math.Float64bits(b.IncomeMax)
 }
