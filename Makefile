@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke lint check \
+.PHONY: all build test race vet bench bench-smoke lint check check-nolint \
 	examples-smoke fuzz-smoke cover
 
 all: check
@@ -14,9 +14,10 @@ build:
 test:
 	$(GO) test -shuffle=on ./...
 
-# Race-verify the concurrent collector and everything that records into it.
+# Race-verify the concurrent collector and everything that records into it,
+# plus internal/stats for the sharded null cache's lock/atomic discipline.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/partition/... ./internal/server/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/partition/... ./internal/server/... ./internal/stats/...
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +37,8 @@ bench-smoke:
 
 # Project-specific static analysis (see internal/lint and README's "Static
 # analysis" section): determinism, RNG discipline, float safety, nil-safe
-# observability, unchecked errors.
+# observability, unchecked errors, plus the dataflow analyzers — hot-path
+# allocation, seed provenance, lock discipline, cancellation polling.
 lint:
 	$(GO) run ./cmd/lcsf-lint ./...
 
@@ -76,3 +78,7 @@ cover:
 		{ echo "coverage $$actual% is below the $$floor% floor in COVERAGE.txt"; exit 1; }
 
 check: build vet test race bench-smoke lint examples-smoke cover fuzz-smoke
+
+# Everything in check except lint — CI runs lint as its own job (with its own
+# cache key) so analyzer findings surface as annotations, not a buried log.
+check-nolint: build vet test race bench-smoke examples-smoke cover fuzz-smoke

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the CLI to lint, returning its
+// root directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module tmpfixture\n\ngo 1.22\n"
+
+const cleanSrc = `package tmp
+
+// Add is deliberately boring: nothing in the analyzer suite fires on it.
+func Add(a, b int) int { return a + b }
+`
+
+// dirtySrc trips floateq: a non-constant exact float comparison.
+const dirtySrc = `package tmp
+
+func Same(a, b float64) bool { return a == b }
+`
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunCleanTreeExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "a.go": cleanSrc})
+	code, stdout, stderr := runCLI(t, "-C", dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d on a clean tree, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean tree produced output:\n%s", stdout)
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "a.go": dirtySrc})
+	code, stdout, stderr := runCLI(t, "-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d with findings, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "[floateq]") || !strings.Contains(stdout, "a.go:3:") {
+		t.Errorf("diagnostic output missing analyzer tag or position:\n%s", stdout)
+	}
+}
+
+func TestRunJSONShape(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "a.go": dirtySrc})
+	code, stdout, stderr := runCLI(t, "-json", "-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d with findings, want 1\nstderr:\n%s", code, stderr)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if filepath.Base(d.File) != "a.go" || d.Line != 3 || d.Col == 0 {
+		t.Errorf("bad position: %+v", d)
+	}
+	if d.Analyzer != "floateq" || !strings.Contains(d.Message, "floating-point") {
+		t.Errorf("bad analyzer/message: %+v", d)
+	}
+}
+
+func TestRunJSONCleanTreeEmitsEmptyArray(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "a.go": cleanSrc})
+	code, stdout, _ := runCLI(t, "-json", "-C", dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d on a clean tree, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output should be an empty array, got:\n%s", stdout)
+	}
+}
+
+func TestRunUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"-checks", "nosuchanalyzer", "./..."},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
+		if stderr == "" {
+			t.Errorf("run(%q) produced no stderr", args)
+		}
+	}
+}
+
+func TestRunLoadFailureExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": goMod})
+	code, _, stderr := runCLI(t, "-C", dir, "./nosuchdir")
+	if code != 2 {
+		t.Fatalf("exit %d for a bad pattern, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "lcsf-lint:") {
+		t.Errorf("load failure not reported on stderr:\n%s", stderr)
+	}
+}
+
+func TestRunListGoesToStdout(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	for _, name := range []string{"hotpathalloc", "seedtaint", "locksafe", "ctxpoll"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing analyzer %s:\n%s", name, stdout)
+		}
+	}
+	if stderr != "" {
+		t.Errorf("-list wrote to stderr:\n%s", stderr)
+	}
+}

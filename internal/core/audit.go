@@ -722,6 +722,8 @@ func (ar *auditRunner) buildIndex() {
 // candidate: the exact Eta interval and each prunable gate's Bounds. True
 // means the exact cascade would certainly reject the pair, so it is skipped
 // (and tallied) without touching the regions.
+//
+//lint:hotpath
 func (ar *auditRunner) summaryReject(ii, jj int, t *pairTally) bool {
 	sa, sb := &ar.summaries[ii], &ar.summaries[jj]
 	if ar.cfg.Eta > 0 && math.Abs(sa.PositiveRate-sb.PositiveRate) <= ar.cfg.Eta {
@@ -759,6 +761,8 @@ func (ar *auditRunner) summaryReject(ii, jj int, t *pairTally) bool {
 // (bit-identical to a fresh generator), the simulator loop is closure-free,
 // and prepared metrics score against caches built in the precompute phase.
 // TestAuditPairKernelZeroAlloc pins the property.
+//
+//lint:hotpath
 func (ar *auditRunner) auditPair(ii, jj int, t *pairTally, sc *Scratch, rng *stats.RNG) (UnfairPair, bool) {
 	a, b := ar.regions[ii], ar.regions[jj]
 	cfg := &ar.cfg

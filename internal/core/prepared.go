@@ -73,6 +73,8 @@ func (MannWhitneySimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
 
 // ScorePrepared implements PreparedMetric via the merge-rank Mann–Whitney
 // kernel; bit-identical to Score.
+//
+//lint:hotpath
 func (MannWhitneySimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
 	return stats.MannWhitneyUSorted(a.([]float64), b.([]float64)).P
 }
@@ -85,6 +87,8 @@ func (KolmogorovSmirnovSimilarity) PrepareRegion(r *partition.Region) PreparedRe
 
 // ScorePrepared implements PreparedMetric via the two-sorted-sample KS merge;
 // bit-identical to Score.
+//
+//lint:hotpath
 func (KolmogorovSmirnovSimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
 	return stats.KolmogorovSmirnovSorted(a.([]float64), b.([]float64)).P
 }
@@ -117,6 +121,8 @@ func (WelchTSimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
 
 // ScorePrepared implements PreparedMetric via WelchTFromMoments;
 // bit-identical to Score.
+//
+//lint:hotpath
 func (WelchTSimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
 	ma, mb := a.(*sampleMoments), b.(*sampleMoments)
 	return stats.WelchTFromMoments(ma.n, ma.mean, ma.variance, mb.n, mb.mean, mb.variance).P
@@ -128,6 +134,8 @@ func (MeanGapSimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
 }
 
 // ScorePrepared implements PreparedMetric; bit-identical to Score.
+//
+//lint:hotpath
 func (MeanGapSimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
 	ma, mb := a.(float64), b.(float64)
 	if math.IsNaN(ma) || math.IsNaN(mb) {
@@ -155,6 +163,8 @@ func (ZScoreDissimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
 }
 
 // ScorePrepared implements PreparedMetric; bit-identical to Score.
+//
+//lint:hotpath
 func (ZScoreDissimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
 	ga, gb := a.(groupCounts), b.(groupCounts)
 	return stats.TwoProportionZ(ga.protected, ga.n, gb.protected, gb.n).P
@@ -176,6 +186,8 @@ func (StatParityDissimilarity) PrepareRegion(r *partition.Region) PreparedRegion
 
 // ScorePrepared implements PreparedMetric; bit-identical to Score (NaN
 // shares propagate through the subtraction).
+//
+//lint:hotpath
 func (StatParityDissimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
 	return math.Abs(a.(float64) - b.(float64))
 }
@@ -186,6 +198,8 @@ func (DisparateImpactDissimilarity) PrepareRegion(r *partition.Region) PreparedR
 }
 
 // ScorePrepared implements PreparedMetric; bit-identical to Score.
+//
+//lint:hotpath
 func (DisparateImpactDissimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
 	sa, sb := a.(float64), b.(float64)
 	if math.IsNaN(sa) || math.IsNaN(sb) {
@@ -233,5 +247,5 @@ func (ps *preparedScorer) score(i, j int, a, b *partition.Region, sc *Scratch) f
 	if ps.prepared != nil {
 		return ps.prepared.ScorePrepared(ps.state[i], ps.state[j], sc)
 	}
-	return ps.metric.Score(a, b)
+	return ps.metric.Score(a, b) //lint:hotpathalloc-ok cold fallback for metrics without a prepared form
 }

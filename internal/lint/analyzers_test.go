@@ -48,6 +48,25 @@ func TestErrCheck(t *testing.T) {
 	linttest.Run(t, lint.ErrCheck, "testdata/src/errcheck", "lcsf/lintfixture/errcheck")
 }
 
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "testdata/src/hotpathalloc", "lcsf/lintfixture/hotpathalloc")
+}
+
+func TestSeedTaint(t *testing.T) {
+	linttest.Run(t, lint.SeedTaint, "testdata/src/seedtaint", "lcsf/lintfixture/seedtaint")
+}
+
+func TestLockSafe(t *testing.T) {
+	linttest.Run(t, lint.LockSafe, "testdata/src/locksafe", "lcsf/lintfixture/locksafe")
+}
+
+// TestCtxPoll runs the ctxpoll fixture under an internal/core import path —
+// the analyzer is scoped to the audit engine, where data-dependent loops
+// track region/pair counts.
+func TestCtxPoll(t *testing.T) {
+	linttest.Run(t, lint.CtxPoll, "testdata/src/ctxpoll", "lcsf/internal/core/fixture")
+}
+
 // TestScopedAnalyzersIgnoreOutOfScopePackages rechecks the nodeterminism and
 // nilsafeobs fixtures under neutral import paths: every violation in them
 // must go unreported, because path scoping is what keeps the hot-path rules
@@ -59,6 +78,7 @@ func TestScopedAnalyzersIgnoreOutOfScopePackages(t *testing.T) {
 	}{
 		{lint.NoDeterminism, "testdata/src/nodeterminism"},
 		{lint.NilSafeObs, "testdata/src/nilsafeobs"},
+		{lint.CtxPoll, "testdata/src/ctxpoll"},
 	}
 	for _, tc := range cases {
 		pkg, err := lint.CheckDir(tc.dir, "lcsf/examples/fixture")
@@ -78,7 +98,10 @@ func TestScopedAnalyzersIgnoreOutOfScopePackages(t *testing.T) {
 // TestAllAnalyzersRegistered pins the multichecker suite so a new analyzer
 // cannot be added without joining All() (and therefore make lint and CI).
 func TestAllAnalyzersRegistered(t *testing.T) {
-	want := []string{"nodeterminism", "rngdiscipline", "floateq", "nilsafeobs", "errcheck"}
+	want := []string{
+		"nodeterminism", "rngdiscipline", "floateq", "nilsafeobs", "errcheck",
+		"hotpathalloc", "seedtaint", "locksafe", "ctxpoll",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

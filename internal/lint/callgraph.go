@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file builds a whole-program view over the loaded packages so analyzers
+// can reason interprocedurally: a function index keyed by stable string keys,
+// call resolution (static calls plus a class-hierarchy approximation for
+// dynamic interface calls), and reachability from annotated hot-path entry
+// points.
+//
+// Soundness note on identity: every source-checked package resolves its
+// imports from compiler export data, so the *types.Package (and all objects
+// in it) that package A sees for package B is a different instance from the
+// one produced by source-checking B itself. Pointer identity of types.Object
+// therefore does not survive package boundaries; functions are keyed by the
+// string funcKey (import path + receiver type name + function name), which
+// does.
+
+// hotPathDirective marks a function declaration as a zero-alloc kernel entry
+// point; hotpathalloc walks the callgraph from every marked declaration.
+const hotPathDirective = "lint:hotpath"
+
+// A FuncInfo is one function or method declaration with a body, in the set of
+// packages under analysis.
+type FuncInfo struct {
+	Key  string // see funcKey
+	Pkg  *Package
+	File *ast.File
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	// Hot records a //lint:hotpath directive on the declaration.
+	Hot bool
+}
+
+// Name renders the function for diagnostics: "Func" or "(Type).Method".
+func (fi *FuncInfo) Name() string { return funcDeclName(fi.Decl) }
+
+// A Program indexes every function declaration across the packages of one
+// lint.Run invocation and memoizes the interprocedural facts analyzers
+// derive from it (each analyzer runs once per package, but program-wide
+// closures should be computed once).
+type Program struct {
+	Pkgs  []*Package
+	funcs map[string]*FuncInfo
+	// methodsByName supports the CHA approximation: all concrete methods in
+	// the program sharing a name, the candidate targets of a dynamic call.
+	methodsByName map[string][]*FuncInfo
+
+	mayReachHot map[string]bool // lazily computed; see MayReachHot
+
+	// analyzerData lets an analyzer stash a program-wide computation the
+	// first time any of its per-package passes runs. Keyed by analyzer name.
+	analyzerData map[string]any
+}
+
+// NewProgram indexes the packages' function declarations.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:          pkgs,
+		funcs:         map[string]*FuncInfo{},
+		methodsByName: map[string][]*FuncInfo{},
+		analyzerData:  map[string]any{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			hotLines := directiveLines(pkg.Fset, file, hotPathDirective)
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				key := funcKey(obj)
+				if key == "" {
+					continue
+				}
+				fi := &FuncInfo{
+					Key:  key,
+					Pkg:  pkg,
+					File: file,
+					Decl: fn,
+					Obj:  obj,
+					Hot:  hotLines[pkg.Fset.Position(fn.Pos()).Line],
+				}
+				p.funcs[key] = fi
+				if fn.Recv != nil {
+					p.methodsByName[fn.Name.Name] = append(p.methodsByName[fn.Name.Name], fi)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// funcKey renders a *types.Func as a package-qualified string that is stable
+// across type-checker instances: "path.Func" or "path.(Recv).Method" (pointer
+// receivers are not distinguished — a type has one method set per name).
+// Interface methods and local closures yield "".
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || types.IsInterface(named) {
+		return ""
+	}
+	return fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+}
+
+// Func returns the declaration for a resolved function object, or nil when
+// the object is from outside the analyzed packages (stdlib, export data with
+// no matching source).
+func (p *Program) Func(obj types.Object) *FuncInfo {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return p.funcs[funcKey(fn)]
+}
+
+// HotEntries returns every //lint:hotpath-annotated declaration, in stable
+// key order.
+func (p *Program) HotEntries() []*FuncInfo {
+	var out []*FuncInfo
+	for _, fi := range p.funcs {
+		if fi.Hot {
+			out = append(out, fi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Callees resolves a call expression in pkg to the program function
+// declarations it may invoke: the single static target for direct calls, or
+// — for calls through an interface method — every concrete method in the
+// program whose name and shape match and whose receiver type plausibly
+// implements the interface (class-hierarchy analysis by method-set matching;
+// types.Implements is unusable here because named types from different
+// checker instances never compare identical). Calls to functions outside the
+// program (stdlib, builtins, func values) resolve to nil.
+func (p *Program) Callees(pkg *Package, call *ast.CallExpr) []*FuncInfo {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fi := p.Func(pkg.Info.Uses[fun]); fi != nil {
+			return []*FuncInfo{fi}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			mobj, _ := sel.Obj().(*types.Func)
+			if mobj == nil {
+				return nil
+			}
+			recv := sel.Recv()
+			if types.IsInterface(recv) {
+				return p.chaTargets(recv, mobj)
+			}
+			if fi := p.funcs[funcKey(mobj)]; fi != nil {
+				return []*FuncInfo{fi}
+			}
+			return nil
+		}
+		// Qualified identifier pkg.Func (no selection recorded).
+		if fi := p.Func(pkg.Info.Uses[fun.Sel]); fi != nil {
+			return []*FuncInfo{fi}
+		}
+	}
+	return nil
+}
+
+// chaTargets returns the program methods a dynamic call to iface.m may
+// dispatch to: same name, same parameter/result counts, on a receiver type
+// whose method set covers every method of the interface (each matched by
+// name and shape). Matching is structural-by-count rather than by
+// types.Identical because the interface's types and the candidates' types
+// come from different checker instances.
+func (p *Program) chaTargets(iface types.Type, m *types.Func) []*FuncInfo {
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*FuncInfo
+	for _, cand := range p.methodsByName[m.Name()] {
+		if !sameShape(cand.Obj, m) {
+			continue
+		}
+		if implementsByShape(cand.Obj, it) {
+			out = append(out, cand)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// sameShape reports whether two functions agree on parameter and result
+// counts and variadicity — the cross-checker-instance stand-in for signature
+// identity.
+func sameShape(a, b *types.Func) bool {
+	sa, aok := a.Type().(*types.Signature)
+	sb, bok := b.Type().(*types.Signature)
+	if !aok || !bok {
+		return false
+	}
+	return sa.Params().Len() == sb.Params().Len() &&
+		sa.Results().Len() == sb.Results().Len() &&
+		sa.Variadic() == sb.Variadic()
+}
+
+// implementsByShape reports whether the receiver type of method cand carries
+// a method matching every method of iface by name and shape. It prunes CHA
+// candidates that merely share one method name with the interface.
+func implementsByShape(cand *types.Func, iface *types.Interface) bool {
+	sig := cand.Type().(*types.Signature)
+	recv := sig.Recv().Type()
+	// Use the pointer type's method set: it includes both value- and
+	// pointer-receiver methods, which is the most permissive (sound) choice.
+	if _, ok := recv.(*types.Pointer); !ok {
+		recv = types.NewPointer(recv)
+	}
+	mset := types.NewMethodSet(recv)
+	for i := 0; i < iface.NumMethods(); i++ {
+		want := iface.Method(i)
+		found := false
+		for j := 0; j < mset.Len(); j++ {
+			got, _ := mset.At(j).Obj().(*types.Func)
+			if got != nil && got.Name() == want.Name() && sameShape(got, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// MayReachHot reports whether fn may transitively call a //lint:hotpath
+// entry point (the entry points themselves included). The closure is
+// computed once per Program by a reverse fixpoint over the call edges.
+func (p *Program) MayReachHot(fi *FuncInfo) bool {
+	if p.mayReachHot == nil {
+		p.computeMayReachHot()
+	}
+	return p.mayReachHot[fi.Key]
+}
+
+func (p *Program) computeMayReachHot() {
+	// Collect each function's callee keys once (calls anywhere in the body,
+	// including nested function literals — a closure defined in f runs with
+	// f's dynamic extent as far as reachability is concerned).
+	callees := map[string]map[string]bool{}
+	for _, fi := range p.funcs {
+		set := map[string]bool{}
+		fi := fi
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, target := range p.Callees(fi.Pkg, call) {
+				set[target.Key] = true
+			}
+			return true
+		})
+		callees[fi.Key] = set
+	}
+	reach := map[string]bool{}
+	for _, fi := range p.funcs {
+		if fi.Hot {
+			reach[fi.Key] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, set := range callees {
+			if reach[key] {
+				continue
+			}
+			for callee := range set {
+				if reach[callee] {
+					reach[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	p.mayReachHot = reach
+}
+
+// data returns the analyzer's memoized program-wide computation, building it
+// on first use. Run applies analyzers sequentially, so no locking is needed.
+func (p *Program) data(name string, build func() any) any {
+	if v, ok := p.analyzerData[name]; ok {
+		return v
+	}
+	v := build()
+	p.analyzerData[name] = v
+	return v
+}

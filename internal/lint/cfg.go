@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs from syntax alone. The
+// graphs are deliberately simple — basic blocks of statements/expressions in
+// evaluation order, linked by successor edges — which is all the forward
+// dataflow analyses in this package (locksafe's lock-state lattice) need.
+// Functions using goto are marked Unanalyzable and analyzers skip them
+// rather than risk unsound edges; the repo contains none.
+
+// A Block is one straight-line run of statements and the control expressions
+// evaluated with them. Nodes appear in evaluation order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A CFG is the control-flow graph of one function body. Entry is the block
+// control enters first; Blocks lists every block (including unreachable ones
+// created after return/break, which simply have no predecessors).
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+	// Unanalyzable marks functions whose control flow the builder does not
+	// model (goto, or break/continue to a non-loop label). Flow-sensitive
+	// analyzers must skip such functions instead of trusting the graph.
+	Unanalyzable bool
+}
+
+// buildCFG constructs the control-flow graph of a function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmts(body.List)
+	return b.cfg
+}
+
+// breakFrame and contFrame are the jump targets of the enclosing breakable
+// (loop/switch/select) and continuable (loop) statements, innermost last.
+type breakFrame struct {
+	label string
+	exit  *Block
+}
+
+type contFrame struct {
+	label  string
+	target *Block
+}
+
+type cfgBuilder struct {
+	cfg        *CFG
+	cur        *Block // nil when the current path has terminated
+	breaks     []breakFrame
+	continues  []contFrame
+	fallTarget *Block // next case block while building a switch case body
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block, starting a fresh (unreachable)
+// block when the previous path terminated — dead code still gets analyzed,
+// it just has no predecessors.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		exit := b.newBlock()
+		then := b.newBlock()
+		link(cond, then)
+		b.cur = then
+		b.stmts(s.Body.List)
+		link(b.cur, exit)
+		if s.Else != nil {
+			els := b.newBlock()
+			link(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			link(b.cur, exit)
+		} else {
+			link(cond, exit)
+		}
+		b.cur = exit
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock()
+		link(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		exit := b.newBlock()
+		if s.Cond != nil {
+			link(head, exit)
+		}
+		contTarget := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			contTarget = post
+		}
+		body := b.newBlock()
+		link(head, body)
+		b.breaks = append(b.breaks, breakFrame{label, exit})
+		b.continues = append(b.continues, contFrame{label, contTarget})
+		b.cur = body
+		b.stmts(s.Body.List)
+		link(b.cur, contTarget)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			link(b.cur, head)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		link(b.cur, head)
+		b.cur = head
+		b.add(s.X)
+		exit := b.newBlock()
+		link(head, exit)
+		body := b.newBlock()
+		link(head, body)
+		b.breaks = append(b.breaks, breakFrame{label, exit})
+		b.continues = append(b.continues, contFrame{label, head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		link(b.cur, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Node
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag, clauses = sw.Init, sw.Tag, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, tag, clauses = sw.Init, sw.Assign, sw.Body.List
+		}
+		if init != nil {
+			b.stmt(init, "")
+		}
+		if tag != nil {
+			b.add(tag)
+		}
+		head := b.cur
+		exit := b.newBlock()
+		caseBlocks := make([]*Block, len(clauses))
+		hasDefault := false
+		for i, cc := range clauses {
+			caseBlocks[i] = b.newBlock()
+			link(head, caseBlocks[i])
+			if cc.(*ast.CaseClause).List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			link(head, exit)
+		}
+		b.breaks = append(b.breaks, breakFrame{label, exit})
+		for i, cc := range clauses {
+			clause := cc.(*ast.CaseClause)
+			b.cur = caseBlocks[i]
+			for _, e := range clause.List {
+				b.add(e)
+			}
+			savedFall := b.fallTarget
+			if i+1 < len(caseBlocks) {
+				b.fallTarget = caseBlocks[i+1]
+			} else {
+				b.fallTarget = exit
+			}
+			b.stmts(clause.Body)
+			b.fallTarget = savedFall
+			link(b.cur, exit)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = exit
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		exit := b.newBlock()
+		b.breaks = append(b.breaks, breakFrame{label, exit})
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			link(head, blk)
+			b.cur = blk
+			if clause.Comm != nil {
+				b.stmt(clause.Comm, "")
+			}
+			b.stmts(clause.Body)
+			link(b.cur, exit)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = exit
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findBreak(s.Label); f != nil {
+				link(b.cur, f.exit)
+			} else {
+				b.cfg.Unanalyzable = true
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if f := b.findContinue(s.Label); f != nil {
+				link(b.cur, f.target)
+			} else {
+				b.cfg.Unanalyzable = true
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			link(b.cur, b.fallTarget)
+			b.cur = nil
+		case token.GOTO:
+			b.cfg.Unanalyzable = true
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	default:
+		// Assignments, declarations, expression statements, defer, go, send,
+		// inc/dec: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) findBreak(label *ast.Ident) *breakFrame {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if label == nil || b.breaks[i].label == label.Name {
+			return &b.breaks[i]
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label *ast.Ident) *contFrame {
+	for i := len(b.continues) - 1; i >= 0; i-- {
+		if label == nil || b.continues[i].label == label.Name {
+			return &b.continues[i]
+		}
+	}
+	return nil
+}

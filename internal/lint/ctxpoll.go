@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPollScope limits ctxpoll to the audit engine: that is where
+// data-dependent loops iterate over region/pair counts that scale with the
+// dataset, and where Config's cancellation contract lives. Tests override
+// with nil (every package in scope).
+var CtxPollScope = []string{"internal/core"}
+
+// CtxPoll requires cancellation to stay responsive in the audit engine: in
+// any function with a context.Context in scope, a loop whose trip count is
+// data-dependent (a region or pair count, not a constant) and whose body may
+// reach a //lint:hotpath kernel entry — directly or through local closures
+// it references — must mention ctx somewhere in that body (the ctx.Err()
+// poll-every-N-iterations idiom). Bookkeeping loops that never reach the
+// kernel are exempt: forcing polls into commit/assembly loops that must
+// complete atomically would be wrong, not just noisy.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "require data-dependent loops that reach //lint:hotpath kernels to poll ctx " +
+		"within a bounded stride (suppress with //lint:ctxpoll-ok)",
+	Run: runCtxPoll,
+}
+
+const ctxPollOkDirective = "lint:ctxpoll-ok"
+
+func runCtxPoll(pass *Pass) error {
+	if !pathInScope(pass.Pkg.Path(), CtxPollScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		allowed := directiveLines(pass.Fset, file, ctxPollOkDirective)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fi := pass.Prog.Func(pass.Info.Defs[fn.Name])
+			if fi == nil {
+				continue
+			}
+			if !mentionsCtx(pass, fn.Body) && !hasCtxParam(pass, fn) {
+				continue // no context in scope: nothing to poll
+			}
+			closures := localClosures(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					if !forIsDataDependent(pass, loop) {
+						return true
+					}
+					body = loop.Body
+				case *ast.RangeStmt:
+					if pass.Info.Types[loop.X].Value != nil {
+						return true // range over a constant: bounded
+					}
+					body = loop.Body
+				default:
+					return true
+				}
+				if allowed[pass.Fset.Position(n.Pos()).Line] {
+					return true
+				}
+				bodies := []*ast.BlockStmt{body}
+				bodies = append(bodies, referencedClosures(pass, body, closures)...)
+				if !reachesHotPath(pass, bodies) {
+					return true
+				}
+				for _, b := range bodies {
+					if mentionsCtx(pass, b) {
+						return true
+					}
+				}
+				pass.Reportf(n.Pos(), "data-dependent loop reaches a //lint:hotpath kernel without polling ctx; check ctx.Err() within a bounded stride or mark //lint:ctxpoll-ok")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// forIsDataDependent reports whether the loop's trip count depends on
+// runtime data: an infinite loop, or a condition mentioning any non-constant
+// value other than the variables the loop's own Init defines.
+func forIsDataDependent(pass *Pass, loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	initVars := map[types.Object]bool{}
+	if assign, ok := loop.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					initVars[obj] = true
+				}
+			}
+		}
+	}
+	dependent := false
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.Info.ObjectOf(n)
+			if v, ok := obj.(*types.Var); ok && !initVars[v] {
+				if tv, ok := pass.Info.Types[n]; !ok || tv.Value == nil {
+					dependent = true
+				}
+			}
+		case *ast.SelectorExpr, *ast.CallExpr, *ast.IndexExpr:
+			dependent = true
+			return false
+		}
+		return !dependent
+	})
+	return dependent
+}
+
+// localClosures maps function-typed local variables to the literals bound to
+// them, so `visit := func(...) {...}` referenced inside a loop contributes
+// its body to the loop's poll/reach checks.
+func localClosures(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	record := func(name *ast.Ident, rhs ast.Expr) {
+		if lit, ok := rhs.(*ast.FuncLit); ok {
+			if obj := pass.Info.ObjectOf(name); obj != nil {
+				out[obj] = lit
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// referencedClosures returns the bodies of local closures whose names appear
+// inside the loop body (called directly or passed as callbacks).
+func referencedClosures(pass *Pass, body *ast.BlockStmt, closures map[types.Object]*ast.FuncLit) []*ast.BlockStmt {
+	if len(closures) == 0 {
+		return nil
+	}
+	seen := map[*ast.FuncLit]bool{}
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if lit, ok := closures[pass.Info.ObjectOf(id)]; ok && !seen[lit] {
+			seen[lit] = true
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// reachesHotPath reports whether any call in the bodies may transitively
+// invoke a //lint:hotpath entry point.
+func reachesHotPath(pass *Pass, bodies []*ast.BlockStmt) bool {
+	pkg := pkgOf(pass)
+	if pkg == nil {
+		return false
+	}
+	found := false
+	for _, b := range bodies {
+		ast.Inspect(b, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return !found
+			}
+			for _, target := range pass.Prog.Callees(pkg, call) {
+				if pass.Prog.MayReachHot(target) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsCtx reports whether the node references any context.Context-typed
+// identifier.
+func mentionsCtx(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCtxParam reports whether the declaration takes a context.Context.
+func hasCtxParam(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, f := range fn.Type.Params.List {
+		if isContextType(pass.Info.Types[f.Type].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// pkgOf recovers the loader Package for the pass (Prog indexes by *Package;
+// passes carry the types.Package).
+func pkgOf(pass *Pass) *Package {
+	for _, pkg := range pass.Prog.Pkgs {
+		if pkg.Types == pass.Pkg {
+			return pkg
+		}
+	}
+	return nil
+}

@@ -48,6 +48,10 @@ type Pass struct {
 	// Info holds the typechecker's expression types, object uses and
 	// definitions, and selections for the package.
 	Info *types.Info
+	// Prog is the whole-program view over every package in this Run
+	// invocation; interprocedural analyzers (hotpathalloc, seedtaint,
+	// ctxpoll) resolve calls and reachability through it.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -79,6 +83,7 @@ func (d Diagnostic) String() string {
 // runs regardless of map or goroutine ordering anywhere upstream.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -87,6 +92,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -110,7 +116,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite in a stable order: the five
+// syntax/types-level analyzers from PR 2, then the four dataflow analyzers
+// built on the CFG + callgraph layer.
 func All() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism,
@@ -118,5 +126,9 @@ func All() []*Analyzer {
 		FloatEq,
 		NilSafeObs,
 		ErrCheck,
+		HotPathAlloc,
+		SeedTaint,
+		LockSafe,
+		CtxPoll,
 	}
 }

@@ -10,6 +10,12 @@
 // one line per discrepancy. A want comment may carry several patterns
 // (space-separated, each in its own backquotes) for lines that produce
 // several diagnostics, e.g. a tuple assignment appending to two slices.
+//
+// A trailing "// want:none" marks a line that looks like a violation but must
+// stay silent — a negative case made load-bearing. Any unmatched diagnostic
+// already fails the test; want:none upgrades the failure to name the clean
+// pattern being protected, and documents in the fixture itself that the
+// silence is deliberate rather than an oversight.
 package linttest
 
 import (
@@ -26,6 +32,7 @@ import (
 var (
 	wantRE        = regexp.MustCompile("//\\s*want\\s+((`[^`]*`|\"[^\"]*\")(\\s+(`[^`]*`|\"[^\"]*\"))*)")
 	wantPatternRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+	wantNoneRE    = regexp.MustCompile(`//\s*want:none\b`)
 )
 
 // Run typechecks the fixture directory dir under the import path pkgPath and
@@ -53,9 +60,19 @@ func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
 		matched bool
 	}
 	var wants []*want
+	type noneKey struct {
+		file string
+		line int
+	}
+	nones := map[noneKey]bool{}
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
+				if wantNoneRE.MatchString(c.Text) {
+					pos := pkg.Fset.Position(c.Pos())
+					nones[noneKey{pos.Filename, pos.Line}] = true
+					continue
+				}
 				m := wantRE.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
@@ -77,6 +94,10 @@ func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
 	}
 
 	for _, d := range diags {
+		if nones[noneKey{d.Pos.Filename, d.Pos.Line}] {
+			t.Errorf("diagnostic on a // want:none line (this pattern must stay clean):\n  %s", d)
+			continue
+		}
 		matched := false
 		for _, w := range wants {
 			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {

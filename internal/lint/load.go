@@ -81,7 +81,14 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
-	dec := json.NewDecoder(&stdout)
+	return decodeGoList(&stdout)
+}
+
+// decodeGoList decodes the concatenated-JSON-objects stream `go list -json`
+// emits (one object per package, no array wrapper). Split out of goList so
+// malformed-output handling is testable without a go toolchain subprocess.
+func decodeGoList(r io.Reader) ([]listedPackage, error) {
+	dec := json.NewDecoder(r)
 	var out []listedPackage
 	for {
 		var lp listedPackage

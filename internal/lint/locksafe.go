@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockSafe enforces declared lock discipline: a struct field annotated
+//
+//	//lint:guardedby mu
+//
+// (on the field's line, or the line above it, inside the struct type) may
+// only be read on paths where the sibling mutex mu is held (RLock or Lock
+// for a sync.RWMutex, Lock for a sync.Mutex) and only written while Lock is
+// held. "Held on the path" is a forward must-analysis over the function's
+// CFG — the dataflow analogue of Lock-dominance: the meet over predecessors
+// is intersection, so a lock must be taken on every path reaching the
+// access. Fields of sync/atomic type must not carry guardedby at all:
+// mixing atomic and mutex discipline on one field hides races from both.
+//
+// Conventions honored: functions whose name ends in "Locked" are exempt
+// (the caller holds the lock by contract); deferred Unlock/RUnlock calls do
+// not release the lock at their syntactic position; //lint:locksafe-ok on an
+// access's line suppresses it (constructor initialization before the value
+// is published is the intended use).
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "require //lint:guardedby-annotated fields to be accessed only while the named " +
+		"mutex is held (Lock for writes, RLock/Lock for reads); suppress with //lint:locksafe-ok",
+	Run: runLockSafe,
+}
+
+const (
+	guardedByDirective  = "lint:guardedby"
+	lockSafeOkDirective = "lint:locksafe-ok"
+)
+
+// lock-state lattice bits: a write lock implies read permission.
+const (
+	lockRead  = 1
+	lockWrite = 2
+)
+
+// guardSpec records one annotated field.
+type guardSpec struct {
+	field *types.Var
+	mu    string // sibling mutex field name
+}
+
+func runLockSafe(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		allowed := directiveLines(pass.Fset, file, lockSafeOkDirective)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // caller-holds-the-lock contract
+			}
+			checkLockDiscipline(pass, fn, guards, allowed)
+		}
+	}
+	return nil
+}
+
+// collectGuards parses guardedby annotations in the package's struct types,
+// validating the named mutex and rejecting atomics. The returned map is
+// keyed by the guarded field's object (annotation and accesses are
+// necessarily in the same package for unexported fields, and object
+// identity holds within one package).
+func collectGuards(pass *Pass) map[types.Object]guardSpec {
+	guards := map[types.Object]guardSpec{}
+	for _, file := range pass.Files {
+		directives := guardedByLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := directives[pass.Fset.Position(field.Pos()).Line]
+				if !ok {
+					continue
+				}
+				if mu == "" {
+					pass.Reportf(field.Pos(), "guardedby directive missing a mutex name (//lint:guardedby mu)")
+					continue
+				}
+				muField := findField(st, mu)
+				if muField == nil {
+					pass.Reportf(field.Pos(), "guardedby names %s, which is not a field of this struct", mu)
+					continue
+				}
+				if !isSyncMutex(pass.Info.Types[muField.Type].Type) {
+					pass.Reportf(field.Pos(), "guardedby names %s, which is not a sync.Mutex or sync.RWMutex", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if isAtomicType(obj.Type()) {
+						pass.Reportf(name.Pos(), "guardedby on sync/atomic field %s mixes atomic and mutex discipline; drop the annotation or make the field plain", name.Name)
+						continue
+					}
+					guards[obj] = guardSpec{field: obj, mu: mu}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardedByLines maps each line carrying a guardedby directive (and the line
+// after it, for the annotation-above-the-field form) to the mutex name.
+func guardedByLines(fset *token.FileSet, file *ast.File) map[int]string {
+	out := map[int]string{}
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, guardedByDirective) {
+				continue
+			}
+			mu := strings.TrimSpace(strings.TrimPrefix(text, guardedByDirective))
+			if i := strings.IndexAny(mu, " \t"); i >= 0 {
+				mu = mu[:i]
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = mu
+			out[line+1] = mu
+		}
+	}
+	return out
+}
+
+func findField(st *ast.StructType, name string) *ast.Field {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isAtomicType reports whether t names a sync/atomic type.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// A lockEvent is one position-ordered occurrence inside a basic block: a
+// lock-state change or a guarded access to check.
+type lockEvent struct {
+	pos token.Pos
+
+	// lock-state change (lockKey != "")
+	lockKey string
+	acquire int // lockRead/lockWrite bits acquired, 0 for release
+	release bool
+
+	// guarded access (access != nil)
+	access  *ast.SelectorExpr
+	guard   guardSpec
+	needKey string // "<base>.<mu>" that must be held
+	write   bool
+}
+
+// checkLockDiscipline runs the forward lock-state analysis over fn's CFG and
+// reports guarded accesses on under-locked paths.
+func checkLockDiscipline(pass *Pass, fn *ast.FuncDecl, guards map[types.Object]guardSpec, allowed map[int]bool) {
+	// Fast path: skip functions that never touch a guarded field.
+	touches := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if obj := pass.Info.ObjectOf(sel.Sel); obj != nil {
+				if _, ok := guards[obj]; ok {
+					touches = true
+				}
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	cfg := buildCFG(fn.Body)
+	if cfg.Unanalyzable {
+		return
+	}
+	events := make([][]lockEvent, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, node := range blk.Nodes {
+			events[blk.Index] = append(events[blk.Index], blockEvents(pass, node, guards)...)
+		}
+		sort.SliceStable(events[blk.Index], func(i, j int) bool {
+			return events[blk.Index][i].pos < events[blk.Index][j].pos
+		})
+	}
+
+	// Forward must-analysis: in-state is the intersection (bitwise AND per
+	// key) of predecessor out-states; unvisited predecessors are optimistic
+	// TOP and ignored until computed.
+	preds := make([][]*Block, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk)
+		}
+	}
+	out := make([]map[string]int, len(cfg.Blocks))
+	apply := func(state map[string]int, evs []lockEvent, report bool) map[string]int {
+		for _, ev := range evs {
+			if ev.lockKey != "" {
+				if ev.release {
+					delete(state, ev.lockKey)
+				} else {
+					state[ev.lockKey] |= ev.acquire
+				}
+				continue
+			}
+			if !report {
+				continue
+			}
+			line := pass.Fset.Position(ev.pos).Line
+			if allowed[line] {
+				continue
+			}
+			held := state[ev.needKey]
+			if ev.write && held&lockWrite == 0 {
+				pass.Reportf(ev.pos, "write to %s (guarded by %s) without holding %s.Lock", ev.guard.field.Name(), ev.guard.mu, ev.needKey)
+			} else if !ev.write && held == 0 {
+				pass.Reportf(ev.pos, "read of %s (guarded by %s) without holding %s", ev.guard.field.Name(), ev.guard.mu, ev.needKey)
+			}
+		}
+		return state
+	}
+
+	worklist := []*Block{cfg.Entry}
+	inState := func(blk *Block) map[string]int {
+		if blk == cfg.Entry {
+			return map[string]int{}
+		}
+		var state map[string]int
+		for _, p := range preds[blk.Index] {
+			po := out[p.Index]
+			if po == nil {
+				continue // unvisited predecessor: TOP, ignore
+			}
+			if state == nil {
+				state = map[string]int{}
+				for k, v := range po {
+					state[k] = v
+				}
+				continue
+			}
+			for k, v := range state {
+				if nv := po[k] & v; nv == 0 {
+					delete(state, k)
+				} else {
+					state[k] = nv
+				}
+			}
+		}
+		if state == nil {
+			state = map[string]int{}
+		}
+		return state
+	}
+	for len(worklist) > 0 {
+		blk := worklist[0]
+		worklist = worklist[1:]
+		next := apply(inState(blk), events[blk.Index], false)
+		if stateEqual(out[blk.Index], next) {
+			continue
+		}
+		out[blk.Index] = next
+		worklist = append(worklist, blk.Succs...)
+	}
+	// States are stable; one reporting pass per block.
+	for _, blk := range cfg.Blocks {
+		if blk != cfg.Entry && out[blk.Index] == nil && len(preds[blk.Index]) > 0 {
+			continue // never reached during fixpoint (unreachable)
+		}
+		apply(inState(blk), events[blk.Index], true)
+	}
+}
+
+func stateEqual(a, b map[string]int) bool {
+	if a == nil {
+		return false
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// blockEvents extracts the lock operations and guarded accesses from one CFG
+// node, skipping nested function literals (closures run at an unknown time;
+// analyzing them under the creating function's lock state would be unsound
+// in both directions).
+func blockEvents(pass *Pass, node ast.Node, guards map[types.Object]guardSpec) []lockEvent {
+	var events []lockEvent
+
+	// Writes: guarded selectors reached from assignment LHSes, inc/dec,
+	// delete's map argument, and address-taken expressions.
+	writes := map[*ast.SelectorExpr]bool{}
+	var markWrite func(e ast.Expr)
+	markWrite = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if obj := pass.Info.ObjectOf(e.Sel); obj != nil {
+				if _, ok := guards[obj]; ok {
+					writes[e] = true
+				}
+			}
+			markWrite(e.X)
+		case *ast.IndexExpr:
+			markWrite(e.X)
+		case *ast.StarExpr:
+			markWrite(e.X)
+		}
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markWrite(n.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "delete" && len(n.Args) > 0 {
+					markWrite(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+
+	inDefer := map[ast.Node]bool{}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			inDefer[n.Call] = true
+		case *ast.CallExpr:
+			if ev, ok := lockOp(n); ok && !inDefer[n] {
+				events = append(events, ev)
+				return true
+			}
+		case *ast.SelectorExpr:
+			obj := pass.Info.ObjectOf(n.Sel)
+			if obj == nil {
+				return true
+			}
+			g, ok := guards[obj]
+			if !ok {
+				return true
+			}
+			events = append(events, lockEvent{
+				pos:     n.Sel.Pos(),
+				access:  n,
+				guard:   g,
+				needKey: types.ExprString(n.X) + "." + g.mu,
+				write:   writes[n],
+			})
+		}
+		return true
+	})
+	return events
+}
+
+// lockOp recognizes base.mu.Lock()/RLock()/Unlock()/RUnlock() and renders
+// the lock key "base.mu".
+func lockOp(call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	ev := lockEvent{pos: call.Pos(), lockKey: types.ExprString(sel.X)}
+	switch sel.Sel.Name {
+	case "Lock":
+		ev.acquire = lockRead | lockWrite
+	case "RLock":
+		ev.acquire = lockRead
+	case "Unlock", "RUnlock":
+		ev.release = true
+	default:
+		return lockEvent{}, false
+	}
+	return ev, true
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SeedTaint generalizes rngdiscipline/nodeterminism from syntactic patterns
+// to provenance: every value flowing into a stats.RNG seed — NewRNG's
+// argument or (*RNG).Seed's argument — must be data-flow clean, i.e. derive
+// only from constants, Config.Seed-style field reads, function parameters
+// (checked at every call site via interprocedural seed-sink summaries),
+// repo seed-derivation helpers over clean inputs, and values drawn from an
+// existing stats.RNG (the Split idiom). Wall-clock reads, process
+// environment, global math/rand, package-level mutable state, map iteration
+// order, and channel receive order are all tainted, directly or through any
+// chain of local assignments and repo-function calls.
+var SeedTaint = &Analyzer{
+	Name: "seedtaint",
+	Doc: "require stats.RNG seeds to derive only from Config.Seed-style values; " +
+		"wall-clock, global-state, and iteration-order flows into a seed are errors " +
+		"(suppress with //lint:seedtaint-ok)",
+	Run: runSeedTaint,
+}
+
+const seedTaintOkDirective = "lint:seedtaint-ok"
+
+type seedFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+func runSeedTaint(pass *Pass) error {
+	findings := pass.Prog.data("seedtaint", func() any {
+		return seedTaintFindings(pass.Prog)
+	}).([]seedFinding)
+	for _, f := range findings {
+		if f.pkg.Types == pass.Pkg {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// A seedSink is one expression that ends up as an RNG seed: directly (the
+// argument of NewRNG/Seed) or indirectly (an argument to a function whose
+// matching parameter flows into a seed).
+type seedSink struct {
+	fi   *FuncInfo
+	expr ast.Expr
+	via  string // "" for direct sinks, else the callee the taint flows through
+}
+
+func seedTaintFindings(prog *Program) []seedFinding {
+	te := newTaintEval(prog)
+
+	// sinkParams[funcKey] is the set of parameter indices that flow into an
+	// RNG seed somewhere below the function. It grows to a fixpoint: a direct
+	// sink argument tracing to a parameter marks it; an argument to a marked
+	// parameter position tracing to a parameter of the caller marks that one.
+	sinkParams := map[string]map[int]bool{}
+	keys := make([]string, 0, len(prog.funcs))
+	for key := range prog.funcs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			fi := prog.funcs[key]
+			idx := paramIndex(fi)
+			for _, sink := range collectSinks(prog, fi, sinkParams) {
+				params := map[*types.Var]bool{}
+				te.eval(fi, sink.expr, params)
+				for v := range params {
+					i, ok := idx[v]
+					if !ok {
+						continue
+					}
+					if sinkParams[key] == nil {
+						sinkParams[key] = map[int]bool{}
+					}
+					if !sinkParams[key][i] {
+						sinkParams[key][i] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	var findings []seedFinding
+	for _, key := range keys {
+		fi := prog.funcs[key]
+		allowed := directiveLines(fi.Pkg.Fset, fi.File, seedTaintOkDirective)
+		for _, sink := range collectSinks(prog, fi, sinkParams) {
+			if allowed[fi.Pkg.Fset.Position(sink.expr.Pos()).Line] {
+				continue
+			}
+			verdict := te.eval(fi, sink.expr, nil)
+			if !verdict.tainted {
+				continue
+			}
+			msg := "RNG seed derives from " + verdict.reason
+			if sink.via != "" {
+				msg = "value passed to " + sink.via + " flows into an RNG seed and derives from " + verdict.reason
+			}
+			findings = append(findings, seedFinding{
+				pkg: fi.Pkg,
+				pos: sink.expr.Pos(),
+				msg: msg + "; seeds must derive from Config.Seed (or mark //lint:seedtaint-ok)",
+			})
+		}
+	}
+	return findings
+}
+
+// collectSinks gathers every seed-sink expression in fi: arguments of
+// NewRNG/(*RNG).Seed calls, plus arguments at seed-sink parameter positions
+// of program functions (per the current sinkParams summaries).
+func collectSinks(prog *Program, fi *FuncInfo, sinkParams map[string]map[int]bool) []seedSink {
+	info := fi.Pkg.Info
+	var out []seedSink
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if isRNGSeedCall(info, call) {
+			out = append(out, seedSink{fi: fi, expr: call.Args[0]})
+			return true
+		}
+		for _, target := range prog.Callees(fi.Pkg, call) {
+			for i := range sinkParams[target.Key] {
+				if i < len(call.Args) && !call.Ellipsis.IsValid() {
+					out = append(out, seedSink{fi: fi, expr: call.Args[i], via: target.Name()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isRNGSeedCall recognizes stats.NewRNG(seed) and rng.Seed(seed) for
+// rng of type stats.RNG, from either the source-checked or export-data view
+// of internal/stats.
+func isRNGSeedCall(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return sel.Sel.Name == "Seed" && s.Recv() != nil && isStatsRNG(s.Recv())
+		}
+	}
+	obj := calleeObjectInfo(info, call)
+	return obj != nil && obj.Name() == "NewRNG" && obj.Pkg() != nil &&
+		strings.Contains(obj.Pkg().Path(), "internal/stats")
+}
+
+// paramIndex maps fi's declared parameter objects to their positions.
+func paramIndex(fi *FuncInfo) map[*types.Var]int {
+	out := map[*types.Var]int{}
+	if fi.Decl.Type.Params == nil {
+		return out
+	}
+	i := 0
+	for _, f := range fi.Decl.Type.Params.List {
+		for _, name := range f.Names {
+			if v, ok := fi.Pkg.Info.Defs[name].(*types.Var); ok {
+				out[v] = i
+			}
+			i++
+		}
+		if len(f.Names) == 0 {
+			i++
+		}
+	}
+	return out
+}

@@ -47,6 +47,44 @@ func TestRepoLintClean(t *testing.T) {
 	}
 }
 
+// TestHotPathAllocAgreesWithZeroAllocTest cross-validates the static
+// zero-alloc contract against the runtime one: the kernel entry points that
+// TestAuditPairKernelZeroAlloc measures with testing.AllocsPerRun must be
+// annotated //lint:hotpath (so hotpathalloc walks them), and the analyzer
+// must agree with the measurement — zero findings anywhere in their
+// reachable call trees.
+func TestHotPathAllocAgreesWithZeroAllocTest(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	prog := lint.NewProgram(pkgs)
+	hot := map[string]bool{}
+	for _, fi := range prog.HotEntries() {
+		hot[fi.Key] = true
+	}
+	// The kernel path exercised by TestAuditPairKernelZeroAlloc.
+	for _, key := range []string{
+		"lcsf/internal/core.(auditRunner).auditPair",
+		"lcsf/internal/core.(auditRunner).summaryReject",
+		"lcsf/internal/stats.PairMonteCarloP",
+		"lcsf/internal/stats.AdaptivePairMonteCarloPStats",
+		"lcsf/internal/stats.(PairNullCache).PValue",
+	} {
+		if !hot[key] {
+			t.Errorf("kernel function %s is not annotated //lint:hotpath; the static and runtime zero-alloc contracts have diverged", key)
+		}
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.HotPathAlloc})
+	if err != nil {
+		t.Fatalf("running hotpathalloc: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("hotpathalloc disagrees with TestAuditPairKernelZeroAlloc: %s", d)
+	}
+}
+
 // TestMulticheckerBinaryCleanOnRepo exercises the actual cmd/lcsf-lint
 // binary end to end (flag parsing, loading, reporting, exit status) against
 // the repository.

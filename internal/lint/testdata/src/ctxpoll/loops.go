@@ -1,0 +1,95 @@
+// Fixture: cancellation-responsiveness cases for ctxpoll. Data-dependent
+// loops that drive //lint:hotpath kernels must mention ctx in the loop body;
+// bookkeeping loops, constant-bound loops, and ctx-free functions are out of
+// scope by design.
+package fixture
+
+import "context"
+
+type pair struct{ a, b float64 }
+
+//lint:hotpath
+func kernel(a, b float64) float64 { return a + b }
+
+// silentRange drives the kernel over a data-dependent range without ever
+// consulting ctx.
+func silentRange(ctx context.Context, pairs []pair) float64 {
+	var sum float64
+	for _, p := range pairs { // want `without polling ctx`
+		sum += kernel(p.a, p.b)
+	}
+	return sum
+}
+
+// silentFor is the counted-loop variant: the bound n is runtime data.
+func silentFor(ctx context.Context, n int, ps []pair) float64 {
+	var sum float64
+	for i := 0; i < n; i++ { // want `without polling ctx`
+		sum += kernel(ps[i].a, ps[i].b)
+	}
+	return sum
+}
+
+// viaClosure reaches the kernel only through a local closure referenced in
+// the loop; reachability must see through the binding.
+func viaClosure(ctx context.Context, pairs []pair) float64 {
+	score := func(p pair) float64 { return kernel(p.a, p.b) }
+	var sum float64
+	for _, p := range pairs { // want `without polling ctx`
+		sum += score(p)
+	}
+	return sum
+}
+
+// strided polls ctx.Err on a bounded stride — the blessed pattern.
+func strided(ctx context.Context, pairs []pair) float64 {
+	var sum float64
+	for i, p := range pairs { // want:none — polls within a bounded stride
+		if i%1024 == 0 && ctx.Err() != nil {
+			return sum
+		}
+		sum += kernel(p.a, p.b)
+	}
+	return sum
+}
+
+// bookkeeping never reaches the kernel; forcing a poll into a commit loop
+// that must complete atomically would be wrong, not just noisy.
+func bookkeeping(ctx context.Context, xs []float64) float64 {
+	_ = ctx
+	var sum float64
+	for _, x := range xs { // want:none — does not reach a hot kernel
+		sum += x
+	}
+	return sum
+}
+
+// noCtx has no context in scope at all: nothing to poll.
+func noCtx(pairs []pair) float64 {
+	var sum float64
+	for _, p := range pairs { // want:none — no ctx in scope
+		sum += kernel(p.a, p.b)
+	}
+	return sum
+}
+
+// constantBound has a compile-time trip count; responsiveness is bounded by
+// construction.
+func constantBound(ctx context.Context) float64 {
+	_ = ctx
+	var sum float64
+	for i := 0; i < 64; i++ { // want:none — constant trip count
+		sum += kernel(1, 2)
+	}
+	return sum
+}
+
+// acknowledged keeps an atomic commit loop behind the escape hatch.
+func acknowledged(ctx context.Context, pairs []pair) float64 {
+	_ = ctx
+	var sum float64
+	for _, p := range pairs { //lint:ctxpoll-ok commit loop must complete atomically // want:none
+		sum += kernel(p.a, p.b)
+	}
+	return sum
+}

@@ -1,0 +1,11 @@
+// Fixture: allocation outside any //lint:hotpath entry's reach must stay
+// silent — the contract binds kernels, not the whole program.
+package fixture
+
+func coldAssemble(n int) []float64 {
+	out := make([]float64, 0, n) // want:none — not reachable from a hot entry
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // want:none
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Fixture: malformed guardedby annotations locksafe must reject at the
+// declaration, plus the atomic-mixing rule.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type badAnnotations struct {
+	mu    sync.Mutex
+	depth int
+
+	//lint:guardedby
+	unnamed int // want `missing a mutex name`
+
+	//lint:guardedby gone
+	orphan int // want `not a field of this struct`
+
+	//lint:guardedby depth
+	notAMutex int // want `not a sync.Mutex or sync.RWMutex`
+
+	//lint:guardedby mu
+	mixed atomic.Int64 // want `mixes atomic and mutex discipline`
+}

@@ -1,0 +1,94 @@
+// Fixture: lock-discipline violations and blessed patterns for locksafe.
+// The shard struct mirrors the null cache's shape: a map and its mirror
+// slice guarded by one RWMutex.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	//lint:guardedby mu
+	entries map[string]int
+	keys    []string //lint:guardedby mu
+}
+
+// unlockedRead touches a guarded field with no lock at all.
+func (s *shard) unlockedRead(k string) int {
+	return s.entries[k] // want `read of entries .* without holding s.mu`
+}
+
+// readLockedWrite holds only the read lock across a mutation.
+func (s *shard) readLockedWrite(k string) {
+	s.mu.RLock()
+	s.entries[k] = 1 // want `write to entries .* without holding s.mu.Lock`
+	s.mu.RUnlock()
+}
+
+// branchyRead locks on only one path; the meet over predecessors must drop
+// the lock, because "held on the path" means held on every path.
+func (s *shard) branchyRead(k string, careful bool) int {
+	if careful {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	return s.entries[k] // want `read of entries`
+}
+
+// unlockedDelete mutates through the delete builtin.
+func (s *shard) unlockedDelete(k string) {
+	delete(s.entries, k) // want `write to entries .* without holding s.mu.Lock`
+}
+
+// unlockedAppend grows the mirror slice without the write lock.
+func (s *shard) unlockedAppend(k string) {
+	s.keys = append(s.keys, k) // want `write to keys` `read of keys`
+}
+
+// properWrite is the blessed shape: write lock held, deferred unlock not
+// counted as a release at its syntactic position.
+func (s *shard) properWrite(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[k] = 1           // want:none
+	s.keys = append(s.keys, k) // want:none
+}
+
+// properRead holds the read lock for reads.
+func (s *shard) properRead(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.entries[k] // want:none
+}
+
+// bothBranchesLock acquires on every path, so the meet keeps the lock.
+func (s *shard) bothBranchesLock(k string, wide bool) int {
+	if wide {
+		s.mu.Lock()
+	} else {
+		s.mu.Lock()
+	}
+	v := s.entries[k] // want:none — locked on every predecessor path
+	s.mu.Unlock()
+	return v
+}
+
+// releasedThenRead must not treat an unlocked region as covered.
+func (s *shard) releasedThenRead(k string) int {
+	s.mu.RLock()
+	v := s.entries[k] // want:none
+	s.mu.RUnlock()
+	return v + s.entries[k] // want `read of entries`
+}
+
+// bumpLocked relies on the caller-holds-the-lock naming contract.
+func (s *shard) bumpLocked(k string) {
+	s.entries[k]++ // want:none — *Locked functions are exempt by contract
+}
+
+// newShard initializes before the value is published; the escape hatch
+// records that no other goroutine can hold a reference yet.
+func newShard() *shard {
+	s := &shard{}
+	s.entries = map[string]int{} //lint:locksafe-ok not yet published // want:none
+	return s
+}

@@ -1,0 +1,50 @@
+// Fixture: seed provenance violations seedtaint must catch — wall-clock and
+// environment flows, ambient mutable state, iteration order, and taint
+// carried through local bindings, helper results, and seed-sink parameters.
+package fixture
+
+import (
+	"time"
+
+	"lcsf/internal/stats"
+)
+
+var ambient uint64
+
+// directSources feeds nondeterministic values straight into seeds.
+func directSources(ch chan uint64, keys map[uint64]bool) {
+	_ = stats.NewRNG(uint64(time.Now().UnixNano())) // want `wall clock`
+	_ = stats.NewRNG(ambient)                       // want `package-level mutable state`
+	_ = stats.NewRNG(<-ch)                          // want `channel receive order`
+	for k := range keys {
+		_ = stats.NewRNG(k) // want `map iteration order`
+	}
+}
+
+// throughLocals launders the wall clock through assignments and arithmetic;
+// the taint survives the chain.
+func throughLocals() {
+	t := time.Now().UnixNano()
+	mixed := uint64(t) * 0x9E3779B97F4A7C15
+	_ = stats.NewRNG(mixed) // want `wall clock`
+}
+
+// clockSeed returns a tainted value; the result-taint summary catches the
+// call even though the argument list is clean.
+func clockSeed() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+func throughHelperResult() {
+	_ = stats.NewRNG(clockSeed()) // want `wall clock.*via clockSeed`
+}
+
+// reseed's parameter flows into rng.Seed, so every call site of reseed is a
+// seed sink: passing the wall clock there is as bad as passing it to NewRNG.
+func reseed(rng *stats.RNG, seed uint64) {
+	rng.Seed(seed)
+}
+
+func throughSinkParam(rng *stats.RNG) {
+	reseed(rng, uint64(time.Now().UnixNano())) // want `flows into an RNG seed.*wall clock`
+}

@@ -34,11 +34,11 @@ type Event struct {
 // service's memory stays bounded while recent history remains inspectable.
 type EventLog struct {
 	mu      sync.Mutex
-	ring    []Event
-	start   int // index of the oldest event
-	n       int // number of live events
-	next    uint64
-	dropped uint64
+	ring    []Event //lint:guardedby mu
+	start   int     //lint:guardedby mu (index of the oldest event)
+	n       int     //lint:guardedby mu (number of live events)
+	next    uint64  //lint:guardedby mu
+	dropped uint64  //lint:guardedby mu
 }
 
 // NewEventLog returns a log retaining at most capacity events; capacity < 1

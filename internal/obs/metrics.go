@@ -171,9 +171,9 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 // entirely atomic. The zero value is NOT usable; call NewRegistry.
 type Registry struct {
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   //lint:guardedby mu
+	gauges   map[string]*Gauge     //lint:guardedby mu
+	hists    map[string]*Histogram //lint:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

@@ -94,6 +94,8 @@ func pairNullDraw(rng *RNG, n1, n2 int, pooledRate float64) float64 {
 //	MonteCarloP(observed, m, PairNullSimulator(rng, n1, n2, pooledRate))
 //
 // with an equivalently seeded generator.
+//
+//lint:hotpath
 func PairMonteCarloP(rng *RNG, observed float64, m, n1, n2 int, pooledRate float64) float64 {
 	if m <= 0 {
 		return 1
@@ -114,6 +116,8 @@ func PairMonteCarloP(rng *RNG, observed float64, m, n1, n2 int, pooledRate float
 //	AdaptiveMonteCarloPStats(observed, m, alpha, PairNullSimulator(rng, n1, n2, pooledRate))
 //
 // with an equivalently seeded generator.
+//
+//lint:hotpath
 func AdaptivePairMonteCarloPStats(rng *RNG, observed float64, m int, alpha float64, n1, n2 int, pooledRate float64) (p float64, significant bool, st MCStats) {
 	if m <= 0 {
 		return 1, false, MCStats{}

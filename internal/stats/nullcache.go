@@ -42,11 +42,11 @@ const nullCacheShards = 16
 
 type nullCacheShard struct {
 	mu      sync.RWMutex
-	entries map[pairNullKey]*nullCacheEntry
+	entries map[pairNullKey]*nullCacheEntry //lint:guardedby mu
 	// keys mirrors the map's key set in insertion order so eviction scans a
 	// slice rather than ranging over the map (map iteration order is
 	// nondeterministic; the victim choice must not be).
-	keys []pairNullKey
+	keys []pairNullKey //lint:guardedby mu
 }
 
 // pairNullKey is the normalized cache key: n1 <= n2 (the null is symmetric in
@@ -75,7 +75,7 @@ func NewPairNullCache(seed uint64, worlds, maxEntries int) *PairNullCache {
 		perShard: (maxEntries + nullCacheShards - 1) / nullCacheShards,
 	}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[pairNullKey]*nullCacheEntry)
+		c.shards[i].entries = make(map[pairNullKey]*nullCacheEntry) //lint:locksafe-ok constructor: no concurrent access before the cache is returned
 	}
 	return c
 }
@@ -99,6 +99,8 @@ func (c *PairNullCache) Stats() (hits, misses, evictions int64) {
 // search over the sorted sample. hit reports whether the entry already
 // existed (false exactly once per key per residency in the cache). The
 // returned p is deterministic in (seed, worlds, key, observed) either way.
+//
+//lint:hotpath
 func (c *PairNullCache) PValue(n1, n2, pooledPositives int, observed float64) (p float64, hit bool) {
 	if c.worlds <= 0 {
 		return 1, false
@@ -108,7 +110,7 @@ func (c *PairNullCache) PValue(n1, n2, pooledPositives int, observed float64) (p
 	}
 	key := pairNullKey{n1: n1, n2: n2, pooledPositives: pooledPositives}
 	e, hit := c.lookupOrInsert(key)
-	e.once.Do(func() { e.sorted = c.simulate(key) })
+	e.once.Do(func() { e.sorted = c.simulate(key) }) //lint:hotpathalloc-ok one simulation per key residency, amortized over all hits
 	e.lastUsed.Store(c.tick.Add(1))
 	if hit {
 		c.hits.Add(1)
@@ -123,7 +125,7 @@ func (c *PairNullCache) PValue(n1, n2, pooledPositives int, observed float64) (p
 // lookupOrInsert finds the entry for key, inserting an empty one (and
 // possibly evicting its shard's least-recently-used entry) when absent.
 // Exactly one caller per key residency observes hit == false.
-func (c *PairNullCache) lookupOrInsert(key pairNullKey) (e *nullCacheEntry, hit bool) {
+func (c *PairNullCache) lookupOrInsert(key pairNullKey) (e *nullCacheEntry, hit bool) { //lint:hotpathalloc-ok insert/evict is once per key residency, amortized
 	sh := &c.shards[nullKeyHash(key)&(nullCacheShards-1)]
 	sh.mu.RLock()
 	e = sh.entries[key]
