@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke lint check check-nolint \
-	examples-smoke fuzz-smoke cover
+.PHONY: all build test race vet bench bench-smoke bench-gate lint check \
+	check-nolint examples-smoke fuzz-smoke cover
 
 all: check
 
@@ -35,6 +35,14 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'AuditDense/R=[0-9]+/(dense|indexed)' -benchtime 1x -race .
 
+# CI perf-regression gate: re-run the dense-audit benchmark at the committed
+# trajectory's reference size (R=3000) and fail if pair throughput dropped
+# more than 20% below the committed BENCH_audit.json row. Machine noise sits
+# well inside the tolerance; a >20% drop means the engine regressed.
+BENCHGATE_REGIONS ?= 3000
+bench-gate:
+	$(GO) run ./cmd/lcsf-bench -bench-gate BENCH_audit.json -bench-gate-regions $(BENCHGATE_REGIONS)
+
 # Project-specific static analysis (see internal/lint and README's "Static
 # analysis" section): determinism, RNG discipline, float safety, nil-safe
 # observability, unchecked errors, plus the dataflow analyzers — hot-path
@@ -59,8 +67,8 @@ examples-smoke:
 FUZZTIME ?= 4s
 fuzz-smoke:
 	@for t in FuzzMannWhitneySorted FuzzKolmogorovSmirnovSorted \
-		FuzzWelchTFromMoments FuzzPairNullCache FuzzNormalRoundTrip FuzzFDR \
-		FuzzDeltaPartition; do \
+		FuzzWelchTFromMoments FuzzPairNullCache FuzzFillPairNull \
+		FuzzNormalRoundTrip FuzzFDR FuzzDeltaPartition; do \
 		echo "fuzz $$t"; \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/verify || exit 1; \
 	done

@@ -15,18 +15,30 @@ import (
 // auditBenchSizes are the audit universe sizes the perf-trajectory file
 // tracks. R=100 is the smoke size, R=400 the headline the README's perf notes
 // quote, R=1000 the half-million-pair stress point (kept comparable across
-// revisions), and R=3000 the 4.5-million-pair size only the indexed candidate
-// path makes practical.
-var auditBenchSizes = []int{100, 400, 1000, 3000}
+// revisions), R=3000 the 4.5-million-pair size only the indexed candidate
+// path makes practical, and R=10000 the 50-million-pair scale point added
+// with the batched-null/SoA engine.
+var auditBenchSizes = []int{100, 400, 1000, 3000, 10000}
+
+// auditBenchMaxSize is the opt-in top size (-audit-bench-full): half a
+// billion enumerable pairs, practical only because the indexed plan prunes
+// the triangle before the cascade. It runs with CandidateIndexed pinned
+// explicitly — at this scale a dense fallback would take hours, so the row
+// documents the indexed path and nothing else.
+const auditBenchMaxSize = 100000
 
 // auditBenchResult is one row of BENCH_audit.json: the cost of one full audit
 // at a given region count under DefaultConfig, the derived pair throughput,
 // and the candidate-generation statistics of one instrumented run — how many
 // pairs the window join emitted, the fraction of the full triangle pruned
-// before the gate cascade, and the shared null cache's traffic.
+// before the gate cascade, the shared null cache's traffic, and the pre-warm
+// pass's funnel (keys filled before the sweep and the worlds simulated for
+// them). Workers records the sweep parallelism the row ran with so rows from
+// differently-sized machines are comparable.
 type auditBenchResult struct {
 	Regions     int     `json:"regions"`
 	Pairs       int     `json:"pairs"`
+	Workers     int     `json:"workers"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -39,6 +51,8 @@ type auditBenchResult struct {
 	CacheHits        int64   `json:"mc_null_cache_hits"`
 	CacheMisses      int64   `json:"mc_null_cache_misses"`
 	CacheHitRate     float64 `json:"mc_null_cache_hit_rate"`
+	PrewarmKeys      int64   `json:"mc_null_prewarm_keys"`
+	PrewarmWorlds    int64   `json:"mc_null_prewarm_worlds"`
 }
 
 type auditBenchFile struct {
@@ -54,15 +68,22 @@ type auditBenchFile struct {
 }
 
 // runAuditBench benchmarks one full audit of the R-region dense universe
-// under the default configuration, via the testing package's benchmark driver
-// so ns/op and allocs/op come from the same machinery as `go test -bench`.
-func runAuditBench(regions int) (auditBenchResult, error) {
+// via the testing package's benchmark driver so ns/op and allocs/op come from
+// the same machinery as `go test -bench`. An untimed warmup audit runs first:
+// it populates the partition layer's lazy per-region caches and the engine's
+// runner pool, so the timed rows report the steady state — allocations
+// bounded by worker count, not by R. cfg should be DefaultConfig modulo the
+// candidate-generation pin of the top size.
+func runAuditBench(regions int, cfg core.Config) (auditBenchResult, error) {
 	p := experiments.DenseAuditPartitioning(regions, 1)
+	if _, err := core.Audit(p, cfg); err != nil {
+		return auditBenchResult{}, err
+	}
 	var benchErr error
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Audit(p, core.DefaultConfig()); err != nil {
+			if _, err := core.Audit(p, cfg); err != nil {
 				benchErr = err
 				b.Fatal(err)
 			}
@@ -73,9 +94,14 @@ func runAuditBench(regions int) (auditBenchResult, error) {
 	}
 	pairs := regions * (regions - 1) / 2
 	ns := br.NsPerOp()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	res := auditBenchResult{
 		Regions:     regions,
 		Pairs:       pairs,
+		Workers:     workers,
 		NsPerOp:     ns,
 		AllocsPerOp: br.AllocsPerOp(),
 		BytesPerOp:  br.AllocedBytesPerOp(),
@@ -85,12 +111,12 @@ func runAuditBench(regions int) (auditBenchResult, error) {
 	}
 
 	// One instrumented run (outside the timing loop) to record the candidate
-	// funnel: window emissions, pairs surviving to the cascade, and the null
-	// cache's hit rate.
+	// funnel: window emissions, pairs surviving to the cascade, the null
+	// cache's hit rate, and the pre-warm pass's coverage.
 	col := obs.NewCollector(16)
-	cfg := core.DefaultConfig()
-	cfg.Collector = col
-	if _, err := core.Audit(p, cfg); err != nil {
+	icfg := cfg
+	icfg.Collector = col
+	if _, err := core.Audit(p, icfg); err != nil {
 		return auditBenchResult{}, err
 	}
 	s := col.Snapshot()
@@ -108,13 +134,16 @@ func runAuditBench(regions int) (auditBenchResult, error) {
 	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
 		res.CacheHitRate = float64(res.CacheHits) / float64(lookups)
 	}
+	res.PrewarmKeys = s.Counter(obs.MMCNullPrewarmKeys)
+	res.PrewarmWorlds = s.Counter(obs.MMCNullPrewarmWorlds)
 	return res, nil
 }
 
-// writeAuditBench runs the dense-audit benchmark at every tracked size and
-// writes the results as indented JSON to path, echoing each row to stdout as
-// it lands so long runs show progress.
-func writeAuditBench(path string) error {
+// writeAuditBench runs the dense-audit benchmark at every tracked size —
+// plus, when full is set, the opt-in indexed-only top size — and writes the
+// results as indented JSON to path, echoing each row to stdout as it lands so
+// long runs show progress.
+func writeAuditBench(path string, full bool) error {
 	out := auditBenchFile{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -130,14 +159,22 @@ func writeAuditBench(path string) error {
 			out.DeltaBenchmarks = prev.DeltaBenchmarks
 		}
 	}
-	for _, r := range auditBenchSizes {
-		res, err := runAuditBench(r)
+	sizes := auditBenchSizes
+	if full {
+		sizes = append(append([]int(nil), sizes...), auditBenchMaxSize)
+	}
+	for _, r := range sizes {
+		cfg := core.DefaultConfig()
+		if r >= auditBenchMaxSize {
+			cfg.CandidateGen = core.CandidateIndexed
+		}
+		res, err := runAuditBench(r, cfg)
 		if err != nil {
 			return fmt.Errorf("R=%d: %w", r, err)
 		}
-		fmt.Printf("audit-bench R=%d: %d pairs, %.3fs/op, %d allocs/op, %.0f pairs/sec (%s: %.1f%% pruned, cache hit rate %.1f%%)\n",
+		fmt.Printf("audit-bench R=%d: %d pairs, %.3fs/op, %d allocs/op, %.0f pairs/sec (%s: %.1f%% pruned, cache hit rate %.1f%%, prewarm %d keys)\n",
 			r, res.Pairs, float64(res.NsPerOp)/1e9, res.AllocsPerOp, res.PairsPerSec,
-			res.CandidateGen, 100*res.PruningRatio, 100*res.CacheHitRate)
+			res.CandidateGen, 100*res.PruningRatio, 100*res.CacheHitRate, res.PrewarmKeys)
 		out.Benchmarks = append(out.Benchmarks, res)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -145,4 +182,55 @@ func writeAuditBench(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchGateTolerance is how far below the committed trajectory a fresh run's
+// pair throughput may land before the gate fails: 20%, wide enough for
+// machine noise, narrow enough to catch a real engine regression.
+const benchGateTolerance = 0.20
+
+// runBenchGate is the CI perf-regression check: re-run the dense-audit
+// benchmark at the committed trajectory's reference size and fail if pair
+// throughput dropped more than benchGateTolerance below the committed row.
+// The reference row is the one with Regions == refRegions; refRegions <= 0
+// selects the largest committed row, which is the most pruning-sensitive.
+func runBenchGate(path string, refRegions int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading committed trajectory: %w", err)
+	}
+	var committed auditBenchFile
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	var ref *auditBenchResult
+	for i := range committed.Benchmarks {
+		row := &committed.Benchmarks[i]
+		if refRegions > 0 {
+			if row.Regions == refRegions {
+				ref = row
+			}
+		} else if ref == nil || row.Regions > ref.Regions {
+			ref = row
+		}
+	}
+	if ref == nil {
+		return fmt.Errorf("%s has no committed row for R=%d", path, refRegions)
+	}
+	if ref.PairsPerSec <= 0 {
+		return fmt.Errorf("committed row R=%d has no pairs/sec to gate against", ref.Regions)
+	}
+	fmt.Printf("bench-gate: committed R=%d at %.0f pairs/sec, rerunning...\n", ref.Regions, ref.PairsPerSec)
+	res, err := runAuditBench(ref.Regions, core.DefaultConfig())
+	if err != nil {
+		return fmt.Errorf("R=%d: %w", ref.Regions, err)
+	}
+	floor := ref.PairsPerSec * (1 - benchGateTolerance)
+	fmt.Printf("bench-gate: measured %.0f pairs/sec (floor %.0f, committed %.0f)\n",
+		res.PairsPerSec, floor, ref.PairsPerSec)
+	if res.PairsPerSec < floor {
+		return fmt.Errorf("pair throughput regressed: %.0f pairs/sec is %.1f%% below the committed %.0f (tolerance %.0f%%)",
+			res.PairsPerSec, 100*(1-res.PairsPerSec/ref.PairsPerSec), ref.PairsPerSec, 100*benchGateTolerance)
+	}
+	return nil
 }

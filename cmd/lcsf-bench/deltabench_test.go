@@ -46,7 +46,7 @@ func TestBenchFileMerge(t *testing.T) {
 	auditBenchSizes = []int{40}
 	deltaBenchSizes = []int{40}
 
-	if err := writeAuditBench(path); err != nil {
+	if err := writeAuditBench(path, false); err != nil {
 		t.Fatalf("audit-bench: %v", err)
 	}
 	if err := writeDeltaBench(path); err != nil {
@@ -71,7 +71,7 @@ func TestBenchFileMerge(t *testing.T) {
 	}
 
 	// Regenerating the cold section must keep the delta rows.
-	if err := writeAuditBench(path); err != nil {
+	if err := writeAuditBench(path, false); err != nil {
 		t.Fatalf("audit-bench rerun: %v", err)
 	}
 	f = read()

@@ -34,14 +34,23 @@ func main() {
 		only    = flag.String("only", "", "run a single artifact: table1, di, comparison, figure1, figure2, figure3, figures45, figure6, food, detection, ablations, table2, table3, table4")
 		svgDir  = flag.String("svg-dir", "", "also render the map figures as SVG files into this directory")
 		metrics = flag.Bool("metrics", true, "print an audit-engine metrics summary on exit")
-		abench  = flag.String("audit-bench", "", "run the dense-audit benchmarks (R=100, 400, 1000, 3000), write results as JSON to this file, and exit")
+		abench  = flag.String("audit-bench", "", "run the dense-audit benchmarks (R=100...10000), write results as JSON to this file, and exit")
+		afull   = flag.Bool("audit-bench-full", false, "with -audit-bench: also run the indexed-only R=100000 top size (slow)")
 		dbench  = flag.String("delta-bench", "", "run the incremental delta-audit benchmarks (R=400, 1000), append results to this JSON file, and exit")
+		bgate   = flag.String("bench-gate", "", "re-run the reference dense-audit benchmark and exit non-zero if pairs/sec dropped >20% below this committed trajectory file")
+		bgateR  = flag.Int("bench-gate-regions", 3000, "reference region count for -bench-gate (<=0 selects the largest committed row)")
 	)
 	flag.Parse()
 
 	if *abench != "" {
-		if err := writeAuditBench(*abench); err != nil {
+		if err := writeAuditBench(*abench, *afull); err != nil {
 			log.Fatalf("audit-bench: %v", err)
+		}
+		return
+	}
+	if *bgate != "" {
+		if err := runBenchGate(*bgate, *bgateR); err != nil {
+			log.Fatalf("bench-gate: %v", err)
 		}
 		return
 	}

@@ -324,7 +324,8 @@ const auditRowChunk = 4
 // cancelCheckInterval pairs within each worker; on cancellation the
 // context's error is returned and the partial result discarded.
 func AuditContext(ctx context.Context, p *partition.Partitioning, cfg Config) (*Result, error) {
-	res, _, _, err := auditEngine(ctx, p, cfg, auditHooks{})
+	res, run, _, err := auditEngine(ctx, p, cfg, auditHooks{})
+	recycleRunner(run)
 	return res, err
 }
 
@@ -383,13 +384,30 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 		run.nullCache = hooks.nullCache
 	}
 
+	// Candidate generation: under CandidateDense the plan walks the full
+	// upper triangle; otherwise the runner builds per-region summaries,
+	// sorted 1-D orders, and per-probe prune windows (see candidates.go).
+	// Indexed and dense plans yield the identical flagged set — windows and
+	// summary bounds only skip pairs the exact gates provably reject. The
+	// plan is built before the precompute phase so finishPrepare can weigh
+	// its expected pair volume when deciding global analyses (the plan
+	// depends only on region summaries, never on prepared caches).
+	if cfg.CandidateGen != CandidateDense {
+		run.buildIndex()
+	}
+	indexed := run.plan.indexed
+	run.fillLogLik()
+
 	// Phase 1: parallel precompute. Each prepared gate metric builds its
 	// per-region cache exactly once, claimed dynamically off an atomic
-	// counter; writes land at distinct indices, so the phase needs no other
-	// synchronization and its output is position-determined regardless of
-	// which worker prepared which region.
-	if run.sim.prepared != nil || run.diss.prepared != nil {
+	// counter; beginPrepare fixes each region's arena segment up front, so
+	// writes land at disjoint preassigned indices and the phase needs no
+	// other synchronization — its output is position-determined regardless
+	// of which worker prepared which region.
+	if run.sim.needsPrepare() || run.diss.needsPrepare() {
 		prepStart := now()
+		run.sim.beginPrepare(run.regions)
+		run.diss.beginPrepare(run.regions)
 		var nextRegion atomic.Int64
 		var pg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -410,6 +428,9 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 		if err := ctx.Err(); err != nil {
 			return canceled(err)
 		}
+		hint := run.pairHint()
+		run.sim.finishPrepare(hint)
+		run.diss.finishPrepare(hint)
 		preparedMetrics := 0
 		if run.sim.prepared != nil {
 			preparedMetrics++
@@ -421,15 +442,14 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 		col.ObserveSeconds(obs.MAuditPrepareSeconds, now().Sub(prepStart))
 	}
 
-	// Candidate generation: under CandidateDense the plan walks the full
-	// upper triangle; otherwise the runner builds per-region summaries,
-	// sorted 1-D orders, and per-probe prune windows (see candidates.go).
-	// Indexed and dense plans yield the identical flagged set — windows and
-	// summary bounds only skip pairs the exact gates provably reject.
-	if cfg.CandidateGen != CandidateDense {
-		run.buildIndex()
+	// Pre-warm the shared null cache: materialize every (n1, n2, pooled)
+	// signature the sweep could miss on BEFORE the pair loop, so workers
+	// almost never simulate inline. Entries are key-seeded, so a prewarmed
+	// cache answers bit-identically to a cold one.
+	run.prewarmNullCache(ctx, workers, col, now)
+	if err := ctx.Err(); err != nil {
+		return canceled(err)
 	}
-	indexed := run.plan.indexed
 
 	// Phase 2: the pair sweep. Workers claim outer-loop probe rows in small
 	// chunks off an atomic counter — deterministic dynamic scheduling: which
@@ -489,6 +509,14 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 				}
 				return true
 			}
+			// Under an indexed plan, rows are claimed in income-key order
+			// (plan.pos) rather than position order: consecutive probes then
+			// share almost their entire partner window, so the partners'
+			// prepared arenas stay cache-resident across rows instead of
+			// being re-streamed from memory for every probe. Enumeration,
+			// tallies, and results are schedule-independent, so row order is
+			// a pure locality lever — the pair set is unchanged.
+			keyOrder := indexed && len(run.plan.pos) == len(run.regions)
 			for {
 				rowBase := int(nextRow.Add(auditRowChunk)) - auditRowChunk
 				if rowBase >= len(run.regions) {
@@ -498,7 +526,11 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 				if rowEnd > len(run.regions) {
 					rowEnd = len(run.regions)
 				}
-				for ii := rowBase; ii < rowEnd; ii++ {
+				for r := rowBase; r < rowEnd; r++ {
+					ii := r
+					if keyOrder {
+						ii = int(run.plan.pos[r])
+					}
 					probe = ii
 					if !run.plan.forEachPartner(ii, len(run.regions), visit) {
 						return
@@ -681,25 +713,83 @@ type auditRunner struct {
 	dissB     PrunableMetric
 	simB      PrunableMetric
 	plan      *candidatePlan
+
+	// zGate, when zGateFast is set, replays ZScoreDissimilarity's Bounds by
+	// a |z| band compare instead of an erfc per window candidate — the same
+	// decision bit-for-bit (see stats.TwoSidedPGate).
+	zGate     stats.TwoSidedPGate
+	zGateFast bool
+
+	// laLL caches each region's alternative-hypothesis log-likelihood
+	// MaxBernoulliLogLik(Positives, N) — a per-region constant that
+	// stats.PairLRT would otherwise recompute for every candidate pair.
+	// Filled by fillLogLik after prepare; refreshed by repairLogLik when the
+	// delta auditor repairs a region in place.
+	laLL []float64
 }
 
+// runnerPool recycles discarded audit runners so their SoA arenas — tens of
+// megabytes of samples, rank keys, and prefix tables at large R — are reused
+// across audits instead of reallocated. Only arena-carrying scratch survives
+// a recycle; every per-audit field is reset by newAuditRunner, and every
+// arena byte the sweep reads is rewritten by the prepare lifecycle, so a
+// pooled runner is observationally identical to a fresh one. Runners a
+// DeltaAuditor adopts stay out of the pool until the auditor replaces them.
+var runnerPool sync.Pool
+
 // newAuditRunner assembles the sweep state shared by AuditContext and the
-// kernel tests: prepared scorers sized to the eligible set and, when
-// configured, the null cache. The candidate plan starts dense; AuditContext
-// calls buildIndex to upgrade it unless CandidateDense is forced.
+// kernel tests: prepared scorers for both gate metrics and, when configured,
+// the null cache. The candidate plan starts dense; AuditContext calls
+// buildIndex to upgrade it unless CandidateDense is forced. The runner comes
+// from runnerPool when one is available; recycled arenas are resized and
+// rewritten by beginPrepare/prepare before any read.
 func newAuditRunner(cfg Config, regions []*partition.Region) *auditRunner {
-	run := &auditRunner{
+	run, _ := runnerPool.Get().(*auditRunner)
+	if run == nil {
+		run = &auditRunner{}
+	}
+	simSoa, dissSoa := run.sim.soa, run.diss.soa
+	simState, dissState := run.sim.state, run.diss.state
+	laLL := run.laLL[:0]
+	*run = auditRunner{
 		cfg:     cfg,
 		fdr:     cfg.FDR > 0,
 		regions: regions,
-		sim:     newPreparedScorer(cfg.Similarity, len(regions)),
-		diss:    newPreparedScorer(cfg.Dissimilarity, len(regions)),
+		sim:     newPreparedScorer(cfg.Similarity),
+		diss:    newPreparedScorer(cfg.Dissimilarity),
 		plan:    &candidatePlan{},
+		laLL:    laLL,
 	}
+	run.sim.soa, run.sim.state = simSoa, simState
+	run.diss.soa, run.diss.state = dissSoa, dissState
 	if cfg.MCNullCacheSize > 0 {
+		// The null cache is NOT pooled: its fill state feeds the prewarm
+		// funnel counters, which must not depend on what ran earlier in the
+		// process (entry values are key-seeded and would be identical).
 		run.nullCache = stats.NewPairNullCache(cfg.Seed, cfg.MCWorlds, cfg.MCNullCacheSize)
 	}
 	return run
+}
+
+// recycleRunner returns a discarded runner's arena scratch to the pool. The
+// caller must be the runner's only owner: AuditContext recycles the engine's
+// runner after extracting the Result (which holds only values), and the
+// delta auditor recycles a replaced base runner. Boxed prepared state is
+// cleared so pooled runners never retain caller data beyond the arenas.
+func recycleRunner(run *auditRunner) {
+	if run == nil {
+		return
+	}
+	clear(run.sim.state)
+	clear(run.diss.state)
+	simSoa, dissSoa := run.sim.soa, run.diss.soa
+	simState, dissState := run.sim.state[:0], run.diss.state[:0]
+	laLL := run.laLL[:0]
+	*run = auditRunner{}
+	run.sim.soa, run.sim.state = simSoa, simState
+	run.diss.soa, run.diss.state = dissSoa, dissState
+	run.laLL = laLL
+	runnerPool.Put(run)
 }
 
 // buildIndex summarizes the eligible regions and builds the candidate plan.
@@ -716,6 +806,152 @@ func (ar *auditRunner) buildIndex() {
 	ar.env = &ix.Stats
 	ar.dissB, _ = ar.cfg.Dissimilarity.(PrunableMetric)
 	ar.simB, _ = ar.cfg.Similarity.(PrunableMetric)
+	switch ar.cfg.Dissimilarity.(type) {
+	case ZScoreDissimilarity, *ZScoreDissimilarity:
+		ar.zGate = stats.NewTwoSidedPGate(ar.cfg.Delta)
+		ar.zGateFast = true
+	}
+}
+
+// fillLogLik computes every region's cached alternative-hypothesis
+// log-likelihood term. O(R) against the sweep's O(R·window) pairLRT calls.
+func (ar *auditRunner) fillLogLik() {
+	ar.laLL = growSlice(ar.laLL, len(ar.regions))
+	for i, r := range ar.regions {
+		ar.laLL[i] = stats.MaxBernoulliLogLik(r.Positives, r.N)
+	}
+}
+
+// repairLogLik refreshes one region's cached term after an in-place repair.
+func (ar *auditRunner) repairLogLik(pos int, r *partition.Region) {
+	if len(ar.laLL) != 0 {
+		ar.laLL[pos] = stats.MaxBernoulliLogLik(r.Positives, r.N)
+	}
+}
+
+// pairLRT replays stats.PairLRT with the per-region alternative-hypothesis
+// terms read from the laLL cache: the same floats added in the same order, so
+// tau is bit-identical — only the two MaxBernoulliLogLik recomputations per
+// pair are saved. Runners that never filled the cache (direct kernel tests)
+// fall back to the full computation.
+//
+//lint:hotpath
+func (ar *auditRunner) pairLRT(ii, jj int, a, b *partition.Region) float64 {
+	if len(ar.laLL) == 0 {
+		return stats.PairLRT(a.Positives, a.N, b.Positives, b.N)
+	}
+	if a.N <= 0 || b.N <= 0 {
+		return 0
+	}
+	pooled := float64(a.Positives+b.Positives) / float64(a.N+b.N)
+	l0 := stats.BernoulliLogLik(a.Positives, a.N, pooled) + stats.BernoulliLogLik(b.Positives, b.N, pooled)
+	return stats.LogLikRatio(l0, ar.laLL[ii]+ar.laLL[jj])
+}
+
+// pairHint estimates the sweep's pair volume — ordered candidate emissions
+// under an indexed plan, the full ordered square under a dense one — for
+// prepare-time decisions that trade a global precomputation against per-pair
+// savings (the Mann–Whitney global-distinct scan).
+func (ar *auditRunner) pairHint() int64 {
+	if ar.plan != nil && ar.plan.indexed {
+		return ar.plan.estimated
+	}
+	n := int64(len(ar.regions))
+	return n * n
+}
+
+// prewarmSigPairLimit bounds the pre-warm pass's signature-pair scan; above
+// it the scan itself would rival the simulations it saves, so the sweep
+// falls back to inline fills (results are identical either way — entries are
+// key-seeded).
+const prewarmSigPairLimit = 1 << 22
+
+// prewarmNullCache materializes the shared null cache's entries before the
+// pair sweep. A pair's cache key depends only on the two regions' count
+// signatures (N, Positives), so the distinct-signature product — far smaller
+// than the pair set — covers every key the candidate plan's pairs can
+// request. Signature pairs inside the Eta band are screened out with the
+// sweep's own rate comparison (such pairs exit the cascade before the cache),
+// and fills stop at the cache's capacity, where further fills could only
+// evict each other. Entries are key-seeded, so a prewarmed cache answers the
+// sweep bit-identically to a cold one; only the hit/miss split moves.
+func (ar *auditRunner) prewarmNullCache(ctx context.Context, workers int, col *obs.Collector, now func() time.Time) {
+	cache := ar.nullCache
+	if cache == nil || ar.cfg.MCWorlds <= 0 || len(ar.regions) < 2 {
+		return
+	}
+	start := now()
+	type sig struct{ n, pos int }
+	mult := make(map[sig]int, len(ar.regions))
+	sigs := make([]sig, 0, len(ar.regions))
+	for _, r := range ar.regions {
+		s := sig{n: r.N, pos: r.Positives}
+		if mult[s] == 0 {
+			sigs = append(sigs, s)
+		}
+		mult[s]++
+	}
+	if int64(len(sigs))*int64(len(sigs)) > prewarmSigPairLimit {
+		return
+	}
+	// Deterministic fill order: the capacity cutoff must not depend on map
+	// iteration order (fills themselves are order-independent).
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].n != sigs[j].n {
+			return sigs[i].n < sigs[j].n
+		}
+		return sigs[i].pos < sigs[j].pos
+	})
+
+	eta := ar.cfg.Eta
+	capacity := int64(cache.Capacity())
+	var filled atomic.Int64
+	var nextSig atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sinceCheck := 0
+			for {
+				i := int(nextSig.Add(1)) - 1
+				if i >= len(sigs) || ctx.Err() != nil || filled.Load() >= capacity {
+					return
+				}
+				a := sigs[i]
+				ra := float64(a.pos) / float64(a.n)
+				for j := i; j < len(sigs); j++ {
+					sinceCheck++
+					if sinceCheck >= cancelCheckInterval {
+						sinceCheck = 0
+						if ctx.Err() != nil {
+							return
+						}
+					}
+					if j == i && mult[a] < 2 {
+						continue // a signature pairs with itself only when two regions share it
+					}
+					b := sigs[j]
+					if eta > 0 {
+						rb := float64(b.pos) / float64(b.n)
+						if math.Abs(ra-rb) <= eta {
+							continue // the Eta fast path exits before the cache
+						}
+					}
+					if cache.Prewarm(a.n, b.n, a.pos+b.pos) {
+						if filled.Add(1) >= capacity {
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	keys := filled.Load()
+	col.Count(obs.MMCNullPrewarmKeys, keys)
+	col.Count(obs.MMCNullPrewarmWorlds, keys*int64(ar.cfg.MCWorlds))
+	col.ObserveSeconds(obs.MMCNullPrewarmSeconds, now().Sub(start))
 }
 
 // summaryReject applies the O(1) summary-level filters to an emitted
@@ -730,7 +966,14 @@ func (ar *auditRunner) summaryReject(ii, jj int, t *pairTally) bool {
 		t.boundsRejections++
 		return true
 	}
-	if ar.dissB != nil && ar.dissB.Bounds(sa, sb, ar.cfg.Delta, ar.env) {
+	if ar.zGateFast {
+		// ZScoreDissimilarity.Bounds replays the gate exactly; the band
+		// compare is the same decision without the per-candidate erfc.
+		if !ar.zGate.LE(stats.TwoProportionZStat(sa.Protected, sa.N, sb.Protected, sb.N)) {
+			t.boundsRejections++
+			return true
+		}
+	} else if ar.dissB != nil && ar.dissB.Bounds(sa, sb, ar.cfg.Delta, ar.env) {
 		t.boundsRejections++
 		return true
 	}
@@ -783,7 +1026,7 @@ func (ar *auditRunner) auditPair(ii, jj int, t *pairTally, sc *Scratch, rng *sta
 		return UnfairPair{}, false
 	}
 
-	tau := stats.PairLRT(a.Positives, a.N, b.Positives, b.N)
+	tau := ar.pairLRT(ii, jj, a, b)
 	pooled := float64(a.Positives+b.Positives) / float64(a.N+b.N)
 	var pval float64
 	switch {

@@ -203,11 +203,16 @@ func TestAuditCandidateSupersetQuick(t *testing.T) {
 			regions[i] = &p.Regions[idx]
 		}
 		run := newAuditRunner(cfg, regions)
+		run.buildIndex()
+		run.sim.beginPrepare(run.regions)
+		run.diss.beginPrepare(run.regions)
 		for i := range run.regions {
 			run.sim.prepare(i, run.regions[i])
 			run.diss.prepare(i, run.regions[i])
 		}
-		run.buildIndex()
+		hint := run.pairHint()
+		run.sim.finishPrepare(hint)
+		run.diss.finishPrepare(hint)
 		if !run.plan.indexed {
 			t.Fatalf("trial %d: plan not indexed despite prunable metrics", trial)
 		}
@@ -302,6 +307,49 @@ func TestAuditCachedVsPerPairTolerance(t *testing.T) {
 		}
 		if math.Abs(a.P-b.P) > tol {
 			t.Errorf("pair %v: |p_perpair - p_cached| = |%v - %v| > %v", k, a.P, b.P, tol)
+		}
+	}
+}
+
+// TestZGateBoundsEquivalence pins the sweep's fast dissimilarity gate: the
+// |z| band compare that summaryReject uses when the metric is ZScore must
+// reproduce ZScoreDissimilarity.Bounds bit-for-bit — on random count tuples,
+// on degenerate pooled proportions, and at adversarial thresholds chosen to
+// equal exactly reachable p-values, where one ULP of slop would flip the
+// decision.
+func TestZGateBoundsEquivalence(t *testing.T) {
+	rng := stats.NewRNG(0x2BA1D)
+	deltas := []float64{0, 1e-300, 1e-9, 0.01, 0.05, 0.5, 1, 1.5}
+	for i := 0; i < 12; i++ {
+		// Thresholds that ARE two-proportion p-values of random count tuples.
+		n1, n2 := 1+rng.Intn(400), 1+rng.Intn(400)
+		r := stats.TwoProportionZ(rng.Intn(n1+1), n1, rng.Intn(n2+1), n2)
+		if !math.IsNaN(r.P) {
+			deltas = append(deltas, r.P)
+		}
+	}
+	metric := ZScoreDissimilarity{}
+	for _, delta := range deltas {
+		gate := stats.NewTwoSidedPGate(delta)
+		for trial := 0; trial < 4000; trial++ {
+			n1, n2 := rng.Intn(300), rng.Intn(300)
+			k1, k2 := 0, 0
+			if n1 > 0 {
+				k1 = rng.Intn(n1 + 1)
+			}
+			if n2 > 0 {
+				k2 = rng.Intn(n2 + 1)
+			}
+			if trial%7 == 0 {
+				k1, k2 = 0, 0 // force the degenerate pooled-proportion branch
+			}
+			a := partition.RegionSummary{N: n1, Protected: k1}
+			b := partition.RegionSummary{N: n2, Protected: k2}
+			fast := gate.LE(stats.TwoProportionZStat(k1, n1, k2, n2))
+			if slow := metric.Bounds(&a, &b, delta, nil); fast == slow {
+				t.Fatalf("delta=%v k1=%d n1=%d k2=%d n2=%d: gate pass=%v, Bounds canReject=%v (must be opposite)",
+					delta, k1, n1, k2, n2, fast, slow)
+			}
 		}
 	}
 }

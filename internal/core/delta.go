@@ -217,7 +217,9 @@ func (da *DeltaAuditor) fullSweep(ctx context.Context, snap *partition.Partition
 		InvalidatedPairs:   len(da.candidates),
 		RescoredCandidates: len(cands),
 	}
+	old := da.run
 	da.adopt(run)
+	recycleRunner(old)
 	da.candidates = make(map[pairLabelKey]UnfairPair, len(cands))
 	for _, pr := range cands {
 		da.candidates[labelKey(pr)] = pr
@@ -251,14 +253,22 @@ func (da *DeltaAuditor) rebuildState(snap *partition.Partitioning, newEligible [
 	}
 	run := newAuditRunner(da.cfg, regions)
 	run.nullCache = da.nullCache
+	if da.cfg.CandidateGen != CandidateDense {
+		run.buildIndex()
+	}
+	run.sim.beginPrepare(regions)
+	run.diss.beginPrepare(regions)
 	for i, r := range regions {
 		run.sim.prepare(i, r)
 		run.diss.prepare(i, r)
 	}
-	if da.cfg.CandidateGen != CandidateDense {
-		run.buildIndex()
-	}
+	hint := run.pairHint()
+	run.sim.finishPrepare(hint)
+	run.diss.finishPrepare(hint)
+	run.fillLogLik()
+	old := da.run
 	da.adopt(run)
+	recycleRunner(old)
 }
 
 // incremental is the delta pass: repair the per-region state the updates
@@ -286,8 +296,9 @@ func (da *DeltaAuditor) incremental(ctx context.Context, snap *partition.Partiti
 				continue // dirty but ineligible: nothing cached to repair
 			}
 			r := da.run.regions[pos]
-			da.run.sim.prepare(pos, r)
-			da.run.diss.prepare(pos, r)
+			da.run.sim.repair(pos, r)
+			da.run.diss.repair(pos, r)
+			da.run.repairLogLik(pos, r)
 			if da.run.ix != nil {
 				da.run.ix.UpdateRegion(pos, r)
 			}

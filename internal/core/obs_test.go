@@ -150,9 +150,12 @@ func TestAuditIndexedFunnelCounters(t *testing.T) {
 	}
 }
 
-// TestAuditNullCacheCounters pins the shared-cache accounting: every simulated
-// candidate answers exactly one cache lookup, worlds are spent only on
-// misses, and the cached path never records an adaptive early stop.
+// TestAuditNullCacheCounters pins the shared-cache accounting under the
+// pre-warm pass: every simulated candidate answers exactly one cache lookup,
+// the pre-warm funnel (mc.null_prewarm.{keys,worlds,seconds}) balances —
+// worlds == keys x MCWorlds, keys within capacity — and a complete pre-warm
+// leaves the sweep with zero misses, zero inline worlds, and zero early
+// stops.
 func TestAuditNullCacheCounters(t *testing.T) {
 	p := manyRegions(t)
 	cfg := DefaultConfig()
@@ -173,11 +176,29 @@ func TestAuditNullCacheCounters(t *testing.T) {
 	if hits+misses != simulated {
 		t.Errorf("cache lookups = %d hits + %d misses, want %d simulated candidates", hits, misses, simulated)
 	}
-	if misses <= 0 || misses > simulated {
-		t.Errorf("misses = %d outside (0, %d]", misses, simulated)
+	prewarmKeys := s.Counter(obs.MMCNullPrewarmKeys)
+	prewarmWorlds := s.Counter(obs.MMCNullPrewarmWorlds)
+	if prewarmKeys <= 0 || prewarmKeys > int64(cfg.MCNullCacheSize) {
+		t.Errorf("prewarm keys = %d outside (0, capacity %d]", prewarmKeys, cfg.MCNullCacheSize)
 	}
-	if got, want := s.Counter(obs.MAuditMCWorlds), misses*int64(cfg.MCWorlds); got != want {
-		t.Errorf("mc worlds = %d, want misses x m = %d", got, want)
+	if want := prewarmKeys * int64(cfg.MCWorlds); prewarmWorlds != want {
+		t.Errorf("prewarm worlds = %d, want keys x m = %d", prewarmWorlds, want)
+	}
+	if h := s.Histograms[obs.MMCNullPrewarmSeconds]; h.Count != 1 {
+		t.Errorf("mc.null_prewarm.seconds histogram = %+v, want one observation", h)
+	}
+	// The pre-warm's signature product covers every key a sweep pair can
+	// request, and its Eta screen is the sweep's own rate comparison, so a
+	// pass that hit neither the capacity cutoff nor the signature limit
+	// leaves nothing to simulate inline.
+	if misses != 0 {
+		t.Errorf("misses = %d after a complete pre-warm, want 0", misses)
+	}
+	if hits != simulated {
+		t.Errorf("hits = %d, want every one of %d simulated candidates", hits, simulated)
+	}
+	if got := s.Counter(obs.MAuditMCWorlds); got != 0 {
+		t.Errorf("inline mc worlds = %d after pre-warm, want 0", got)
 	}
 	if s.Counter(obs.MAuditMCEarlyStops) != 0 {
 		t.Errorf("cached audit recorded %d early stops; the cache path never stops early",

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 
 	"lcsf/internal/partition"
 	"lcsf/internal/stats"
@@ -104,13 +105,18 @@ type sampleMoments struct {
 	variance float64
 }
 
-func incomeMoments(r *partition.Region) *sampleMoments {
+func sampleMomentsOf(r *partition.Region) sampleMoments {
 	sample := r.IncomeSample()
-	return &sampleMoments{
+	return sampleMoments{
 		n:        len(sample),
 		mean:     stats.Mean(sample),
 		variance: stats.SampleVariance(sample),
 	}
+}
+
+func incomeMoments(r *partition.Region) *sampleMoments {
+	m := sampleMomentsOf(r)
+	return &m
 }
 
 // PrepareRegion implements PreparedMetric: the cache is the sample's size,
@@ -137,7 +143,15 @@ func (MeanGapSimilarity) PrepareRegion(r *partition.Region) PreparedRegion {
 //
 //lint:hotpath
 func (MeanGapSimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
-	ma, mb := a.(float64), b.(float64)
+	return meanGapFromMeans(a.(float64), b.(float64))
+}
+
+// meanGapFromMeans is MeanGapSimilarity's score on cached sample means — the
+// single arithmetic shared by ScorePrepared and the SoA dispatch, so the two
+// paths cannot drift.
+//
+//lint:hotpath
+func meanGapFromMeans(ma, mb float64) float64 {
 	if math.IsNaN(ma) || math.IsNaN(mb) {
 		return math.NaN()
 	}
@@ -201,7 +215,14 @@ func (DisparateImpactDissimilarity) PrepareRegion(r *partition.Region) PreparedR
 //
 //lint:hotpath
 func (DisparateImpactDissimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratch) float64 {
-	sa, sb := a.(float64), b.(float64)
+	return disparateImpactFromShares(a.(float64), b.(float64))
+}
+
+// disparateImpactFromShares is DisparateImpactDissimilarity's score on cached
+// protected shares, shared by ScorePrepared and the SoA dispatch.
+//
+//lint:hotpath
+func disparateImpactFromShares(sa, sb float64) float64 {
 	if math.IsNaN(sa) || math.IsNaN(sb) {
 		return math.NaN()
 	}
@@ -214,38 +235,414 @@ func (DisparateImpactDissimilarity) ScorePrepared(a, b PreparedRegion, _ *Scratc
 
 // --- Audit-side glue -------------------------------------------------------
 
-// preparedScorer binds one gate's metric to its scoring path: the prepared
-// path (per-region caches + ScorePrepared) when the metric implements
-// PreparedMetric, else the generic per-pair Score fallback. state is indexed
-// by position in the audit's eligible-region list.
-type preparedScorer struct {
-	metric   PairMetric
-	prepared PreparedMetric // nil selects the Score fallback
-	state    []PreparedRegion
+// metricKind selects a gate metric's scoring path. The built-in metrics get
+// structure-of-arrays (SoA) fast paths: their per-region state lives in flat
+// parallel slices indexed by eligible position, backed by shared arenas, so
+// the row-major pair sweep walks contiguous memory instead of chasing
+// per-region boxed interface values. Custom PreparedMetric implementations
+// keep the boxed path (kindGeneric); metrics without a prepared form fall
+// back to per-pair Score (kindScoreOnly).
+type metricKind uint8
+
+const (
+	kindScoreOnly metricKind = iota
+	kindGeneric
+	kindMannWhitney
+	kindKolmogorovSmirnov
+	kindWelch
+	kindMeanGap
+	kindZScore
+	kindStatParity
+	kindDisparateImpact
+)
+
+// metricKindOf classifies a gate metric. Wrapped or user-defined metrics
+// never match a built-in case, so wrappers like the tests' unpreparedMetric
+// land on the generic or score-only path as before.
+func metricKindOf(m PairMetric) metricKind {
+	switch m.(type) {
+	case MannWhitneySimilarity, *MannWhitneySimilarity:
+		return kindMannWhitney
+	case KolmogorovSmirnovSimilarity, *KolmogorovSmirnovSimilarity:
+		return kindKolmogorovSmirnov
+	case WelchTSimilarity, *WelchTSimilarity:
+		return kindWelch
+	case MeanGapSimilarity, *MeanGapSimilarity:
+		return kindMeanGap
+	case ZScoreDissimilarity, *ZScoreDissimilarity:
+		return kindZScore
+	case StatParityDissimilarity, *StatParityDissimilarity:
+		return kindStatParity
+	case DisparateImpactDissimilarity, *DisparateImpactDissimilarity:
+		return kindDisparateImpact
+	}
+	if _, ok := m.(PreparedMetric); ok {
+		return kindGeneric
+	}
+	return kindScoreOnly
 }
 
-func newPreparedScorer(m PairMetric, eligible int) preparedScorer {
-	ps := preparedScorer{metric: m}
+// rankPreBudgetBytes caps the total size of the Mann–Whitney prefix-count
+// arena: the grid's bucket count halves until R*(buckets+1) int32s fit, so
+// very large region universes trade probe sharpness for bounded memory
+// (correctness is grid-independent; only the spill-loop rate changes).
+const rankPreBudgetBytes = 64 << 20
+
+func rankBucketsFor(regions int) int {
+	b := stats.RankGridBuckets
+	for b > 64 && regions*(b+1)*4 > rankPreBudgetBytes {
+		b >>= 1
+	}
+	return b
+}
+
+// soaState is the flat per-region state behind the built-in metrics' SoA
+// scoring paths. Exactly one family of fields is populated, per the owning
+// scorer's kind. Slices are indexed by eligible position; the sample-backed
+// families view into shared arenas laid out by beginPrepare.
+//
+// Layout invariants the delta auditor relies on (see repair):
+//   - samples[i] always holds region i's CURRENT sorted income sample; after
+//     a same-length repair it stays an arena view, after a length-changing
+//     repair it may become a standalone slice (views are three-index sliced,
+//     so regrowing one region can never clobber a neighbor's segment).
+//   - The rank grid is fixed for the scorer's lifetime. Repaired values
+//     outside its span clamp into the edge buckets, which keeps the bucket
+//     map monotone — the only property the cross-count kernels need.
+//   - allDistinct is a one-way latch: it is established once by
+//     finishPrepare's global scan and cleared (never re-established) by any
+//     repair, since a repair could introduce a duplicate across regions.
+//     Clearing it only changes which kernel computes the identical result.
+type soaState struct {
+	// Sample-backed metrics (Mann–Whitney, Kolmogorov–Smirnov).
+	samples     [][]float64
+	sampleArena []float64
+	distinct    []bool // per-region strictly-increasing flag
+
+	// Mann–Whitney rank-index state (see stats/rankindex.go).
+	grid        stats.RankGrid
+	gridOK      bool
+	ranked      []stats.RankedSample
+	keyArena    []uint64
+	bukArena    []int32
+	preArena    []int32
+	allDistinct bool
+
+	// finishPrepare's global-distinct scan scratch: per-bucket scatter
+	// offsets and the gathered-key buffer, reused across audits.
+	scanCnt []int32
+	scanBuf []uint64
+
+	// Scalar-state metrics.
+	moments []sampleMoments // Welch
+	means   []float64       // MeanGap
+	counts  []groupCounts   // ZScore
+	shares  []float64       // StatParity, DisparateImpact
+}
+
+// preparedScorer binds one gate's metric to its scoring path: an SoA fast
+// path for the built-in metrics, the boxed PreparedRegion path for custom
+// PreparedMetric implementations, or the generic per-pair Score fallback.
+// All per-region state is indexed by position in the audit's eligible-region
+// list. The lifecycle is beginPrepare (layout) → prepare per region (fill,
+// concurrency-safe across distinct positions) → finishPrepare (global
+// analyses that need every region).
+type preparedScorer struct {
+	metric   PairMetric
+	prepared PreparedMetric // non-nil on the prepared paths (generic or SoA)
+	kind     metricKind
+	state    []PreparedRegion // kindGeneric only
+	soa      soaState
+}
+
+func newPreparedScorer(m PairMetric) preparedScorer {
+	ps := preparedScorer{metric: m, kind: metricKindOf(m)}
 	if pm, ok := m.(PreparedMetric); ok {
 		ps.prepared = pm
-		ps.state = make([]PreparedRegion, eligible)
 	}
 	return ps
 }
 
+// needsPrepare reports whether the scorer has a precompute phase at all.
+func (ps *preparedScorer) needsPrepare() bool { return ps.kind != kindScoreOnly }
+
+// beginPrepare sizes the SoA slices and arenas for the eligible set and fixes
+// the per-region arena offsets, so concurrent prepare calls write to disjoint
+// preassigned segments. It must run before any prepare call.
+func (ps *preparedScorer) beginPrepare(regions []*partition.Region) {
+	n := len(regions)
+	switch ps.kind {
+	case kindMannWhitney, kindKolmogorovSmirnov:
+		total := 0
+		for _, r := range regions {
+			total += len(r.IncomeSample())
+		}
+		ps.soa.samples = growSlice(ps.soa.samples, n)
+		ps.soa.distinct = growSlice(ps.soa.distinct, n)
+		ps.soa.sampleArena = growSlice(ps.soa.sampleArena, total)
+		off := 0
+		for i, r := range regions {
+			sz := len(r.IncomeSample())
+			ps.soa.samples[i] = ps.soa.sampleArena[off : off+sz : off+sz]
+			off += sz
+		}
+		if ps.kind == kindMannWhitney {
+			ps.soa.layoutRankIndex(regions, total)
+		}
+	case kindWelch:
+		ps.soa.moments = growSlice(ps.soa.moments, n)
+	case kindMeanGap:
+		ps.soa.means = growSlice(ps.soa.means, n)
+	case kindZScore:
+		ps.soa.counts = growSlice(ps.soa.counts, n)
+	case kindStatParity, kindDisparateImpact:
+		ps.soa.shares = growSlice(ps.soa.shares, n)
+	case kindGeneric:
+		ps.state = growSlice(ps.state, n)
+	}
+}
+
+// layoutRankIndex builds the shared value grid over every region's raw
+// sample and carves the rank-index arenas into per-region views. A degenerate
+// span (all values equal, or non-finite) leaves gridOK false and the scorer
+// on the merge kernels.
+func (s *soaState) layoutRankIndex(regions []*partition.Region, total int) {
+	n := len(regions)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range regions {
+		for _, v := range r.IncomeSample() {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	buckets := rankBucketsFor(n)
+	s.grid, s.gridOK = stats.NewRankGrid(lo, hi, buckets)
+	s.allDistinct = false
+	if !s.gridOK {
+		return
+	}
+	s.ranked = growSlice(s.ranked, n)
+	s.keyArena = growSlice(s.keyArena, total+2*n)
+	s.bukArena = growSlice(s.bukArena, total)
+	s.preArena = growSlice(s.preArena, n*(buckets+1))
+	off, koff := 0, 0
+	for i, r := range regions {
+		sz := len(r.IncomeSample())
+		s.ranked[i] = stats.RankedSample{
+			Keys: s.keyArena[koff : koff+sz+2 : koff+sz+2],
+			Buk:  s.bukArena[off : off+sz : off+sz],
+			Pre:  s.preArena[i*(buckets+1) : (i+1)*(buckets+1) : (i+1)*(buckets+1)],
+		}
+		off += sz
+		koff += sz + 2
+	}
+}
+
+// growSlice returns a length-n slice, reusing s's backing array when it is
+// large enough (arena pooling: a recycled runner's arenas are reused across
+// audits instead of reallocated).
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // prepare builds the cache for the eligible region at position i; a no-op on
-// the fallback path. Distinct positions may be prepared concurrently.
+// the fallback path. Distinct positions may be prepared concurrently, after
+// beginPrepare has fixed the layout.
 func (ps *preparedScorer) prepare(i int, r *partition.Region) {
-	if ps.prepared != nil {
+	switch ps.kind {
+	case kindMannWhitney:
+		view := ps.soa.samples[i]
+		copy(view, r.SortedIncomeSample())
+		if ps.soa.gridOK {
+			stats.FillRankedSample(ps.soa.grid, view, &ps.soa.ranked[i])
+			ps.soa.distinct[i] = ps.soa.ranked[i].Distinct
+		} else {
+			ps.soa.distinct[i] = stats.StrictlyIncreasing(view)
+		}
+	case kindKolmogorovSmirnov:
+		view := ps.soa.samples[i]
+		copy(view, r.SortedIncomeSample())
+		ps.soa.distinct[i] = stats.StrictlyIncreasing(view)
+	case kindWelch:
+		ps.soa.moments[i] = sampleMomentsOf(r)
+	case kindMeanGap:
+		ps.soa.means[i] = stats.Mean(r.IncomeSample())
+	case kindZScore:
+		ps.soa.counts[i] = groupCounts{protected: r.Protected, n: r.N}
+	case kindStatParity, kindDisparateImpact:
+		ps.soa.shares[i] = preparedShare(r)
+	case kindGeneric:
 		ps.state[i] = ps.prepared.PrepareRegion(r)
 	}
 }
 
+// finishPrepare runs after every region is prepared. For Mann–Whitney it
+// decides the no-ties dispatch level: when every region is individually
+// duplicate-free AND a global scan proves no value occurs twice anywhere,
+// the sweep uses the check-free cross kernel. A duplicate can only colocate
+// in one grid bucket (equal values share a bucket by construction), so the
+// scan scatters every key into its bucket's segment off the per-region
+// prefix tables — one counting pass and one linear pass — and sorts each
+// small segment instead of the whole key universe. It only runs when the
+// plan expects enough pairs (pairHint, counting ordered candidate emissions)
+// to amortize it; skipping it is always safe — the tie-checking kernel
+// computes identical results.
+func (ps *preparedScorer) finishPrepare(pairHint int64) {
+	if ps.kind != kindMannWhitney || !ps.soa.gridOK {
+		return
+	}
+	ps.soa.allDistinct = false
+	for _, d := range ps.soa.distinct {
+		if !d {
+			return
+		}
+	}
+	total := len(ps.soa.sampleArena)
+	if total == 0 || pairHint < int64(total) {
+		return
+	}
+	soa := &ps.soa
+	buckets := soa.grid.Buckets
+	cnt := growSlice(soa.scanCnt, buckets+1)
+	soa.scanCnt = cnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := range soa.ranked {
+		rs := &soa.ranked[i]
+		for _, b := range rs.Buk {
+			cnt[b+1]++
+		}
+	}
+	for b := 0; b < buckets; b++ {
+		cnt[b+1] += cnt[b]
+	}
+	buf := growSlice(soa.scanBuf, total)
+	soa.scanBuf = buf
+	for i := range soa.ranked {
+		rs := &soa.ranked[i]
+		for t := 0; t < rs.N; t++ {
+			b := rs.Buk[t]
+			buf[cnt[b]] = rs.Keys[t]
+			cnt[b]++
+		}
+	}
+	// After the scatter cnt[b] is bucket b's END offset; segments sort and
+	// dup-scan independently (duplicates cannot straddle buckets).
+	start := 0
+	for b := 0; b < buckets; b++ {
+		end := int(cnt[b])
+		if end-start > 1 {
+			seg := buf[start:end]
+			slices.Sort(seg)
+			for k := 1; k < len(seg); k++ {
+				if seg[k] == seg[k-1] {
+					return
+				}
+			}
+		}
+		start = end
+	}
+	ps.soa.allDistinct = true
+}
+
+// repair rebuilds position i's state after the delta auditor replaced or
+// mutated its region in place. Same-length samples refill the arena views;
+// length changes fall back to standalone slices for that region (three-index
+// views make this safe). Any repair drops the global no-ties latch — the
+// tie-checking kernel takes over, bit-identically.
+func (ps *preparedScorer) repair(i int, r *partition.Region) {
+	switch ps.kind {
+	case kindMannWhitney, kindKolmogorovSmirnov:
+		sorted := r.SortedIncomeSample()
+		if cap(ps.soa.samples[i]) >= len(sorted) {
+			ps.soa.samples[i] = ps.soa.samples[i][:len(sorted)]
+		} else {
+			ps.soa.samples[i] = make([]float64, len(sorted))
+		}
+		view := ps.soa.samples[i]
+		copy(view, sorted)
+		if ps.kind == kindMannWhitney && ps.soa.gridOK {
+			stats.FillRankedSample(ps.soa.grid, view, &ps.soa.ranked[i])
+			ps.soa.distinct[i] = ps.soa.ranked[i].Distinct
+			ps.soa.allDistinct = false
+		} else {
+			ps.soa.distinct[i] = stats.StrictlyIncreasing(view)
+		}
+	default:
+		ps.prepare(i, r)
+	}
+}
+
 // score returns the metric's value for the pair at eligible positions (i, j)
-// backed by regions (a, b).
+// backed by regions (a, b). The SoA paths read only the flat slices; every
+// branch is allocation-free (TestAuditPairKernelZeroAlloc pins it).
+//
+//lint:hotpath
 func (ps *preparedScorer) score(i, j int, a, b *partition.Region, sc *Scratch) float64 {
-	if ps.prepared != nil {
+	switch ps.kind {
+	case kindMannWhitney:
+		return ps.soa.mannWhitneyP(i, j)
+	case kindKolmogorovSmirnov:
+		xs, ys := ps.soa.samples[i], ps.soa.samples[j]
+		if ps.soa.distinct[i] && ps.soa.distinct[j] {
+			if res, ok := stats.KolmogorovSmirnovSortedNoTies(xs, ys); ok {
+				return res.P
+			}
+		}
+		return stats.KolmogorovSmirnovSorted(xs, ys).P
+	case kindWelch:
+		ma, mb := &ps.soa.moments[i], &ps.soa.moments[j]
+		return stats.WelchTFromMoments(ma.n, ma.mean, ma.variance, mb.n, mb.mean, mb.variance).P
+	case kindMeanGap:
+		return meanGapFromMeans(ps.soa.means[i], ps.soa.means[j])
+	case kindZScore:
+		ga, gb := ps.soa.counts[i], ps.soa.counts[j]
+		return stats.TwoProportionZ(ga.protected, ga.n, gb.protected, gb.n).P
+	case kindStatParity:
+		return math.Abs(ps.soa.shares[i] - ps.soa.shares[j])
+	case kindDisparateImpact:
+		return disparateImpactFromShares(ps.soa.shares[i], ps.soa.shares[j])
+	case kindGeneric:
 		return ps.prepared.ScorePrepared(ps.state[i], ps.state[j], sc)
 	}
 	return ps.metric.Score(a, b) //lint:hotpathalloc-ok cold fallback for metrics without a prepared form
+}
+
+// mannWhitneyP dispatches a Mann–Whitney pair to the cheapest kernel whose
+// preconditions hold, every one bit-identical on its domain:
+//
+//	globally distinct        → check-free bucketed cross kernel
+//	both regions distinct    → tie-checking bucketed cross kernel
+//	                           (general merge on a detected cross tie)
+//	no grid / any duplicates → general tie-aware merge
+//
+//lint:hotpath
+func (s *soaState) mannWhitneyP(i, j int) float64 {
+	xs, ys := s.samples[i], s.samples[j]
+	if s.gridOK {
+		ra, rb := &s.ranked[i], &s.ranked[j]
+		if s.allDistinct {
+			return stats.MannWhitneyFromCross(stats.CrossCountNoTies(ra, rb), ra.N, rb.N).P
+		}
+		if s.distinct[i] && s.distinct[j] {
+			if cross, ok := stats.CrossCount(ra, rb); ok {
+				return stats.MannWhitneyFromCross(cross, ra.N, rb.N).P
+			}
+		}
+		return stats.MannWhitneyUSorted(xs, ys).P
+	}
+	if s.distinct[i] && s.distinct[j] {
+		if res, ok := stats.MannWhitneyUSortedNoTies(xs, ys); ok {
+			return res.P
+		}
+	}
+	return stats.MannWhitneyUSorted(xs, ys).P
 }

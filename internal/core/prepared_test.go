@@ -66,10 +66,15 @@ func newTestRunner(t testing.TB, p *partition.Partitioning, cfg Config) *auditRu
 		regions[i] = &p.Regions[idx]
 	}
 	run := newAuditRunner(cfg, regions)
+	run.sim.beginPrepare(run.regions)
+	run.diss.beginPrepare(run.regions)
 	for i := range run.regions {
 		run.sim.prepare(i, run.regions[i])
 		run.diss.prepare(i, run.regions[i])
 	}
+	hint := run.pairHint()
+	run.sim.finishPrepare(hint)
+	run.diss.finishPrepare(hint)
 	return run
 }
 

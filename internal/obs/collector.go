@@ -59,12 +59,22 @@ const (
 	MMCNullCacheMisses    = "mc.null_cache_misses"
 	MMCNullCacheEvictions = "mc.null_cache_evictions"
 
+	// Null-cache pre-warm funnel: distinct count signatures filled before the
+	// pair sweep (keys), the Monte-Carlo worlds those fills simulated
+	// (worlds == keys x Config.MCWorlds), and the pass's wall time. Sweep-side
+	// hit/miss counters are untouched by the pre-warm, so after a complete
+	// pass (no capacity cutoff) the sweep records zero misses.
+	MMCNullPrewarmKeys   = "mc.null_prewarm.keys"
+	MMCNullPrewarmWorlds = "mc.null_prewarm.worlds"
+
 	// Audit-engine histograms (seconds).
 	MAuditSeconds = "audit.seconds"
 	// MAuditPrepareSeconds is the wall time of the parallel precompute phase
 	// that builds per-region metric caches before the pair sweep.
 	MAuditPrepareSeconds = "audit.prepare_seconds"
 	MAuditShardSeconds   = "audit.shard_seconds"
+	// MMCNullPrewarmSeconds is the wall time of the null-cache pre-warm pass.
+	MMCNullPrewarmSeconds = "mc.null_prewarm.seconds"
 	// MAuditDeltaSeconds is the wall time of one delta audit (incremental or
 	// fallen back to a full sweep), update application excluded.
 	MAuditDeltaSeconds = "audit.delta.seconds"

@@ -62,8 +62,11 @@ func TestMetricsAfterAudit(t *testing.T) {
 	// The default config audits with the indexed candidate plan and the
 	// shared null cache: pairs the gates provably reject are pruned before
 	// the cascade (so the window/bounds counters fire instead of the
-	// dissimilarity/Eta cascade counters) and cached p-values never stop
-	// early (so mc.early_stops stays zero by design).
+	// dissimilarity/Eta cascade counters), cached p-values never stop early
+	// (so mc.early_stops stays zero by design), and the pre-warm pass
+	// materializes every count signature before the sweep (so the Monte-Carlo
+	// effort lands in mc.null_prewarm.* while the sweep's inline mc.worlds
+	// and cache misses stay zero by design).
 	doc := getMetrics(t, srv)
 	for _, name := range []string{
 		obs.MAuditRuns,
@@ -72,11 +75,12 @@ func TestMetricsAfterAudit(t *testing.T) {
 		obs.MAuditCandidates,
 		obs.MAuditFlagged,
 		obs.MAuditSimRejections,
-		obs.MAuditMCWorlds,
 		obs.MAuditIndexPairsTotal,
 		obs.MAuditIndexWindowCandidates,
 		obs.MAuditIndexBoundsRejections,
-		obs.MMCNullCacheMisses,
+		obs.MMCNullCacheHits,
+		obs.MMCNullPrewarmKeys,
+		obs.MMCNullPrewarmWorlds,
 		obs.MHTTPRequests,
 	} {
 		if doc.Counters[name] == 0 {

@@ -108,6 +108,47 @@ func MannWhitneySeparatedP(n1, n2 int) float64 {
 	return mannWhitneyFromRankSum(rankSum1, 0, n1, n2).P
 }
 
+// MannWhitneyUSortedNoTies is the no-ties specialization of
+// MannWhitneyUSorted: a branch-light single-advance merge for samples that
+// are each strictly increasing. The caller must guarantee neither sample
+// contains a duplicate value (within-sample ties change the tie-correction
+// term and are NOT detected here); cross-sample ties ARE detected, and the
+// function returns ok=false — with an unspecified result — so the caller can
+// fall back to the general tie-aware kernel. When ok is true the result is
+// bit-identical to MannWhitneyUSorted on the same data: with no ties anywhere
+// the rank sum is the exact integer n1(n1+1)/2 + #{x > y}, which the general
+// kernel accumulates in exact float64 steps with a zero tie term.
+//
+// Empty samples return the NaN result with ok=true, matching
+// MannWhitneyUSorted.
+//
+//lint:hotpath
+func MannWhitneyUSortedNoTies(xs, ys []float64) (res MannWhitneyResult, ok bool) {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{U: math.NaN(), Z: math.NaN(), P: math.NaN()}, true
+	}
+	// cross counts #{(x, y) : x > y}. Each consumed y sees all still-pending
+	// xs above it; the branchless advance keeps the loop's only data-dependent
+	// branch the rare cross-tie check.
+	cross := 0
+	i, j := 0, 0
+	for i < n1 && j < n2 {
+		x, y := xs[i], ys[j]
+		if x == y { //lint:floateq-ok cross-tie-detection
+			return MannWhitneyResult{}, false
+		}
+		yl := 0
+		if y < x {
+			yl = 1
+		}
+		cross += yl * (n1 - i)
+		j += yl
+		i += 1 - yl
+	}
+	return MannWhitneyFromCross(cross, n1, n2), true
+}
+
 // mannWhitneyFromRankSum finishes the test from the first sample's rank sum
 // and the tie-correction term: the U statistic, the tie-corrected normal
 // approximation with continuity correction, and the two-sided p-value.

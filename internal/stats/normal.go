@@ -23,6 +23,79 @@ func TwoSidedP(z float64) float64 {
 	return p
 }
 
+// TwoSidedPGate answers the threshold comparison TwoSidedP(z) <= alpha by a
+// |z| compare against a precomputed critical band, skipping the erfc on the
+// hot path. The construction bit-bisects the actual TwoSidedP implementation
+// — not an analytic quantile — so the fast decision is the exact decision:
+// hi is a float where TwoSidedP(hi) <= alpha was VERIFIED (any |z| > hi
+// passes by monotonicity), lo one where TwoSidedP(lo) > alpha was verified
+// (any |z| < lo fails), and the narrow [lo, hi] band — a few thousand ULPs
+// guarding against sub-ULP wiggles in erfc — evaluates TwoSidedP directly.
+// NaN z falls into the band and inherits TwoSidedP's NaN semantics (the
+// comparison is false), matching the ungated code path.
+type TwoSidedPGate struct {
+	lo, hi float64
+	alpha  float64
+}
+
+// NewTwoSidedPGate builds the gate for one alpha. Cost: ~70 TwoSidedP
+// evaluations, amortized over every LE call at that threshold.
+func NewTwoSidedPGate(alpha float64) TwoSidedPGate {
+	pred := func(z float64) bool { return TwoSidedP(z) <= alpha }
+	g := TwoSidedPGate{alpha: alpha}
+	if pred(0) {
+		// alpha >= 1: every z passes. lo below zero never triggers.
+		g.lo, g.hi = -1, 0
+		return g
+	}
+	if !pred(math.MaxFloat64) {
+		// alpha below every representable p (alpha < 0, or 0 with a tail
+		// that never underflows): no finite z passes; only +Inf reaches the
+		// band for exact evaluation.
+		g.lo, g.hi = math.MaxFloat64, math.Inf(1)
+		return g
+	}
+	// Bit-bisect on the non-negative float line (bit order = value order):
+	// invariant pred(hi) true, pred(lo) false.
+	ulo, uhi := math.Float64bits(0), math.Float64bits(math.MaxFloat64)
+	for uhi-ulo > 1 {
+		mid := ulo + (uhi-ulo)/2
+		if pred(math.Float64frombits(mid)) {
+			uhi = mid
+		} else {
+			ulo = mid
+		}
+	}
+	zc := math.Float64frombits(uhi)
+	// Widen to a verified guard band: outside it the decision is trusted to
+	// monotonicity with thousands of ULPs to spare; inside it LE evaluates
+	// TwoSidedP exactly.
+	hi := zc * (1 + 1e-12)
+	for !pred(hi) {
+		hi = math.Nextafter(hi*(1+1e-12), math.Inf(1))
+	}
+	lo := math.Float64frombits(ulo) * (1 - 1e-12)
+	for lo > 0 && pred(lo) {
+		lo = math.Nextafter(lo*(1-1e-12), 0)
+	}
+	g.lo, g.hi = lo, hi
+	return g
+}
+
+// LE reports TwoSidedP(z) <= alpha, bit-identically to evaluating it.
+//
+//lint:hotpath
+func (g TwoSidedPGate) LE(z float64) bool {
+	az := math.Abs(z)
+	if az > g.hi {
+		return true
+	}
+	if az < g.lo {
+		return false
+	}
+	return TwoSidedP(az) <= g.alpha
+}
+
 // NormalQuantile returns the z such that NormalCDF(z) = p, for p in (0, 1).
 // It uses the Beasley-Springer-Moro / Acklam rational approximation, accurate
 // to about 1e-9, which is ample for threshold calibration. It returns ±Inf at

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTwoSidedPGateAgrees is the gate's whole contract: LE(z) must equal
+// TwoSidedP(z) <= alpha for every float, including the adversarial alphas
+// that sit exactly ON a reachable p-value (delta configured to a prior run's
+// score) and a dense ULP scan around the critical z where the fast compare
+// hands over to exact evaluation.
+func TestTwoSidedPGateAgrees(t *testing.T) {
+	rng := NewRNG(0x6A7E)
+	alphas := []float64{0, 1e-300, 1e-12, 0.001, 0.01, 0.05, 0.1, 0.5, 0.999, 1, 1.5, -0.01}
+	// Adversarial: alphas that are themselves two-sided p-values of random z,
+	// so the comparison lands exactly on the boundary.
+	for i := 0; i < 8; i++ {
+		alphas = append(alphas, TwoSidedP(4*rng.Float64()))
+	}
+	for _, alpha := range alphas {
+		g := NewTwoSidedPGate(alpha)
+		check := func(z float64) {
+			want := TwoSidedP(z) <= alpha
+			if got := g.LE(z); got != want {
+				t.Fatalf("alpha=%v z=%v: LE=%v, exact=%v (band [%v, %v])", alpha, z, got, want, g.lo, g.hi)
+			}
+		}
+		for i := 0; i < 20000; i++ {
+			z := (rng.Float64() - 0.5) * 12
+			check(z)
+		}
+		// Dense scan across the guard band and beyond it on both sides.
+		if g.hi > 0 && !math.IsInf(g.hi, 1) {
+			z := g.lo * 0.999999
+			for i := 0; i < 3000 && z < g.hi*1.000001; i++ {
+				check(z)
+				z = math.Nextafter(z*1.0000000001, math.Inf(1))
+			}
+		}
+		for _, z := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1), math.MaxFloat64} {
+			check(z)
+		}
+	}
+}
+
+// TestTwoProportionZStatMatchesFullTest pins the refactoring seam: the
+// standalone statistic and the full test must agree bit-for-bit on Z, and the
+// degenerate pooled case must keep its documented P = 1 (which the full test
+// now derives as TwoSidedP(0)).
+func TestTwoProportionZStatMatchesFullTest(t *testing.T) {
+	rng := NewRNG(0x57A7)
+	for i := 0; i < 5000; i++ {
+		n1, n2 := rng.Intn(200), rng.Intn(200)
+		k1, k2 := 0, 0
+		if n1 > 0 {
+			k1 = rng.Intn(n1 + 1)
+		}
+		if n2 > 0 {
+			k2 = rng.Intn(n2 + 1)
+		}
+		full := TwoProportionZ(k1, n1, k2, n2)
+		z := TwoProportionZStat(k1, n1, k2, n2)
+		if math.IsNaN(full.Z) != math.IsNaN(z) || (!math.IsNaN(z) && full.Z != z) {
+			t.Fatalf("k1=%d n1=%d k2=%d n2=%d: stat %v, full %v", k1, n1, k2, n2, z, full.Z)
+		}
+	}
+	if r := TwoProportionZ(5, 10, 5, 10); !(r.Z == 0 && r.P == 1) {
+		t.Fatalf("degenerate-free equal proportions: %+v", r)
+	}
+	if r := TwoProportionZ(0, 10, 0, 10); !(r.Z == 0 && r.P == 1) {
+		t.Fatalf("degenerate pooled proportion must keep Z=0 P=1: %+v", r)
+	}
+	if r := TwoProportionZ(10, 10, 10, 10); !(r.Z == 0 && r.P == 1) {
+		t.Fatalf("degenerate pooled proportion must keep Z=0 P=1: %+v", r)
+	}
+}

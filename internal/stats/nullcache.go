@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -160,14 +161,123 @@ func (c *PairNullCache) lookupOrInsert(key pairNullKey) (e *nullCacheEntry, hit 
 // simulate draws the key's null sample with a generator seeded from
 // (cache seed, key) alone and sorts it ascending for binary search.
 func (c *PairNullCache) simulate(key pairNullKey) []float64 {
-	rng := NewRNG(nullCacheSeed(c.seed, key))
-	pooledRate := float64(key.pooledPositives) / float64(key.n1+key.n2)
 	out := make([]float64, c.worlds)
-	for i := range out {
-		out[i] = pairNullDraw(rng, key.n1, key.n2, pooledRate)
-	}
-	sort.Float64s(out)
+	FillPairNull(out, c.seed, key.n1, key.n2, key.pooledPositives)
 	return out
+}
+
+// FillPairNull fills dst with the sorted null sample of the pairwise LRT
+// statistic for the key (n1, n2, pooledPositives) under cache seed — one
+// world per element of dst, drawn in a single batched pass and sorted
+// ascending. It is the allocation-free core of PairNullCache.simulate: a
+// cache constructed with this seed and worlds == len(dst) holds exactly this
+// sample for the key, so pre-warm passes can fill reusable buffers and p-value
+// consumers stay bit-identical whether the entry was simulated inline,
+// pre-warmed, or re-simulated after eviction. The key is normalized
+// (n1 <= n2) exactly as the cache normalizes it.
+func FillPairNull(dst []float64, seed uint64, n1, n2, pooledPositives int) {
+	if len(dst) == 0 {
+		return
+	}
+	if n1 > n2 {
+		n1, n2 = n2, n1
+	}
+	key := pairNullKey{n1: n1, n2: n2, pooledPositives: pooledPositives}
+	var rng RNG
+	rng.Seed(nullCacheSeed(seed, key))
+	pooledRate := float64(key.pooledPositives) / float64(key.n1+key.n2)
+	if key.n1 > 0 && key.n1+key.n2 <= nullTableMaxN {
+		fillPairNullTabled(dst, &rng, key.n1, key.n2, pooledRate)
+	} else {
+		for i := range dst {
+			dst[i] = pairNullDraw(&rng, key.n1, key.n2, pooledRate)
+		}
+	}
+	sort.Float64s(dst)
+}
+
+// nullTableMaxN bounds the region sizes for which fillPairNullTabled's
+// stack tables apply; larger keys fall back to the direct per-world PairLRT.
+const nullTableMaxN = 2048
+
+// fillPairNullTabled is FillPairNull's hot inner loop for keys with
+// n1+n2 <= nullTableMaxN. Within one fill the region sizes are fixed, so
+// every logarithm PairLRT evaluates is a function of the drawn counts alone:
+// the alternative-hypothesis terms depend only on k1 (respectively k2), and
+// the null terms only on the pooled sum s = k1+k2. The tables memoize those
+// values lazily — each entry is computed by the exact expression PairLRT
+// uses, and the statistic is assembled with the same operations in the same
+// order, so every world is bit-identical to pairNullDraw's; only repeated
+// math.Log evaluations are saved (the draws concentrate around the binomial
+// mean, so a fill of m worlds touches far fewer than m distinct entries).
+// The tables live on the stack, keeping the fill allocation-free.
+func fillPairNullTabled(dst []float64, rng *RNG, n1, n2 int, pooledRate float64) {
+	var la1, la2 [nullTableMaxN + 1]float64 // MaxBernoulliLogLik(k, n1|n2)
+	var lp, lq [nullTableMaxN + 1]float64   // Log(pooled), Log(1-pooled) by s
+	var la1ok, la2ok, lsok [nullTableMaxN + 1]bool
+	n := n1 + n2
+	for i := range dst {
+		k1 := rng.Binomial(n1, pooledRate)
+		k2 := rng.Binomial(n2, pooledRate)
+		s := k1 + k2
+		if !lsok[s] {
+			rho := float64(s) / float64(n)
+			lp[s], lq[s] = math.Log(rho), math.Log(1-rho)
+			lsok[s] = true
+		}
+		if !la1ok[k1] {
+			la1[k1], la1ok[k1] = MaxBernoulliLogLik(k1, n1), true
+		}
+		if !la2ok[k2] {
+			la2[k2], la2ok[k2] = MaxBernoulliLogLik(k2, n2), true
+		}
+		// BernoulliLogLik(k, n, rho) with rho in (0,1) guaranteed whenever a
+		// guarded term is taken: k > 0 implies s > 0 and n-k > 0 implies
+		// s < n, so the -Inf branches are unreachable and each term reduces
+		// to the same guarded multiply-adds, from the same zero value.
+		var b1, b2 float64
+		if k1 > 0 {
+			b1 = float64(k1) * lp[s]
+		}
+		if n1-k1 > 0 {
+			b1 += float64(n1-k1) * lq[s]
+		}
+		if k2 > 0 {
+			b2 = float64(k2) * lp[s]
+		}
+		if n2-k2 > 0 {
+			b2 += float64(n2-k2) * lq[s]
+		}
+		dst[i] = LogLikRatio(b1+b2, la1[k1]+la2[k2])
+	}
+}
+
+// Prewarm materializes the entry for (n1, n2, pooledPositives) without
+// recording a hit or a miss, returning true when this call simulated a fresh
+// entry and false when the entry already existed. The pre-warm pass runs
+// before the pair sweep, so sweep-side hit/miss counters keep describing
+// sweep traffic; entries created here are byte-identical to entries the sweep
+// would have created (simulation streams depend only on seed and key).
+func (c *PairNullCache) Prewarm(n1, n2, pooledPositives int) (filled bool) {
+	if c.worlds <= 0 {
+		return false
+	}
+	if n1 > n2 {
+		n1, n2 = n2, n1
+	}
+	key := pairNullKey{n1: n1, n2: n2, pooledPositives: pooledPositives}
+	e, hit := c.lookupOrInsert(key)
+	e.once.Do(func() { e.sorted = c.simulate(key) })
+	e.lastUsed.Store(c.tick.Add(1))
+	return !hit
+}
+
+// Capacity returns the maximum number of entries the cache retains before
+// evicting (the configured bound rounded up to a multiple of the shard
+// count). Pre-warm passes stop filling at this bound: past it, fills would
+// only evict each other.
+func (c *PairNullCache) Capacity() int {
+	return c.perShard * nullCacheShards
 }
 
 // NullCacheReferenceP computes, with no cache at all, the p-value a

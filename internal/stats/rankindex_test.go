@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// rankTestSample draws a sorted sample whose tie density is controlled by
+// quantize: 0 leaves continuous (almost surely distinct) values, larger
+// values round onto a coarse lattice so within- and cross-sample ties abound.
+func rankTestSample(rng *RNG, n int, quantize float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		v := rng.NormFloat64()*10 + rng.Float64()
+		if quantize > 0 {
+			v = math.Round(v/quantize) * quantize
+		}
+		xs[i] = v
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// crossCountRef is the brute-force oracle: #{(x, y) : x > y} and whether any
+// cross-sample tie exists.
+func crossCountRef(xs, ys []float64) (cross int, tied bool) {
+	for _, x := range xs {
+		for _, y := range ys {
+			if x > y {
+				cross++
+			} else if x == y {
+				tied = true
+			}
+		}
+	}
+	return cross, tied
+}
+
+func TestOrderedKeyPreservesOrder(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -3.5, -1, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 0.5, 1, 2.75, 1e300, math.Inf(1)}
+	for i, a := range vals {
+		for j, b := range vals {
+			ka, kb := OrderedKey(a), OrderedKey(b)
+			switch {
+			case a < b && !(ka < kb):
+				t.Fatalf("OrderedKey(%v) >= OrderedKey(%v) but %v < %v", a, b, a, b)
+			case a == b && ka != kb:
+				t.Fatalf("OrderedKey(%v) != OrderedKey(%v) for equal values (i=%d j=%d)", a, b, i, j)
+			case a > b && !(ka > kb):
+				t.Fatalf("OrderedKey(%v) <= OrderedKey(%v) but %v > %v", a, b, a, b)
+			}
+			if ka == ^uint64(0) {
+				t.Fatalf("OrderedKey(%v) collides with the sentinel key", a)
+			}
+		}
+	}
+}
+
+func TestNewRankGridDegenerate(t *testing.T) {
+	cases := []struct{ lo, hi float64 }{
+		{1, 1}, {2, 1}, {math.NaN(), 1}, {0, math.NaN()},
+		{math.Inf(-1), 0}, {0, math.Inf(1)}, {-math.MaxFloat64, math.MaxFloat64},
+	}
+	for _, c := range cases {
+		if _, ok := NewRankGrid(c.lo, c.hi, RankGridBuckets); ok {
+			// The full-float span makes the scale underflow to zero; the rest
+			// are non-finite or empty spans. All must be rejected.
+			if !(math.IsInf(c.lo, 0) || math.IsInf(c.hi, 0)) && c.lo == -math.MaxFloat64 {
+				continue
+			}
+			t.Fatalf("NewRankGrid(%v, %v) unexpectedly ok", c.lo, c.hi)
+		}
+	}
+	if _, ok := NewRankGrid(0, 1, RankGridBuckets); !ok {
+		t.Fatal("NewRankGrid(0, 1) should be ok")
+	}
+}
+
+// TestCrossCountMatchesBruteForce drives the bucket kernels against the
+// brute-force cross count over a spread of sizes, tie densities, and grids —
+// including grids narrower than the data so clamping is exercised.
+func TestCrossCountMatchesBruteForce(t *testing.T) {
+	rng := NewRNG(0xC20551)
+	for trial := 0; trial < 400; trial++ {
+		quantize := 0.0
+		switch trial % 4 {
+		case 1:
+			quantize = 2
+		case 2:
+			quantize = 8
+		case 3:
+			quantize = 0.25
+		}
+		n1 := rng.Intn(60)
+		n2 := rng.Intn(60)
+		xs := rankTestSample(rng, n1, quantize)
+		ys := rankTestSample(rng, n2, quantize)
+
+		lo, hi := -40.0, 40.0
+		if trial%5 == 0 {
+			lo, hi = -5, 5 // force edge-bucket clamping
+		}
+		grid, ok := NewRankGrid(lo, hi, 64)
+		if !ok {
+			t.Fatal("grid construction failed")
+		}
+		var ra, rb RankedSample
+		FillRankedSample(grid, xs, &ra)
+		FillRankedSample(grid, ys, &rb)
+
+		if ra.Distinct != StrictlyIncreasing(xs) || rb.Distinct != StrictlyIncreasing(ys) {
+			t.Fatalf("trial %d: Distinct flag disagrees with StrictlyIncreasing", trial)
+		}
+
+		wantCross, wantTied := crossCountRef(xs, ys)
+		if ra.Distinct && rb.Distinct {
+			cross, okTies := CrossCount(&ra, &rb)
+			if okTies != !wantTied {
+				t.Fatalf("trial %d: CrossCount ok=%v, want tied=%v (n1=%d n2=%d)", trial, okTies, wantTied, n1, n2)
+			}
+			if okTies && cross != wantCross {
+				t.Fatalf("trial %d: CrossCount=%d want %d", trial, cross, wantCross)
+			}
+			if !wantTied {
+				if got := CrossCountNoTies(&ra, &rb); got != wantCross {
+					t.Fatalf("trial %d: CrossCountNoTies=%d want %d", trial, got, wantCross)
+				}
+			}
+		}
+	}
+}
+
+// TestMannWhitneyFromCrossBitMatches asserts the bucket-kernel path produces
+// bit-identical results to the general tie-aware merge on tie-free pairs.
+func TestMannWhitneyFromCrossBitMatches(t *testing.T) {
+	rng := NewRNG(0xC20552)
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		n1 := 1 + rng.Intn(80)
+		n2 := 1 + rng.Intn(80)
+		xs := rankTestSample(rng, n1, 0)
+		ys := rankTestSample(rng, n2, 0)
+		grid, _ := NewRankGrid(-45, 45, RankGridBuckets)
+		var ra, rb RankedSample
+		FillRankedSample(grid, xs, &ra)
+		FillRankedSample(grid, ys, &rb)
+		if !ra.Distinct || !rb.Distinct {
+			continue
+		}
+		cross, ok := CrossCount(&ra, &rb)
+		if !ok {
+			continue
+		}
+		checked++
+		got := MannWhitneyFromCross(cross, n1, n2)
+		want := MannWhitneyUSorted(xs, ys)
+		if got != want {
+			t.Fatalf("trial %d: MannWhitneyFromCross=%+v want %+v", trial, got, want)
+		}
+		if gotNT := MannWhitneyFromCross(CrossCountNoTies(&ra, &rb), n1, n2); gotNT != want {
+			t.Fatalf("trial %d: no-ties kernel %+v want %+v", trial, gotNT, want)
+		}
+	}
+	if checked < 250 {
+		t.Fatalf("only %d tie-free trials; generator is producing unexpected ties", checked)
+	}
+}
+
+// TestNoTiesMergeKernelsBitMatch drives the specialized merge kernels
+// (MannWhitneyUSortedNoTies, KolmogorovSmirnovSortedNoTies) against the
+// general kernels: bit-identical results on tie-free input, ok=false exactly
+// when a cross-sample tie exists.
+func TestNoTiesMergeKernelsBitMatch(t *testing.T) {
+	rng := NewRNG(0xC20553)
+	bails := 0
+	for trial := 0; trial < 500; trial++ {
+		n1 := rng.Intn(50)
+		n2 := rng.Intn(50)
+		xs := rankTestSample(rng, n1, 0)
+		ys := rankTestSample(rng, n2, 0)
+		if trial%3 == 0 && n1 > 0 && n2 > 0 {
+			// Plant a cross-sample tie without breaking within-distinctness.
+			ys[rng.Intn(n2)] = xs[rng.Intn(n1)]
+			sort.Float64s(ys)
+		}
+		if !StrictlyIncreasing(xs) || !StrictlyIncreasing(ys) {
+			continue
+		}
+		_, wantTied := crossCountRef(xs, ys)
+
+		mw, ok := MannWhitneyUSortedNoTies(xs, ys)
+		if ok == wantTied && n1 > 0 && n2 > 0 {
+			t.Fatalf("trial %d: MannWhitneyUSortedNoTies ok=%v, cross ties=%v", trial, ok, wantTied)
+		}
+		if ok {
+			want := MannWhitneyUSorted(xs, ys)
+			if n1 == 0 || n2 == 0 {
+				if !math.IsNaN(mw.P) || !math.IsNaN(want.P) {
+					t.Fatalf("trial %d: empty-sample P not NaN", trial)
+				}
+			} else if mw != want {
+				t.Fatalf("trial %d: MannWhitneyUSortedNoTies=%+v want %+v", trial, mw, want)
+			}
+		} else {
+			bails++
+		}
+
+		ks, ok := KolmogorovSmirnovSortedNoTies(xs, ys)
+		if ok == wantTied && n1 > 0 && n2 > 0 {
+			t.Fatalf("trial %d: KolmogorovSmirnovSortedNoTies ok=%v, cross ties=%v", trial, ok, wantTied)
+		}
+		if ok && n1 > 0 && n2 > 0 {
+			if want := KolmogorovSmirnovSorted(xs, ys); ks != want {
+				t.Fatalf("trial %d: KolmogorovSmirnovSortedNoTies=%+v want %+v", trial, ks, want)
+			}
+		}
+	}
+	if bails == 0 {
+		t.Fatal("no planted cross ties exercised the bail path")
+	}
+}
+
+// TestRankKernelsZeroAlloc pins the steady-state pair kernels at zero
+// allocations per call, in agreement with their //lint:hotpath annotations.
+func TestRankKernelsZeroAlloc(t *testing.T) {
+	rng := NewRNG(0xC20554)
+	xs := rankTestSample(rng, 200, 0)
+	ys := rankTestSample(rng, 150, 0)
+	grid, _ := NewRankGrid(-45, 45, RankGridBuckets)
+	var ra, rb RankedSample
+	FillRankedSample(grid, xs, &ra)
+	FillRankedSample(grid, ys, &rb)
+
+	if n := testing.AllocsPerRun(100, func() {
+		cross, ok := CrossCount(&ra, &rb)
+		if !ok {
+			t.Fatal("unexpected tie")
+		}
+		_ = MannWhitneyFromCross(cross, ra.N, rb.N)
+		_ = CrossCountNoTies(&ra, &rb)
+	}); n != 0 {
+		t.Fatalf("bucket kernels allocate %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := MannWhitneyUSortedNoTies(xs, ys); !ok {
+			t.Fatal("unexpected tie")
+		}
+		if _, ok := KolmogorovSmirnovSortedNoTies(xs, ys); !ok {
+			t.Fatal("unexpected tie")
+		}
+	}); n != 0 {
+		t.Fatalf("no-ties merge kernels allocate %.1f per run, want 0", n)
+	}
+}
+
+// TestFillRankedSampleReusesBuffers verifies arena-backed refills don't grow
+// or replace caller-provided slices.
+func TestFillRankedSampleReusesBuffers(t *testing.T) {
+	rng := NewRNG(0xC20555)
+	grid, _ := NewRankGrid(-45, 45, 64)
+	rs := RankedSample{
+		Keys: make([]uint64, 34),
+		Buk:  make([]int32, 32),
+		Pre:  make([]int32, 65),
+	}
+	keysPtr := &rs.Keys[0]
+	sample := rankTestSample(rng, 32, 0)
+	if n := testing.AllocsPerRun(50, func() {
+		FillRankedSample(grid, sample, &rs)
+	}); n != 0 {
+		t.Fatalf("FillRankedSample allocates %.1f per run with adequate buffers, want 0", n)
+	}
+	if &rs.Keys[0] != keysPtr {
+		t.Fatal("FillRankedSample replaced an adequately-sized Keys buffer")
+	}
+}

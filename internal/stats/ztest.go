@@ -19,18 +19,31 @@ type TwoProportionZResult struct {
 // "not dissimilar" — except when either n is zero, which returns P = NaN so
 // callers can treat the pair as non-comparable.
 func TwoProportionZ(k1, n1, k2, n2 int) TwoProportionZResult {
-	if n1 <= 0 || n2 <= 0 {
+	z := TwoProportionZStat(k1, n1, k2, n2)
+	if math.IsNaN(z) {
 		return TwoProportionZResult{Z: math.NaN(), P: math.NaN()}
+	}
+	return TwoProportionZResult{Z: z, P: TwoSidedP(z)}
+}
+
+// TwoProportionZStat is TwoProportionZ's test statistic alone: NaN for empty
+// samples, exactly 0 for a degenerate pooled proportion (where the full test
+// reports P = 1, which equals TwoSidedP(0) bit-for-bit). Callers that only
+// need a threshold decision pair it with a TwoSidedPGate and skip the erfc.
+//
+//lint:hotpath
+func TwoProportionZStat(k1, n1, k2, n2 int) float64 {
+	if n1 <= 0 || n2 <= 0 {
+		return math.NaN()
 	}
 	p1 := float64(k1) / float64(n1)
 	p2 := float64(k2) / float64(n2)
 	pooled := float64(k1+k2) / float64(n1+n2)
 	if pooled <= 0 || pooled >= 1 {
-		return TwoProportionZResult{Z: 0, P: 1}
+		return 0
 	}
 	se := math.Sqrt(pooled * (1 - pooled) * (1/float64(n1) + 1/float64(n2)))
-	z := (p1 - p2) / se
-	return TwoProportionZResult{Z: z, P: TwoSidedP(z)}
+	return (p1 - p2) / se
 }
 
 // OneProportionZ tests H0: the success probability underlying k/n equals p0.

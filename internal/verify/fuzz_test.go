@@ -3,6 +3,7 @@ package verify
 import (
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"lcsf/internal/geo"
@@ -118,6 +119,46 @@ func FuzzPairNullCache(f *testing.F) {
 						round, kn1, kn2, kp, obs, got, want)
 				}
 			}
+		}
+	})
+}
+
+// FuzzFillPairNull differentially fuzzes the batched null-cache fill against
+// the uncached oracle: the p-value derived from a FillPairNull buffer by
+// binary search must be bit-identical to NullCacheReferenceP for every
+// (seed, worlds, key, observed) — across both fill paths (the lazily-tabled
+// log kernel for keys with n1+n2 within the table bound and the direct
+// per-world fallback above it), both key orientations, and degenerate pooled
+// counts (0 and n1+n2).
+func FuzzFillPairNull(f *testing.F) {
+	f.Add(uint64(7), 33, 40, 25, 12, 1.5)
+	f.Add(uint64(0xF111ED), 64, 1, 1, 0, 0.0)
+	f.Add(uint64(3), 16, 1500, 1400, 900, 2.0) // n1+n2 above the table bound
+	f.Add(uint64(5), 48, 300, 300, 372, -1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, worlds, n1, n2, pooled int, observed float64) {
+		worlds = 1 + absRem(worlds, 96)
+		n1 = 1 + absRem(n1, 1600)
+		n2 = 1 + absRem(n2, 1600)
+		pooled = absRem(pooled, n1+n2+1)
+		if math.IsNaN(observed) {
+			observed = 0 // NaN is unordered; no audit statistic is NaN
+		}
+		buf := make([]float64, worlds)
+		stats.FillPairNull(buf, seed, n1, n2, pooled)
+		if !sort.Float64sAreSorted(buf) {
+			t.Fatalf("FillPairNull(%d,%d,%d) buffer not sorted", n1, n2, pooled)
+		}
+		idx := sort.SearchFloat64s(buf, observed)
+		got := float64(1+worlds-idx) / float64(worlds+1)
+		want := stats.NullCacheReferenceP(seed, worlds, n1, n2, pooled, observed)
+		if got != want {
+			t.Fatalf("key (%d,%d,%d) worlds=%d obs %v: batched fill p = %v, uncached reference = %v",
+				n1, n2, pooled, worlds, observed, got, want)
+		}
+		swapped := make([]float64, worlds)
+		stats.FillPairNull(swapped, seed, n2, n1, pooled)
+		if !reflect.DeepEqual(buf, swapped) {
+			t.Fatalf("key (%d,%d,%d): swapped orientation filled a different sample", n1, n2, pooled)
 		}
 	})
 }
