@@ -36,12 +36,21 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'AuditDense/R=[0-9]+/(dense|indexed)' -benchtime 1x -race .
 
 # CI perf-regression gate: re-run the dense-audit benchmark at the committed
-# trajectory's reference size (R=3000) and fail if pair throughput dropped
-# more than 20% below the committed BENCH_audit.json row. Machine noise sits
-# well inside the tolerance; a >20% drop means the engine regressed.
+# trajectory's reference row — matched by region count AND worker count so
+# the comparison is like-for-like — and fail if pair throughput dropped more
+# than 20% below the committed BENCH_audit.json row. Machine noise sits well
+# inside the tolerance; a >20% drop means the engine regressed. The same
+# invocation then runs the worker-scaling check: fresh workers=1 vs
+# workers=4 audits must reach >=0.7x the machine's ideal speedup (the ideal
+# is min(workers, cpus), so single-core runners gate fan-out overhead
+# instead of demanding impossible parallel speedup).
 BENCHGATE_REGIONS ?= 3000
+BENCHGATE_WORKERS ?= 1
 bench-gate:
-	$(GO) run ./cmd/lcsf-bench -bench-gate BENCH_audit.json -bench-gate-regions $(BENCHGATE_REGIONS)
+	$(GO) run ./cmd/lcsf-bench -bench-gate BENCH_audit.json \
+		-bench-gate-regions $(BENCHGATE_REGIONS) \
+		-bench-gate-workers $(BENCHGATE_WORKERS) \
+		-bench-gate-scaling
 
 # Project-specific static analysis (see internal/lint and README's "Static
 # analysis" section): determinism, RNG discipline, float safety, nil-safe

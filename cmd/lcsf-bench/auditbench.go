@@ -39,10 +39,21 @@ type auditBenchResult struct {
 	Regions     int     `json:"regions"`
 	Pairs       int     `json:"pairs"`
 	Workers     int     `json:"workers"`
+	CPUs        int     `json:"cpus"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	PairsPerSec float64 `json:"pairs_per_sec"`
+	// ScalingEfficiency is set on worker-matrix rows: the row's speedup over
+	// the matching workers=1 row divided by the ideal speedup min(workers,
+	// cpus) — 1.0 is perfectly linear scaling, and the ideal accounts for
+	// worker counts beyond the machine's cores (where the honest ideal is
+	// flat, not linear).
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	// PhaseSeconds is the instrumented run's wall-clock breakdown by
+	// pipeline phase (partition, index, prepare, prewarm, sweep, fdr).
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 
 	CandidateGen     string  `json:"candidate_gen"`
 	WindowCandidates int64   `json:"window_candidates"`
@@ -102,6 +113,8 @@ func runAuditBench(regions int, cfg core.Config) (auditBenchResult, error) {
 		Regions:     regions,
 		Pairs:       pairs,
 		Workers:     workers,
+		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		NsPerOp:     ns,
 		AllocsPerOp: br.AllocsPerOp(),
 		BytesPerOp:  br.AllocedBytesPerOp(),
@@ -136,7 +149,46 @@ func runAuditBench(regions int, cfg core.Config) (auditBenchResult, error) {
 	}
 	res.PrewarmKeys = s.Counter(obs.MMCNullPrewarmKeys)
 	res.PrewarmWorlds = s.Counter(obs.MMCNullPrewarmWorlds)
+	res.PhaseSeconds = map[string]float64{}
+	for name, metric := range map[string]string{
+		"partition": obs.MAuditPhasePartitionSeconds,
+		"index":     obs.MAuditPhaseIndexSeconds,
+		"prepare":   obs.MAuditPhasePrepareSeconds,
+		"prewarm":   obs.MAuditPhasePrewarmSeconds,
+		"sweep":     obs.MAuditPhaseSweepSeconds,
+		"fdr":       obs.MAuditPhaseFDRSeconds,
+	} {
+		if h, ok := s.Histograms[metric]; ok {
+			res.PhaseSeconds[name] = h.Sum
+		}
+	}
 	return res, nil
+}
+
+// auditBenchMatrixRegions is the size the worker-scaling matrix runs at:
+// large enough that the sweep dominates (so scaling reflects the parallel
+// pipeline, not fixed setup costs), small enough that four extra timed rows
+// stay affordable.
+const auditBenchMatrixRegions = 3000
+
+// auditBenchMatrixWorkers is the worker counts the scaling matrix sweeps.
+// The workers=1 row doubles as the single-core reference row the bench gate
+// and the README's perf notes quote.
+var auditBenchMatrixWorkers = []int{1, 2, 4, 8}
+
+// idealSpeedup is the honest linear-scaling ceiling for a worker count on
+// this machine: workers beyond the core count cannot add speedup, so the
+// ideal flattens at min(workers, cpus). Efficiency normalized this way stays
+// meaningful on small CI boxes (on a 1-CPU machine every worker count has an
+// ideal of 1× and efficiency measures pure scheduling overhead).
+func idealSpeedup(workers int) float64 {
+	if cpus := runtime.NumCPU(); workers > cpus {
+		workers = cpus
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return float64(workers)
 }
 
 // writeAuditBench runs the dense-audit benchmark at every tracked size —
@@ -168,6 +220,30 @@ func writeAuditBench(path string, full bool) error {
 		if r >= auditBenchMaxSize {
 			cfg.CandidateGen = core.CandidateIndexed
 		}
+		if r == auditBenchMatrixRegions {
+			// The matrix size gets one row per worker count instead of a
+			// single machine-default row, so the trajectory records scaling,
+			// not just throughput, and every (regions, workers) key is unique.
+			var base float64
+			for _, w := range auditBenchMatrixWorkers {
+				wcfg := cfg
+				wcfg.Workers = w
+				res, err := runAuditBench(r, wcfg)
+				if err != nil {
+					return fmt.Errorf("R=%d workers=%d: %w", r, w, err)
+				}
+				if w == 1 {
+					base = res.PairsPerSec
+				}
+				if base > 0 {
+					res.ScalingEfficiency = (res.PairsPerSec / base) / idealSpeedup(w)
+				}
+				fmt.Printf("audit-bench R=%d workers=%d: %.3fs/op, %.0f pairs/sec, scaling efficiency %.2f (sweep %.3fs)\n",
+					r, w, float64(res.NsPerOp)/1e9, res.PairsPerSec, res.ScalingEfficiency, res.PhaseSeconds["sweep"])
+				out.Benchmarks = append(out.Benchmarks, res)
+			}
+			continue
+		}
 		res, err := runAuditBench(r, cfg)
 		if err != nil {
 			return fmt.Errorf("R=%d: %w", r, err)
@@ -190,11 +266,14 @@ func writeAuditBench(path string, full bool) error {
 const benchGateTolerance = 0.20
 
 // runBenchGate is the CI perf-regression check: re-run the dense-audit
-// benchmark at the committed trajectory's reference size and fail if pair
-// throughput dropped more than benchGateTolerance below the committed row.
-// The reference row is the one with Regions == refRegions; refRegions <= 0
-// selects the largest committed row, which is the most pruning-sensitive.
-func runBenchGate(path string, refRegions int) error {
+// benchmark at the committed trajectory's reference row and fail if pair
+// throughput dropped more than benchGateTolerance below it. The reference
+// row is matched by Regions AND Workers so the comparison is like-for-like
+// (the fresh run is pinned to the committed row's worker count, never the
+// machine default): refRegions <= 0 selects the largest committed size, and
+// refWorkers <= 0 selects the smallest worker count at that size — the
+// single-core row, which is the least machine-dependent reference.
+func runBenchGate(path string, refRegions, refWorkers int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading committed trajectory: %w", err)
@@ -206,22 +285,32 @@ func runBenchGate(path string, refRegions int) error {
 	var ref *auditBenchResult
 	for i := range committed.Benchmarks {
 		row := &committed.Benchmarks[i]
-		if refRegions > 0 {
-			if row.Regions == refRegions {
-				ref = row
-			}
-		} else if ref == nil || row.Regions > ref.Regions {
+		if refRegions > 0 && row.Regions != refRegions {
+			continue
+		}
+		if refWorkers > 0 && row.Workers != refWorkers {
+			continue
+		}
+		switch {
+		case ref == nil:
+			ref = row
+		case row.Regions > ref.Regions:
+			ref = row
+		case row.Regions == ref.Regions && row.Workers < ref.Workers:
 			ref = row
 		}
 	}
 	if ref == nil {
-		return fmt.Errorf("%s has no committed row for R=%d", path, refRegions)
+		return fmt.Errorf("%s has no committed row for R=%d workers=%d", path, refRegions, refWorkers)
 	}
 	if ref.PairsPerSec <= 0 {
 		return fmt.Errorf("committed row R=%d has no pairs/sec to gate against", ref.Regions)
 	}
-	fmt.Printf("bench-gate: committed R=%d at %.0f pairs/sec, rerunning...\n", ref.Regions, ref.PairsPerSec)
-	res, err := runAuditBench(ref.Regions, core.DefaultConfig())
+	fmt.Printf("bench-gate: committed R=%d workers=%d at %.0f pairs/sec, rerunning...\n",
+		ref.Regions, ref.Workers, ref.PairsPerSec)
+	cfg := core.DefaultConfig()
+	cfg.Workers = ref.Workers
+	res, err := runAuditBench(ref.Regions, cfg)
 	if err != nil {
 		return fmt.Errorf("R=%d: %w", ref.Regions, err)
 	}
@@ -231,6 +320,58 @@ func runBenchGate(path string, refRegions int) error {
 	if res.PairsPerSec < floor {
 		return fmt.Errorf("pair throughput regressed: %.0f pairs/sec is %.1f%% below the committed %.0f (tolerance %.0f%%)",
 			res.PairsPerSec, 100*(1-res.PairsPerSec/ref.PairsPerSec), ref.PairsPerSec, 100*benchGateTolerance)
+	}
+	return nil
+}
+
+// benchGateScalingWorkers and benchGateScalingFloor pin the CI scaling
+// check: a fresh workers=benchGateScalingWorkers run must reach at least
+// benchGateScalingFloor of its ideal speedup over a fresh workers=1 run.
+const (
+	benchGateScalingWorkers = 4
+	benchGateScalingFloor   = 0.70
+)
+
+// runBenchGateScaling is the CI worker-scaling check: measure a fresh
+// workers=1 and workers=4 audit at the matrix size and fail if the measured
+// speedup falls below 0.7× the ideal for this machine. Both rows are
+// measured in-process on the same box, so the check needs no committed
+// reference and is immune to hardware drift; the ideal is min(workers,
+// cpus), so on a single-core runner the check degrades to "fan-out overhead
+// costs at most 30%" rather than demanding impossible parallel speedup.
+func runBenchGateScaling(regions int) error {
+	if regions <= 0 {
+		regions = auditBenchMatrixRegions
+	}
+	measure := func(w int) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.Workers = w
+		res, err := runAuditBench(regions, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("R=%d workers=%d: %w", regions, w, err)
+		}
+		fmt.Printf("bench-gate-scaling: R=%d workers=%d: %.3fs/op, %.0f pairs/sec\n",
+			regions, w, float64(res.NsPerOp)/1e9, res.PairsPerSec)
+		return res.PairsPerSec, nil
+	}
+	base, err := measure(1)
+	if err != nil {
+		return err
+	}
+	if base <= 0 {
+		return fmt.Errorf("workers=1 run produced no throughput to scale against")
+	}
+	pps, err := measure(benchGateScalingWorkers)
+	if err != nil {
+		return err
+	}
+	ideal := idealSpeedup(benchGateScalingWorkers)
+	eff := (pps / base) / ideal
+	fmt.Printf("bench-gate-scaling: speedup %.2fx of %.0fx ideal (efficiency %.2f, floor %.2f, cpus=%d)\n",
+		pps/base, ideal, eff, benchGateScalingFloor, runtime.NumCPU())
+	if eff < benchGateScalingFloor {
+		return fmt.Errorf("worker scaling regressed: workers=%d efficiency %.2f is below the %.2f floor (speedup %.2fx of %.0fx ideal)",
+			benchGateScalingWorkers, eff, benchGateScalingFloor, pps/base, ideal)
 	}
 	return nil
 }

@@ -39,6 +39,8 @@ func main() {
 		dbench  = flag.String("delta-bench", "", "run the incremental delta-audit benchmarks (R=400, 1000), append results to this JSON file, and exit")
 		bgate   = flag.String("bench-gate", "", "re-run the reference dense-audit benchmark and exit non-zero if pairs/sec dropped >20% below this committed trajectory file")
 		bgateR  = flag.Int("bench-gate-regions", 3000, "reference region count for -bench-gate (<=0 selects the largest committed row)")
+		bgateW  = flag.Int("bench-gate-workers", 1, "reference worker count for -bench-gate; the fresh run is pinned to the matched row's worker count (<=0 selects the smallest committed worker count at the reference size)")
+		bscale  = flag.Bool("bench-gate-scaling", false, "measure fresh workers=1 vs workers=4 audits at the matrix size and exit non-zero if scaling efficiency falls below 0.7x the machine's ideal")
 	)
 	flag.Parse()
 
@@ -48,9 +50,16 @@ func main() {
 		}
 		return
 	}
-	if *bgate != "" {
-		if err := runBenchGate(*bgate, *bgateR); err != nil {
-			log.Fatalf("bench-gate: %v", err)
+	if *bgate != "" || *bscale {
+		if *bgate != "" {
+			if err := runBenchGate(*bgate, *bgateR, *bgateW); err != nil {
+				log.Fatalf("bench-gate: %v", err)
+			}
+		}
+		if *bscale {
+			if err := runBenchGateScaling(*bgateR); err != nil {
+				log.Fatalf("bench-gate-scaling: %v", err)
+			}
 		}
 		return
 	}

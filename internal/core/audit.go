@@ -312,11 +312,11 @@ type auditHooks struct {
 // instead (a ~ns amortized cost against µs-scale pair work).
 const cancelCheckInterval = 256
 
-// auditRowChunk is how many outer-loop rows a worker claims per scheduler
-// fetch. Rows shrink toward the end of the triangle, so a small chunk keeps
-// the tail balanced while amortizing the atomic counter on audits with many
-// thousands of rows.
-const auditRowChunk = 4
+// AuditContext's sweep claims outer-loop rows through the work-stealing
+// rowScheduler (sched.go), which replaced the global atomic row counter: a
+// worker's consecutive claims are consecutive rows, preserving partner-window
+// locality, and tail imbalance is absorbed by stealing instead of by tiny
+// chunks.
 
 // AuditContext is Audit with cancellation: a dense audit over thousands of
 // regions can take seconds, and callers such as the HTTP service need to
@@ -383,20 +383,25 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 	if hooks.nullCache != nil {
 		run.nullCache = hooks.nullCache
 	}
+	col.ObserveSeconds(obs.MAuditPhasePartitionSeconds, now().Sub(start))
 
 	// Candidate generation: under CandidateDense the plan walks the full
 	// upper triangle; otherwise the runner builds per-region summaries,
-	// sorted 1-D orders, and per-probe prune windows (see candidates.go).
-	// Indexed and dense plans yield the identical flagged set — windows and
-	// summary bounds only skip pairs the exact gates provably reject. The
-	// plan is built before the precompute phase so finishPrepare can weigh
-	// its expected pair volume when deciding global analyses (the plan
-	// depends only on region summaries, never on prepared caches).
+	// sorted 1-D orders, and per-probe prune windows (see candidates.go) —
+	// summarization, the per-dimension sorts, and the window fills all
+	// parallelized with deterministic merges. Indexed and dense plans yield
+	// the identical flagged set — windows and summary bounds only skip pairs
+	// the exact gates provably reject. The plan is built before the
+	// precompute phase so finishPrepare can weigh its expected pair volume
+	// when deciding global analyses (the plan depends only on region
+	// summaries, never on prepared caches).
+	indexStart := now()
 	if cfg.CandidateGen != CandidateDense {
-		run.buildIndex()
+		run.buildIndexWorkers(workers)
 	}
 	indexed := run.plan.indexed
 	run.fillLogLik()
+	col.ObserveSeconds(obs.MAuditPhaseIndexSeconds, now().Sub(indexStart))
 
 	// Phase 1: parallel precompute. Each prepared gate metric builds its
 	// per-region cache exactly once, claimed dynamically off an atomic
@@ -404,6 +409,7 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 	// writes land at disjoint preassigned indices and the phase needs no
 	// other synchronization — its output is position-determined regardless
 	// of which worker prepared which region.
+	prepPhaseStart := now()
 	if run.sim.needsPrepare() || run.diss.needsPrepare() {
 		prepStart := now()
 		run.sim.beginPrepare(run.regions)
@@ -441,37 +447,56 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 		col.Count(obs.MAuditPreparedRegions, int64(preparedMetrics*len(run.regions)))
 		col.ObserveSeconds(obs.MAuditPrepareSeconds, now().Sub(prepStart))
 	}
+	run.buildFastPath()
+	col.ObserveSeconds(obs.MAuditPhasePrepareSeconds, now().Sub(prepPhaseStart))
 
 	// Pre-warm the shared null cache: materialize every (n1, n2, pooled)
 	// signature the sweep could miss on BEFORE the pair loop, so workers
 	// almost never simulate inline. Entries are key-seeded, so a prewarmed
-	// cache answers bit-identically to a cold one.
+	// cache answers bit-identically to a cold one. The prewarm barrier is
+	// also the freeze point: the cache's fill state is snapshotted into a
+	// read-only flat index (stats.FrozenNullCache) that sweep workers probe
+	// lock-free; keys born later (a delta repair, a capacity overflow) fall
+	// through to the live cache, bit-identically.
+	prewarmStart := now()
 	run.prewarmNullCache(ctx, workers, col, now)
+	run.frozen = run.nullCache.Freeze()
+	col.ObserveSeconds(obs.MAuditPhasePrewarmSeconds, now().Sub(prewarmStart))
 	if err := ctx.Err(); err != nil {
 		return canceled(err)
 	}
 
-	// Phase 2: the pair sweep. Workers claim outer-loop probe rows in small
-	// chunks off an atomic counter — deterministic dynamic scheduling: which
-	// worker scores a pair never affects its result (per-pair Monte-Carlo
-	// seeds are identity-derived, shared null-cache entries are key-seeded,
-	// per-worker state is score-neutral scratch), and the final sort fixes
-	// the ordering, so the schedule only shapes wall time. Static striping
-	// used to serialize early heavy rows on one worker; chunked claiming
-	// keeps every worker on the heavy head of the triangle.
+	// Phase 2: the pair sweep. Workers claim outer-loop probe rows through
+	// the work-stealing rowScheduler — deterministic dynamic scheduling:
+	// which worker scores a pair never affects its result (per-pair
+	// Monte-Carlo seeds are identity-derived, shared null-cache entries are
+	// key-seeded, per-worker state is score-neutral scratch), and the final
+	// sort fixes the ordering, so the schedule only shapes wall time. Each
+	// worker starts on a contiguous span of rows and steals only when its
+	// span drains, so consecutive claims keep overlapping partner windows
+	// cache-resident; steals are counted in per-worker padded shards and
+	// published once at phase end.
+	sweepStart := now()
 	type shard struct {
 		pairs      []UnfairPair
 		tally      pairTally
 		candidates int
 	}
 	shards := make([]shard, workers)
-	var nextRow atomic.Int64
+	run.pairBufs = growSlice(run.pairBufs, workers)
+	sched := newRowScheduler(len(run.regions), workers)
+	steals := obs.NewShardedCounter(workers)
+	keepScores := run.fdr || hooks.keepAll
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			sh := &shards[w]
+			// The pair buffer is pooled across audits like the SoA arenas:
+			// flagged-pair counts are stable across runs of the same shape,
+			// so steady-state sweeps append into recycled capacity.
+			sh.pairs = run.pairBufs[w][:0]
 			var shardStart time.Time
 			if col != nil {
 				shardStart = now()
@@ -487,6 +512,7 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 			// the current probe, polling for cancellation and filtering
 			// indexed candidates through the O(1) summary bounds before the
 			// exact cascade. Returning false aborts the enumeration.
+			useFast := run.fastOK
 			visit := func(jj int) bool {
 				sinceCheck++
 				if sinceCheck >= cancelCheckInterval {
@@ -501,9 +527,16 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 						return true
 					}
 				}
-				if pr, ok := run.auditPair(probe, jj, &sh.tally, &sc, rng); ok {
+				var pr UnfairPair
+				var ok bool
+				if useFast {
+					pr, ok = run.fastAuditPair(probe, jj, &sh.tally, rng, keepScores, indexed)
+				} else {
+					pr, ok = run.auditPair(probe, jj, &sh.tally, &sc, rng)
+				}
+				if ok {
 					sh.candidates++
-					if run.fdr || hooks.keepAll || pr.P <= cfg.Alpha {
+					if keepScores || pr.P <= cfg.Alpha {
 						sh.pairs = append(sh.pairs, pr)
 					}
 				}
@@ -518,39 +551,50 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 			// a pure locality lever — the pair set is unchanged.
 			keyOrder := indexed && len(run.plan.pos) == len(run.regions)
 			for {
-				rowBase := int(nextRow.Add(auditRowChunk)) - auditRowChunk
-				if rowBase >= len(run.regions) {
+				lo, hi, stole, ok := sched.next(w)
+				if !ok {
 					break
 				}
-				rowEnd := rowBase + auditRowChunk
-				if rowEnd > len(run.regions) {
-					rowEnd = len(run.regions)
+				if stole {
+					steals.Add(w, 1)
 				}
-				for r := rowBase; r < rowEnd; r++ {
+				for r := lo; r < hi; r++ {
 					ii := r
 					if keyOrder {
 						ii = int(run.plan.pos[r])
 					}
 					probe = ii
 					if !run.plan.forEachPartner(ii, len(run.regions), visit) {
+						run.pairBufs[w] = sh.pairs
 						return
 					}
 				}
 			}
+			run.pairBufs[w] = sh.pairs
 			if col != nil {
 				col.ObserveSeconds(obs.MAuditShardSeconds, now().Sub(shardStart))
 			}
 		}(w)
 	}
 	wg.Wait()
+	steals.FlushTo(col, obs.MAuditSweepSteals)
+	col.ObserveSeconds(obs.MAuditPhaseSweepSeconds, now().Sub(sweepStart))
 	if err := ctx.Err(); err != nil {
 		return canceled(err)
 	}
 	fdr := run.fdr
 
-	var tally pairTally
-	for _, sh := range shards {
+	fdrStart := now()
+	total := 0
+	for i := range shards {
+		sh := &shards[i]
 		res.Candidates += sh.candidates
+		total += len(sh.pairs)
+	}
+	res.Pairs = make([]UnfairPair, 0, total)
+	var tally pairTally
+	for i := range shards {
+		sh := &shards[i]
 		res.Pairs = append(res.Pairs, sh.pairs...)
 		tally.add(&sh.tally)
 	}
@@ -560,7 +604,8 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 		// is what the delta auditor seeds its pair cache with.
 		candidates = append([]UnfairPair(nil), res.Pairs...)
 	}
-	res.Pairs = finalizePairs(&cfg, fdr, res.Pairs)
+	res.Pairs = finalizePairsWorkers(&cfg, fdr, res.Pairs, workers)
+	col.ObserveSeconds(obs.MAuditPhaseFDRSeconds, now().Sub(fdrStart))
 
 	tally.publish(col, res)
 	if indexed {
@@ -571,7 +616,9 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 	}
 	if run.nullCache != nil {
 		hits, misses, evictions := run.nullCache.Stats()
-		col.Count(obs.MMCNullCacheHits, hits)
+		// Frozen-snapshot hits are hits of the same cache contents served
+		// lock-free; the published hit count is the sum of both paths.
+		col.Count(obs.MMCNullCacheHits, hits+tally.frozenHits)
 		col.Count(obs.MMCNullCacheMisses, misses)
 		col.Count(obs.MMCNullCacheEvictions, evictions)
 	}
@@ -594,12 +641,22 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 // lets the delta auditor assemble the same Result from a pair cache that was
 // filled across many incremental audits.
 func finalizePairs(cfg *Config, fdr bool, pairs []UnfairPair) []UnfairPair {
+	return finalizePairsWorkers(cfg, fdr, pairs, 1)
+}
+
+// finalizePairsWorkers is finalizePairs with up to workers goroutines behind
+// the two steps that scale with the candidate count — the Benjamini–Hochberg
+// threshold (BenjaminiHochbergWorkers parallelizes only the p-value sort,
+// whose sorted order is unique) and the canonical pair sort (lessUnfair is a
+// strict total order) — so the result is byte-identical at every worker
+// count.
+func finalizePairsWorkers(cfg *Config, fdr bool, pairs []UnfairPair, workers int) []UnfairPair {
 	if fdr {
 		pvals := make([]float64, len(pairs))
 		for i, pr := range pairs {
 			pvals[i] = pr.P
 		}
-		keep := stats.BenjaminiHochberg(pvals, cfg.FDR)
+		keep := stats.BenjaminiHochbergWorkers(pvals, cfg.FDR, workers)
 		kept := pairs[:0]
 		for i, pr := range pairs {
 			if keep[i] {
@@ -616,9 +673,7 @@ func finalizePairs(cfg *Config, fdr bool, pairs []UnfairPair) []UnfairPair {
 		}
 		pairs = kept
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		return lessUnfair(pairs[i], pairs[j])
-	})
+	sortUnfairPairs(pairs, workers)
 	return pairs
 }
 
@@ -653,6 +708,7 @@ type pairTally struct {
 	prescreenSkips int64 // candidates below PrescreenTau, simulation skipped
 	mcWorlds       int64 // Monte-Carlo worlds actually simulated
 	mcEarlyStops   int64 // adaptive estimates that stopped early
+	frozenHits     int64 // null-cache hits served by the frozen snapshot
 
 	// Indexed-plan counters (zero under a dense plan): pairs emitted by the
 	// window join, and emitted pairs the O(1) summary bounds (metric Bounds
@@ -670,6 +726,7 @@ func (t *pairTally) add(o *pairTally) {
 	t.prescreenSkips += o.prescreenSkips
 	t.mcWorlds += o.mcWorlds
 	t.mcEarlyStops += o.mcEarlyStops
+	t.frozenHits += o.frozenHits
 	t.windowCandidates += o.windowCandidates
 	t.boundsRejections += o.boundsRejections
 }
@@ -701,6 +758,11 @@ type auditRunner struct {
 	// nullCache, when non-nil, answers Monte-Carlo p-values from shared
 	// key-seeded null samples instead of per-pair streams.
 	nullCache *stats.PairNullCache
+	// frozen is the nullCache's read-only snapshot, taken at the prewarm
+	// barrier. Sweep workers probe it first — lock-free, allocation-free —
+	// and fall through to the live cache on a miss; both paths answer
+	// bit-identically because entries are key-seeded.
+	frozen *stats.FrozenNullCache
 
 	// Index state, populated by buildIndex (zero-valued under a dense plan):
 	// the summary index itself (retained so the delta auditor can repair it
@@ -719,6 +781,17 @@ type auditRunner struct {
 	// decision bit-for-bit (see stats.TwoSidedPGate).
 	zGate     stats.TwoSidedPGate
 	zGateFast bool
+
+	// Fast-cascade state (fastpath.go): when fastOK is set the sweep
+	// dispatches pairs to fastAuditPair, which decides the similarity gate
+	// from cross-count bounds against epsGate — the Epsilon threshold in
+	// |z| space — and defers exact scores to retained pairs.
+	epsGate stats.TwoSidedPGEGate
+	fastOK  bool
+
+	// pairBufs are the sweep's per-worker flagged-pair buffers, pooled with
+	// the runner so steady-state audits append into recycled capacity.
+	pairBufs [][]UnfairPair
 
 	// laLL caches each region's alternative-hypothesis log-likelihood
 	// MaxBernoulliLogLik(Positives, N) — a per-region constant that
@@ -751,14 +824,16 @@ func newAuditRunner(cfg Config, regions []*partition.Region) *auditRunner {
 	simSoa, dissSoa := run.sim.soa, run.diss.soa
 	simState, dissState := run.sim.state, run.diss.state
 	laLL := run.laLL[:0]
+	pairBufs := run.pairBufs[:0]
 	*run = auditRunner{
-		cfg:     cfg,
-		fdr:     cfg.FDR > 0,
-		regions: regions,
-		sim:     newPreparedScorer(cfg.Similarity),
-		diss:    newPreparedScorer(cfg.Dissimilarity),
-		plan:    &candidatePlan{},
-		laLL:    laLL,
+		cfg:      cfg,
+		fdr:      cfg.FDR > 0,
+		regions:  regions,
+		sim:      newPreparedScorer(cfg.Similarity),
+		diss:     newPreparedScorer(cfg.Dissimilarity),
+		plan:     &candidatePlan{},
+		laLL:     laLL,
+		pairBufs: pairBufs,
 	}
 	run.sim.soa, run.sim.state = simSoa, simState
 	run.diss.soa, run.diss.state = dissSoa, dissState
@@ -785,19 +860,29 @@ func recycleRunner(run *auditRunner) {
 	simSoa, dissSoa := run.sim.soa, run.diss.soa
 	simState, dissState := run.sim.state[:0], run.diss.state[:0]
 	laLL := run.laLL[:0]
+	pairBufs := run.pairBufs[:0]
 	*run = auditRunner{}
 	run.sim.soa, run.sim.state = simSoa, simState
 	run.diss.soa, run.diss.state = dissSoa, dissState
 	run.laLL = laLL
+	run.pairBufs = pairBufs
 	runnerPool.Put(run)
 }
 
-// buildIndex summarizes the eligible regions and builds the candidate plan.
-// When no window or bound provider is available under the configured metrics
-// the plan stays dense and the summary state is released.
-func (ar *auditRunner) buildIndex() {
-	ix := partition.NewSummaryIndex(ar.regions)
-	ar.plan = buildCandidatePlan(&ar.cfg, ix)
+// buildIndex summarizes the eligible regions and builds the candidate plan
+// sequentially; callers with a worker budget use buildIndexWorkers.
+func (ar *auditRunner) buildIndex() { ar.buildIndexWorkers(1) }
+
+// buildIndexWorkers summarizes the eligible regions and builds the candidate
+// plan with up to workers goroutines — parallel per-region summarization and
+// per-dimension sorts in the index, parallel window fills and emission
+// estimates in the plan, all merged deterministically so the plan is
+// byte-identical at every worker count. When no window or bound provider is
+// available under the configured metrics the plan stays dense and the summary
+// state is released.
+func (ar *auditRunner) buildIndexWorkers(workers int) {
+	ix := partition.NewSummaryIndexWorkers(ar.regions, workers)
+	ar.plan = buildCandidatePlan(&ar.cfg, ix, workers)
 	if !ar.plan.indexed {
 		return
 	}
@@ -1027,38 +1112,7 @@ func (ar *auditRunner) auditPair(ii, jj int, t *pairTally, sc *Scratch, rng *sta
 	}
 
 	tau := ar.pairLRT(ii, jj, a, b)
-	pooled := float64(a.Positives+b.Positives) / float64(a.N+b.N)
-	var pval float64
-	switch {
-	case cfg.PrescreenTau > 0 && tau <= cfg.PrescreenTau:
-		// Asymptotically tau ~ chi-square(1) under H0, so tau <= the default
-		// PrescreenTau of 2 corresponds to p ~ 0.157, far above any usable
-		// Alpha; the pair is a candidate but cannot be significant. Record
-		// the asymptotic p-value and skip the simulation.
-		t.prescreenSkips++
-		pval = stats.ChiSquareSF(math.Max(tau, 0), 1)
-	case ar.nullCache != nil:
-		// The shared null cache: one key-seeded sorted sample per count
-		// signature, p by binary search. Worlds are tallied once per fresh
-		// signature — the effort actually spent.
-		var hit bool
-		pval, hit = ar.nullCache.PValue(a.N, b.N, a.Positives+b.Positives, tau)
-		if !hit {
-			t.mcWorlds += int64(cfg.MCWorlds)
-		}
-	case ar.fdr:
-		rng.Seed(pairSeed(cfg.Seed, a.Index, b.Index))
-		pval = stats.PairMonteCarloP(rng, tau, cfg.MCWorlds, a.N, b.N, pooled)
-		t.mcWorlds += int64(cfg.MCWorlds)
-	default:
-		rng.Seed(pairSeed(cfg.Seed, a.Index, b.Index))
-		var st stats.MCStats
-		pval, _, st = stats.AdaptivePairMonteCarloPStats(rng, tau, cfg.MCWorlds, cfg.Alpha, a.N, b.N, pooled)
-		t.mcWorlds += int64(st.Worlds)
-		if st.EarlyStopped {
-			t.mcEarlyStops++
-		}
-	}
+	pval := ar.pairPValue(a, b, tau, t, rng)
 
 	pr := UnfairPair{
 		I: a.Index, J: b.Index,
@@ -1074,6 +1128,54 @@ func (ar *auditRunner) auditPair(ii, jj int, t *pairTally, sc *Scratch, rng *sta
 		pr.SharedI, pr.SharedJ = pr.SharedJ, pr.SharedI
 	}
 	return pr, true
+}
+
+// pairPValue resolves a candidate pair's p-value — the cascade's final step,
+// shared by auditPair and fastAuditPair so the two kernels cannot drift. The
+// prescreen, cache, FDR, and adaptive Monte-Carlo branches are tried in the
+// fixed order the determinism battery pins; the shared-cache branch probes
+// the frozen snapshot first (lock-free) and falls back to the live cache,
+// which answers bit-identically for any resident key.
+//
+//lint:hotpath
+func (ar *auditRunner) pairPValue(a, b *partition.Region, tau float64, t *pairTally, rng *stats.RNG) float64 {
+	cfg := &ar.cfg
+	switch {
+	case cfg.PrescreenTau > 0 && tau <= cfg.PrescreenTau:
+		// Asymptotically tau ~ chi-square(1) under H0, so tau <= the default
+		// PrescreenTau of 2 corresponds to p ~ 0.157, far above any usable
+		// Alpha; the pair is a candidate but cannot be significant. Record
+		// the asymptotic p-value and skip the simulation.
+		t.prescreenSkips++
+		return stats.ChiSquareSF(math.Max(tau, 0), 1)
+	case ar.nullCache != nil:
+		// The shared null cache: one key-seeded sorted sample per count
+		// signature, p by binary search. Worlds are tallied once per fresh
+		// signature — the effort actually spent.
+		if p, ok := ar.frozen.PValue(a.N, b.N, a.Positives+b.Positives, tau); ok {
+			t.frozenHits++
+			return p
+		}
+		pval, hit := ar.nullCache.PValue(a.N, b.N, a.Positives+b.Positives, tau)
+		if !hit {
+			t.mcWorlds += int64(cfg.MCWorlds)
+		}
+		return pval
+	case ar.fdr:
+		pooled := float64(a.Positives+b.Positives) / float64(a.N+b.N)
+		rng.Seed(pairSeed(cfg.Seed, a.Index, b.Index))
+		t.mcWorlds += int64(cfg.MCWorlds)
+		return stats.PairMonteCarloP(rng, tau, cfg.MCWorlds, a.N, b.N, pooled)
+	default:
+		pooled := float64(a.Positives+b.Positives) / float64(a.N+b.N)
+		rng.Seed(pairSeed(cfg.Seed, a.Index, b.Index))
+		pval, _, st := stats.AdaptivePairMonteCarloPStats(rng, tau, cfg.MCWorlds, cfg.Alpha, a.N, b.N, pooled)
+		t.mcWorlds += int64(st.Worlds)
+		if st.EarlyStopped {
+			t.mcEarlyStops++
+		}
+		return pval
+	}
 }
 
 // pairSeed derives a deterministic per-pair Monte-Carlo seed.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"lcsf/internal/partition"
 )
@@ -51,12 +52,39 @@ type planProvider struct {
 	estimated int64
 }
 
+// planChunks runs fn over [0, n) cut into near-equal per-worker chunks, one
+// goroutine each. Chunk boundaries are a pure function of (n, workers) and
+// each chunk writes disjoint indices, so any per-index output is identical to
+// a sequential fill; order-sensitive reductions must fold per-chunk partials
+// in chunk order (see planProvider.estimate).
+func planChunks(n, workers int, fn func(chunk, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fn(c, c*n/workers, (c+1)*n/workers)
+		}(c)
+	}
+	wg.Wait()
+}
+
 // buildCandidatePlan assembles the providers available under cfg, estimates
 // each one's emission count with per-probe binary searches, and picks the
-// cheapest. The provider order (dissimilarity window, Eta window, similarity
-// window) is fixed, so ties break deterministically. A nil index or an empty
-// provider set yields a dense plan.
-func buildCandidatePlan(cfg *Config, ix *partition.SummaryIndex) *candidatePlan {
+// cheapest, using up to workers goroutines for the per-probe window fills and
+// estimates. Every parallel piece merges deterministically (disjoint index
+// writes; partial sums folded in chunk order), so the plan is byte-identical
+// at any worker count. The provider order (dissimilarity window, Eta window,
+// similarity window) is fixed, so ties break deterministically. A nil index
+// or an empty provider set yields a dense plan.
+func buildCandidatePlan(cfg *Config, ix *partition.SummaryIndex, workers int) *candidatePlan {
 	if ix == nil {
 		return &candidatePlan{}
 	}
@@ -65,18 +93,18 @@ func buildCandidatePlan(cfg *Config, ix *partition.SummaryIndex) *candidatePlan 
 
 	var providers []*planProvider
 	if m, ok := cfg.Dissimilarity.(PrunableMetric); ok {
-		providers = append(providers, metricProvider(m, cfg.Delta, sums, env))
+		providers = append(providers, metricProvider(m, cfg.Delta, sums, env, workers))
 	}
 	if cfg.Eta > 0 {
-		providers = append(providers, etaProvider(cfg.Eta, sums))
+		providers = append(providers, etaProvider(cfg.Eta, sums, workers))
 	}
 	if m, ok := cfg.Similarity.(PrunableMetric); ok {
-		providers = append(providers, metricProvider(m, cfg.Epsilon, sums, env))
+		providers = append(providers, metricProvider(m, cfg.Epsilon, sums, env, workers))
 	}
 
 	var best *planProvider
 	for _, pr := range providers {
-		pr.estimate(ix, len(sums))
+		pr.estimate(ix, len(sums), workers)
 		if best == nil || pr.estimated < best.estimated {
 			best = pr
 		}
@@ -107,17 +135,28 @@ func buildCandidatePlan(cfg *Config, ix *partition.SummaryIndex) *candidatePlan 
 	}
 }
 
-// metricProvider materializes one prunable metric's per-probe windows.
-func metricProvider(m PrunableMetric, threshold float64, sums []partition.RegionSummary, env *partition.SummaryStats) *planProvider {
+// metricProvider materializes one prunable metric's per-probe windows, in
+// parallel chunks of disjoint probes. PruneWindow implementations are pure
+// functions of the summary, threshold, and envelope, so the fill is
+// position-determined; the provider's dim is read off the first windowed
+// probe afterward rather than racing chunk writes on one field.
+func metricProvider(m PrunableMetric, threshold float64, sums []partition.RegionSummary, env *partition.SummaryStats, workers int) *planProvider {
 	pr := &planProvider{
 		windows:   make([]PruneWindow, len(sums)),
 		hasWindow: make([]bool, len(sums)),
 	}
-	for i := range sums {
-		w, ok := m.PruneWindow(&sums[i], threshold, env)
-		if ok {
-			pr.windows[i], pr.hasWindow[i] = w, true
-			pr.dim = w.Dim
+	planChunks(len(sums), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w, ok := m.PruneWindow(&sums[i], threshold, env)
+			if ok {
+				pr.windows[i], pr.hasWindow[i] = w, true
+			}
+		}
+	})
+	for i := range pr.hasWindow {
+		if pr.hasWindow[i] {
+			pr.dim = pr.windows[i].Dim
+			break
 		}
 	}
 	return pr
@@ -127,37 +166,51 @@ func metricProvider(m PrunableMetric, threshold float64, sums []partition.Region
 // declares a pair fair when |rate_a - rate_b| <= eta, so only partners with
 // rates outside the (one-ulp-shrunk) eta band around the probe's rate can
 // survive. Exact, and available whenever Eta is positive regardless of the
-// configured metrics.
-func etaProvider(eta float64, sums []partition.RegionSummary) *planProvider {
+// configured metrics. Filled in parallel chunks of disjoint probes.
+func etaProvider(eta float64, sums []partition.RegionSummary, workers int) *planProvider {
 	pr := &planProvider{
 		dim:       PrunePositiveRate,
 		windows:   make([]PruneWindow, len(sums)),
 		hasWindow: make([]bool, len(sums)),
 	}
-	for i := range sums {
-		r := sums[i].PositiveRate
-		pr.windows[i] = excludeBand(PrunePositiveRate, r-eta, r+eta)
-		pr.hasWindow[i] = true
-	}
+	planChunks(len(sums), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := sums[i].PositiveRate
+			pr.windows[i] = excludeBand(PrunePositiveRate, r-eta, r+eta)
+			pr.hasWindow[i] = true
+		}
+	})
 	return pr
 }
 
 // estimate predicts the provider's ordered emission count by binary-searching
 // each probe's window against the sorted keys; probes without a window charge
-// a full row.
-func (pr *planProvider) estimate(ix *partition.SummaryIndex, regions int) {
+// a full row. Chunks accumulate disjoint partial sums that fold in chunk
+// order — integer addition, so the total equals the sequential sum exactly.
+func (pr *planProvider) estimate(ix *partition.SummaryIndex, regions, workers int) {
 	d, ok := pr.dim.summaryDim()
 	if !ok {
 		pr.estimated = int64(regions) * int64(regions)
 		return
 	}
 	keys, _ := ix.Dim(d)
-	for i := range pr.windows {
-		if !pr.hasWindow[i] {
-			pr.estimated += int64(regions)
-			continue
+	partial := make([]int64, workers)
+	if workers < 1 {
+		partial = make([]int64, 1)
+	}
+	planChunks(len(pr.windows), workers, func(c, lo, hi int) {
+		var sum int64
+		for i := lo; i < hi; i++ {
+			if !pr.hasWindow[i] {
+				sum += int64(regions)
+				continue
+			}
+			sum += int64(windowCount(keys, pr.windows[i]))
 		}
-		pr.estimated += int64(windowCount(keys, pr.windows[i]))
+		partial[c] = sum
+	})
+	for _, s := range partial {
+		pr.estimated += s
 	}
 }
 

@@ -308,7 +308,7 @@ func (da *DeltaAuditor) incremental(ctx context.Context, snap *partition.Partiti
 	if da.useIndex {
 		// Windows derive from summaries and the envelope, both just updated;
 		// rebuild the plan so dirty probes enumerate against current state.
-		run.plan = buildCandidatePlan(cfg, run.ix)
+		run.plan = buildCandidatePlan(cfg, run.ix, 1)
 	}
 
 	// Re-score the dirty neighborhood. Each dirty position probes its own

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"lcsf/internal/stats"
+)
+
+// randomUnfairPairs builds n pairs with deliberately heavy ties in Tau and P
+// so the comparator's fall-through arms (P, then I, then J) all carry weight
+// — a sort that mishandled any tie level would produce a different
+// permutation than the reference.
+func randomUnfairPairs(rng *stats.RNG, n int) []UnfairPair {
+	pairs := make([]UnfairPair, n)
+	for i := range pairs {
+		pairs[i] = UnfairPair{
+			I:   int(rng.Uint64() % 500),
+			J:   int(rng.Uint64() % 500),
+			Tau: float64(rng.Uint64()%16) / 16,
+			P:   float64(rng.Uint64()%8) / 64,
+		}
+	}
+	return pairs
+}
+
+// TestSortUnfairPairsMatchesSequential pins the parallel segment-sort +
+// merge-round path byte-identical to the sequential sort.Slice reference at
+// every worker count, including odd counts (which exercise the tail-copy
+// merge round) and inputs under the threshold (which take the sequential
+// branch regardless of workers).
+func TestSortUnfairPairsMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(0x50127)
+	for _, n := range []int{0, 1, 100, pairSortThreshold, pairSortThreshold*3 + 17} {
+		base := randomUnfairPairs(rng, n)
+		want := append([]UnfairPair(nil), base...)
+		sort.Slice(want, func(i, j int) bool { return lessUnfair(want[i], want[j]) })
+		for _, workers := range []int{1, 2, 3, 4, 5, 8} {
+			got := append([]UnfairPair(nil), base...)
+			sortUnfairPairs(got, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: index %d: got %+v want %+v", n, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMergeUnfairPairs checks the two-run merge against sorting the
+// concatenation, covering both tail-copy arms (a exhausted first, b
+// exhausted first) and the empty-run edges.
+func TestMergeUnfairPairs(t *testing.T) {
+	rng := stats.NewRNG(0x4E26E)
+	sortRun := func(run []UnfairPair) {
+		sort.Slice(run, func(i, j int) bool { return lessUnfair(run[i], run[j]) })
+	}
+	for trial := 0; trial < 50; trial++ {
+		na, nb := int(rng.Uint64()%20), int(rng.Uint64()%20)
+		a := randomUnfairPairs(rng, na)
+		b := randomUnfairPairs(rng, nb)
+		sortRun(a)
+		sortRun(b)
+		want := append(append([]UnfairPair(nil), a...), b...)
+		sortRun(want)
+		dst := make([]UnfairPair, na+nb)
+		mergeUnfairPairs(dst, a, b)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d (na=%d nb=%d): index %d: got %+v want %+v", trial, na, nb, i, dst[i], want[i])
+			}
+		}
+	}
+}

@@ -326,6 +326,7 @@ type soaState struct {
 	keyArena    []uint64
 	bukArena    []int32
 	preArena    []int32
+	preCArena   []int32
 	allDistinct bool
 
 	// finishPrepare's global-distinct scan scratch: per-bucket scatter
@@ -425,10 +426,12 @@ func (s *soaState) layoutRankIndex(regions []*partition.Region, total int) {
 	if !s.gridOK {
 		return
 	}
+	groups := stats.CoarseGroups(buckets)
 	s.ranked = growSlice(s.ranked, n)
 	s.keyArena = growSlice(s.keyArena, total+2*n)
 	s.bukArena = growSlice(s.bukArena, total)
 	s.preArena = growSlice(s.preArena, n*(buckets+1))
+	s.preCArena = growSlice(s.preCArena, n*(groups+1))
 	off, koff := 0, 0
 	for i, r := range regions {
 		sz := len(r.IncomeSample())
@@ -436,6 +439,7 @@ func (s *soaState) layoutRankIndex(regions []*partition.Region, total int) {
 			Keys: s.keyArena[koff : koff+sz+2 : koff+sz+2],
 			Buk:  s.bukArena[off : off+sz : off+sz],
 			Pre:  s.preArena[i*(buckets+1) : (i+1)*(buckets+1) : (i+1)*(buckets+1)],
+			PreC: s.preCArena[i*(groups+1) : (i+1)*(groups+1) : (i+1)*(groups+1)],
 		}
 		off += sz
 		koff += sz + 2

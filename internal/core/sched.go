@@ -1,0 +1,78 @@
+package core
+
+import "sync"
+
+// schedRowChunk is how many outer-loop rows one scheduler claim hands a
+// worker. Large enough to amortize the claim lock across the sweep's hottest
+// rows, small enough that the triangle's shrinking tail still balances.
+const schedRowChunk = 16
+
+// rowScheduler deals the sweep's outer-loop rows to workers as contiguous
+// spans with work stealing. Each worker starts on an equal contiguous slice
+// of the row space and claims chunks from its own span's head — consecutive
+// claims are consecutive rows, so under a key-ordered plan a worker's partner
+// windows overlap claim to claim and its partners' prepared arenas stay
+// cache-resident (the locality the old global atomic row counter destroyed by
+// interleaving workers over neighboring rows). A worker that drains its span
+// steals the tail half of the largest remaining span, which rebalances
+// skewed candidate distributions without handing out single rows.
+//
+// Scheduling is result-neutral by construction: every row is claimed exactly
+// once, and which worker sweeps a row never affects any pair's score or
+// tally placement — the schedule only shapes wall time, so the flagged set
+// stays byte-identical across worker counts and steal patterns
+// (TestAuditDeterminismAcrossWorkers pins this).
+type rowScheduler struct {
+	mu    sync.Mutex
+	spans []rowSpan // one per worker; spans[w] is worker w's current range
+}
+
+// rowSpan is a half-open range of unclaimed rows [next, end).
+type rowSpan struct{ next, end int }
+
+// newRowScheduler deals rows into one contiguous span per worker. workers
+// must be >= 1; rows may be 0 (every claim then misses).
+func newRowScheduler(rows, workers int) *rowScheduler {
+	s := &rowScheduler{spans: make([]rowSpan, workers)}
+	for w := 0; w < workers; w++ {
+		s.spans[w] = rowSpan{next: w * rows / workers, end: (w + 1) * rows / workers}
+	}
+	return s
+}
+
+// next claims up to schedRowChunk rows for worker w: from the worker's own
+// span while it lasts, then by stealing the tail half of the largest span
+// left. stole reports whether this claim migrated work (the caller feeds it
+// into the single-writer steals shard for obs); ok is false when no
+// unclaimed rows remain anywhere.
+func (s *rowScheduler) next(w int) (lo, hi int, stole, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := &s.spans[w]
+	if sp.next >= sp.end {
+		// Steal: find the largest remaining span and take its tail half
+		// (rounded so the thief always receives at least one row — a
+		// single-row victim hands over that row and empties).
+		victim, best := -1, 0
+		for v := range s.spans {
+			if rem := s.spans[v].end - s.spans[v].next; rem > best {
+				victim, best = v, rem
+			}
+		}
+		if victim < 0 {
+			return 0, 0, false, false
+		}
+		vs := &s.spans[victim]
+		mid := vs.next + (vs.end-vs.next)/2
+		sp.next, sp.end = mid, vs.end
+		vs.end = mid
+		stole = true
+	}
+	lo = sp.next
+	hi = lo + schedRowChunk
+	if hi > sp.end {
+		hi = sp.end
+	}
+	sp.next = hi
+	return lo, hi, stole, true
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRowSchedulerCoverage checks the fundamental contract across shapes:
+// every row is claimed exactly once, sequentially and under concurrency,
+// including row counts that are 0, smaller than the worker count, and far
+// larger; concurrent runs also exercise the steal path.
+func TestRowSchedulerCoverage(t *testing.T) {
+	for _, tc := range []struct{ rows, workers int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 8}, {3, 8}, {17, 4}, {1000, 1}, {1000, 7},
+	} {
+		// Sequential drain from one worker: everything else must be stolen.
+		s := newRowScheduler(tc.rows, tc.workers)
+		seen := make([]int, tc.rows)
+		steals := 0
+		for {
+			lo, hi, stole, ok := s.next(0)
+			if !ok {
+				break
+			}
+			if stole {
+				steals++
+			}
+			if lo >= hi {
+				t.Fatalf("rows=%d workers=%d: empty claim [%d,%d)", tc.rows, tc.workers, lo, hi)
+			}
+			for r := lo; r < hi; r++ {
+				seen[r]++
+			}
+		}
+		for r, n := range seen {
+			if n != 1 {
+				t.Fatalf("rows=%d workers=%d: row %d claimed %d times", tc.rows, tc.workers, r, n)
+			}
+		}
+		if tc.workers > 1 && tc.rows > 1 && steals == 0 {
+			t.Fatalf("rows=%d workers=%d: single-worker drain performed no steals", tc.rows, tc.workers)
+		}
+
+		// Concurrent drain: claims race, rows must still partition exactly.
+		s = newRowScheduler(tc.rows, tc.workers)
+		claimed := make([]int32, tc.rows)
+		var stolen atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < tc.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo, hi, stole, ok := s.next(w)
+					if !ok {
+						return
+					}
+					if stole {
+						stolen.Add(1)
+					}
+					for r := lo; r < hi; r++ {
+						claimed[r]++ // distinct claims touch disjoint rows
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for r, n := range claimed {
+			if n != 1 {
+				t.Fatalf("rows=%d workers=%d concurrent: row %d claimed %d times", tc.rows, tc.workers, r, n)
+			}
+		}
+	}
+}
+
+// TestRowSchedulerLocality pins the locality property the scheduler exists
+// for: a worker's consecutive claims from its own span are consecutive row
+// ranges, not interleaved with other workers' rows.
+func TestRowSchedulerLocality(t *testing.T) {
+	s := newRowScheduler(1000, 4)
+	prevHi := -1
+	for i := 0; i < 5; i++ {
+		lo, hi, stole, ok := s.next(2)
+		if !ok {
+			t.Fatal("span drained too early")
+		}
+		if stole {
+			t.Fatal("in-span claim reported a steal")
+		}
+		if prevHi >= 0 && lo != prevHi {
+			t.Fatalf("claim %d starts at %d, want contiguous %d", i, lo, prevHi)
+		}
+		prevHi = hi
+	}
+}

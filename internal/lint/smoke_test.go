@@ -67,10 +67,15 @@ func TestHotPathAllocAgreesWithZeroAllocTest(t *testing.T) {
 	// The kernel path exercised by TestAuditPairKernelZeroAlloc.
 	for _, key := range []string{
 		"lcsf/internal/core.(auditRunner).auditPair",
+		"lcsf/internal/core.(auditRunner).fastAuditPair",
+		"lcsf/internal/core.(auditRunner).pairPValue",
 		"lcsf/internal/core.(auditRunner).summaryReject",
 		"lcsf/internal/stats.PairMonteCarloP",
 		"lcsf/internal/stats.AdaptivePairMonteCarloPStats",
 		"lcsf/internal/stats.(PairNullCache).PValue",
+		"lcsf/internal/stats.(FrozenNullCache).PValue",
+		"lcsf/internal/stats.CrossBoundsCoarse",
+		"lcsf/internal/obs.(ShardedCounter).Add",
 	} {
 		if !hot[key] {
 			t.Errorf("kernel function %s is not annotated //lint:hotpath; the static and runtime zero-alloc contracts have diverged", key)

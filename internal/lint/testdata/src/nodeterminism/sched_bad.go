@@ -1,0 +1,37 @@
+// Fixture: determinism violations in scheduler shapes. A work queue built by
+// ranging a map bakes iteration order into the claim sequence of a scheduler
+// whose consumers DON'T write row-indexed slots, and timing a steal decision
+// with the ambient clock makes the schedule — and anything folded in claim
+// order — a function of wall time.
+package fixture
+
+import "time"
+
+// queueFromMap seeds a scheduler's work list by ranging over a map of dirty
+// rows: the claim sequence (and any claim-ordered output) differs run to
+// run before a single worker starts.
+func queueFromMap(dirty map[int]bool) []int {
+	var queue []int
+	for row := range dirty {
+		queue = append(queue, row) // want `append to queue in map iteration order`
+	}
+	return queue
+}
+
+// deadlineSteal steals only while wall-clock budget remains: the steal
+// history — and the claim-ordered result concatenation — depends on ambient
+// time, not on the input.
+func deadlineSteal(spans []stealSpan, budget time.Duration) []int {
+	start := time.Now() // want `wall-clock read time.Now`
+	var claimed []int
+	for v := range spans {
+		for spans[v].next < spans[v].end {
+			if time.Since(start) > budget { // want `wall-clock read time.Since`
+				return claimed
+			}
+			claimed = append(claimed, spans[v].next)
+			spans[v].next++
+		}
+	}
+	return claimed
+}

@@ -1,0 +1,78 @@
+// Fixture: the blessed work-stealing shape. A scheduler may hand out rows
+// in any order and let idle workers steal — determinism comes from writing
+// results into row-indexed slots (a pure function of the row, not of who
+// processed it or when), with any ordered view produced by a canonical sort
+// afterward. Nothing here may be flagged.
+package fixture
+
+import (
+	"sort"
+	"sync"
+)
+
+// stealSpan is one worker's claimable row range.
+type stealSpan struct {
+	next, end int
+}
+
+// workStealingSweep claims rows from per-worker spans (stealing the tail of
+// the busiest span when a worker's own runs dry) and writes each row's
+// result into its own slot: the output is identical whatever the steal
+// history, so the scheduler is a pure locality/balance lever.
+func workStealingSweep(rows int, workers int, process func(row int) float64) []float64 {
+	spans := make([]stealSpan, workers)
+	for w := range spans {
+		spans[w] = stealSpan{next: w * rows / workers, end: (w + 1) * rows / workers}
+	}
+	var mu sync.Mutex
+	claim := func(w int) (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if spans[w].next < spans[w].end {
+			row := spans[w].next
+			spans[w].next++
+			return row, true
+		}
+		// Steal from the fattest remaining span, scanned in index order so
+		// ties break the same way every run (and even if they didn't, the
+		// row-indexed writes below are claim-order-independent anyway).
+		victim, best := -1, 0
+		for v := range spans {
+			if left := spans[v].end - spans[v].next; left > best {
+				victim, best = v, left
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		row := spans[victim].next
+		spans[victim].next++
+		return row, true
+	}
+
+	perRow := make([]float64, rows)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				row, ok := claim(w)
+				if !ok {
+					return
+				}
+				perRow[row] = process(row) // row-indexed: schedule-independent
+			}
+		}(w)
+	}
+	wg.Wait()
+	return perRow
+}
+
+// canonicalOrder is the companion pattern for outputs that are collected
+// unordered (per-worker buffers): a total-order sort fixes the presentation
+// so the concatenation order never shows through.
+func canonicalOrder(collected []float64) []float64 {
+	sort.Float64s(collected)
+	return collected
+}

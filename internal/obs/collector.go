@@ -67,8 +67,28 @@ const (
 	MMCNullPrewarmKeys   = "mc.null_prewarm.keys"
 	MMCNullPrewarmWorlds = "mc.null_prewarm.worlds"
 
+	// MAuditSweepSteals counts pair-sweep scheduler steals: an idle worker
+	// exhausting its contiguous row span and migrating the tail half of the
+	// largest remaining span. Steals move only work placement, never results;
+	// a high rate relative to rows means the candidate distribution is skewed
+	// across the row space.
+	MAuditSweepSteals = "audit.sweep.steals"
+
 	// Audit-engine histograms (seconds).
 	MAuditSeconds = "audit.seconds"
+	// Per-phase wall times of one batch audit, one observation per run:
+	// eligible-region selection and runner assembly (partition), summary-index
+	// and candidate-plan construction (index), the parallel per-region metric
+	// precompute (prepare), the null-cache pre-warm including the frozen
+	// snapshot (prewarm), the pair sweep (sweep), and result finalization —
+	// filtering, Benjamini–Hochberg when configured, and the canonical sort
+	// (fdr). Their sum tracks MAuditSeconds up to inter-phase glue.
+	MAuditPhasePartitionSeconds = "audit.phase_seconds.partition"
+	MAuditPhaseIndexSeconds     = "audit.phase_seconds.index"
+	MAuditPhasePrepareSeconds   = "audit.phase_seconds.prepare"
+	MAuditPhasePrewarmSeconds   = "audit.phase_seconds.prewarm"
+	MAuditPhaseSweepSeconds     = "audit.phase_seconds.sweep"
+	MAuditPhaseFDRSeconds       = "audit.phase_seconds.fdr"
 	// MAuditPrepareSeconds is the wall time of the parallel precompute phase
 	// that builds per-region metric caches before the pair sweep.
 	MAuditPrepareSeconds = "audit.prepare_seconds"

@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/stats"
+)
+
+// summariesBitEqual compares two summary slices with NaN == NaN (empty
+// regions carry NaN income moments, which reflect.DeepEqual rejects).
+func summariesBitEqual(a, b []RegionSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	feq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y)
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.N != y.N || x.Positives != y.Positives || x.Protected != y.Protected ||
+			x.SampleN != y.SampleN ||
+			!feq(x.PositiveRate, y.PositiveRate) || !feq(x.ProtectedShare, y.ProtectedShare) ||
+			!feq(x.IncomeMean, y.IncomeMean) || !feq(x.IncomeVariance, y.IncomeVariance) ||
+			!feq(x.IncomeMin, y.IncomeMin) || !feq(x.IncomeMax, y.IncomeMax) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNewSummaryIndexWorkersMatches checks the parallel index build is
+// bit-identical to the sequential one — summaries, envelope, and every sorted
+// dimension order — across worker counts, on a universe with deliberate key
+// ties (coarse incomes and rates force duplicates across regions) and empty
+// regions (NaN income keys stay absent from the income order).
+func TestNewSummaryIndexWorkersMatches(t *testing.T) {
+	rng := stats.NewRNG(5)
+	var obs []Observation
+	cells := 120
+	for c := 0; c < cells; c++ {
+		if c%11 == 0 {
+			continue // leave every 11th cell empty
+		}
+		n := 2 + int(rng.Uint64()%40)
+		for k := 0; k < n; k++ {
+			obs = append(obs, Observation{
+				Loc:       geo.Pt(float64(c)+0.5, 0.5),
+				Positive:  rng.Bernoulli(0.5),
+				Protected: rng.Bernoulli(0.3),
+				Income:    float64(rng.Uint64()%12) * 1000, // coarse: cross-region ties
+			})
+		}
+	}
+	grid := geo.NewGrid(geo.NewBBox(geo.Pt(0, 0), geo.Pt(float64(cells), 1)), cells, 1)
+	p := ByGrid(grid, obs, Options{Seed: 7})
+	regions := make([]*Region, len(p.Regions))
+	for i := range p.Regions {
+		regions[i] = &p.Regions[i]
+	}
+
+	want := NewSummaryIndexWorkers(regions, 1)
+	for _, workers := range []int{0, 2, 3, 4, 8, 999} {
+		got := NewSummaryIndexWorkers(regions, workers)
+		if !summariesBitEqual(got.Summaries, want.Summaries) {
+			t.Fatalf("workers=%d: summaries differ", workers)
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("workers=%d: envelope %+v != %+v", workers, got.Stats, want.Stats)
+		}
+		for d := SummaryDim(0); d < numSummaryDims; d++ {
+			gk, gp := got.Dim(d)
+			wk, wp := want.Dim(d)
+			if !reflect.DeepEqual(gk, wk) || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("workers=%d dim=%d: sorted order differs", workers, d)
+			}
+		}
+	}
+}

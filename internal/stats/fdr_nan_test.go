@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBenjaminiHochbergSubsetMatchesFullSort is the direct check of the
+// subset-reduction equivalence argument: on NaN-free inputs the p <= q
+// subset procedure must produce the identical rejection mask to the
+// historical full index sort (benjaminiHochbergNaN), including inputs with
+// heavy ties, values straddling q, and degenerate all-large / all-small
+// mixes.
+func TestBenjaminiHochbergSubsetMatchesFullSort(t *testing.T) {
+	rng := NewRNG(0xFD4)
+	for trial := 0; trial < 200; trial++ {
+		n := int(rng.Uint64() % 300)
+		p := make([]float64, n)
+		for i := range p {
+			switch rng.Uint64() % 4 {
+			case 0:
+				p[i] = rng.Float64() * 0.02 // dense near zero
+			case 1:
+				p[i] = rng.Float64() // uniform
+			case 2:
+				p[i] = 0.05 // exactly at a typical q: ties on the threshold
+			default:
+				p[i] = 0.5 + rng.Float64()*0.5 // never rejectable
+			}
+		}
+		q := []float64{0.01, 0.05, 0.2}[trial%3]
+		want := benjaminiHochbergNaN(p, q)
+		for _, workers := range []int{1, 4} {
+			got := BenjaminiHochbergWorkers(p, q, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d workers=%d q=%g: index %d (p=%g): subset says %v, full sort says %v",
+						trial, workers, q, i, p[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBenjaminiHochbergNaNFallback pins the NaN contract: any NaN input
+// routes every worker count through the full-sort fallback, so the mask is
+// identical across worker counts and across repeated calls. (No value-level
+// assertions: an incomparable NaN makes the index sort's comparator
+// inconsistent, and reproducing that historical placement exactly is the
+// fallback's whole point.)
+func TestBenjaminiHochbergNaNFallback(t *testing.T) {
+	p := []float64{0.001, math.NaN(), 0.004, 0.9, 0.012, math.NaN(), 0.7}
+	q := 0.05
+	base := BenjaminiHochberg(p, q)
+	for _, workers := range []int{1, 2, 8} {
+		got := BenjaminiHochbergWorkers(p, q, workers)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: index %d diverges from workers=1 on NaN input", workers, i)
+			}
+		}
+	}
+	again := BenjaminiHochberg(p, q)
+	for i := range base {
+		if again[i] != base[i] {
+			t.Fatalf("repeat call diverges at index %d: NaN fallback is not deterministic", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFrozenNullCacheMatchesLive checks that a frozen snapshot answers every
+// resident key bit-identically to the live cache and to the uncached oracle,
+// and misses cleanly on absent keys.
+func TestFrozenNullCacheMatchesLive(t *testing.T) {
+	const seed, worlds = 42, 199
+	c := NewPairNullCache(seed, worlds, 64)
+	type key struct{ n1, n2, pos int }
+	keys := []key{{10, 20, 7}, {20, 10, 7}, {5, 5, 3}, {100, 120, 44}, {8, 9, 0}}
+	for _, k := range keys {
+		c.Prewarm(k.n1, k.n2, k.pos)
+	}
+	f := c.Freeze()
+	if f.Len() != 4 { // {10,20,7} and {20,10,7} normalize to one key
+		t.Fatalf("frozen entries = %d, want 4", f.Len())
+	}
+	for _, k := range keys {
+		for _, obs := range []float64{-1, 0, 0.5, 3, 1e9} {
+			got, ok := f.PValue(k.n1, k.n2, k.pos, obs)
+			if !ok {
+				t.Fatalf("frozen miss on resident key %+v", k)
+			}
+			live, _ := c.PValue(k.n1, k.n2, k.pos, obs)
+			oracle := NullCacheReferenceP(seed, worlds, k.n1, k.n2, k.pos, obs)
+			if got != live || got != oracle {
+				t.Fatalf("key %+v obs %g: frozen %v live %v oracle %v", k, obs, got, live, oracle)
+			}
+		}
+	}
+	if _, ok := f.PValue(77, 78, 1, 0.5); ok {
+		t.Fatal("frozen hit on a key that was never cached")
+	}
+	// A key inserted after the freeze stays invisible to the snapshot.
+	c.Prewarm(77, 78, 1)
+	if _, ok := f.PValue(77, 78, 1, 0.5); ok {
+		t.Fatal("frozen snapshot grew after Freeze")
+	}
+}
+
+// TestFrozenNullCacheNil pins the nil/disabled semantics: always a miss.
+func TestFrozenNullCacheNil(t *testing.T) {
+	var c *PairNullCache
+	if f := c.Freeze(); f != nil {
+		t.Fatal("nil cache should freeze to nil")
+	}
+	var f *FrozenNullCache
+	if _, ok := f.PValue(1, 2, 1, 0.5); ok {
+		t.Fatal("nil frozen cache returned a hit")
+	}
+	if f.Len() != 0 {
+		t.Fatal("nil frozen cache has entries")
+	}
+}
+
+// TestFrozenNullCacheConcurrentReads hammers one snapshot from many
+// goroutines under -race: lookups are read-only, so any write the detector
+// sees is a bug.
+func TestFrozenNullCacheConcurrentReads(t *testing.T) {
+	c := NewPairNullCache(1, 99, 64)
+	for n := 10; n < 30; n++ {
+		c.Prewarm(n, n+1, n/2)
+	}
+	f := c.Freeze()
+	want, _ := f.PValue(15, 16, 7, 1.5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				got, ok := f.PValue(15, 16, 7, 1.5)
+				if !ok || got != want {
+					panic("frozen read changed under concurrency")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFrozenNullCacheZeroAlloc pins the lock-free lookup's allocation-free
+// contract (//lint:hotpath backs it statically; this backs it dynamically).
+func TestFrozenNullCacheZeroAlloc(t *testing.T) {
+	c := NewPairNullCache(3, 99, 64)
+	c.Prewarm(50, 60, 20)
+	f := c.Freeze()
+	allocs := testing.AllocsPerRun(100, func() {
+		f.PValue(50, 60, 20, 2.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("frozen PValue allocates %.1f per call", allocs)
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTwoSidedPGEGate checks the GE gate against direct evaluation for every
+// decision it can make, including adversarial alphas that ARE reachable
+// p-values (boundary equality matters: the gate answers >=, not >).
+func TestTwoSidedPGEGate(t *testing.T) {
+	rng := NewRNG(31)
+	alphas := []float64{0, 1e-300, 1e-12, 1e-3, 0.001, 0.01, 0.05, 0.157, 0.5, 1, math.Nextafter(1, 2), 2}
+	for i := 0; i < 16; i++ {
+		alphas = append(alphas, TwoSidedP(6*rng.Float64()))
+	}
+	for _, alpha := range alphas {
+		g := NewTwoSidedPGEGate(alpha)
+		zs := []float64{0, 1e-300, 0.5, 1, 1.96, 2.5758, 3, 5, 8, 12, 30, 40, 1e6, math.MaxFloat64, math.Inf(1)}
+		for i := 0; i < 200; i++ {
+			zs = append(zs, 8*rng.Float64())
+		}
+		// Dense ULP sweep around the gate's own band.
+		for _, base := range []float64{g.passLo, g.failHi} {
+			if base <= 0 || math.IsInf(base, 0) {
+				continue
+			}
+			z := base
+			for k := 0; k < 50; k++ {
+				zs = append(zs, z)
+				z = math.Nextafter(z, math.Inf(1))
+			}
+			z = base
+			for k := 0; k < 50; k++ {
+				zs = append(zs, z)
+				z = math.Nextafter(z, 0)
+			}
+		}
+		for _, z := range zs {
+			want := TwoSidedP(z) >= alpha
+			if got := g.GE(z); got != want {
+				t.Fatalf("alpha=%g: GE(%g) = %v, want %v", alpha, z, got, want)
+			}
+			if got := g.GE(-z); got != want {
+				t.Fatalf("alpha=%g: GE(%g) = %v, want %v (sign symmetry)", alpha, -z, got, want)
+			}
+		}
+		if g.GE(math.NaN()) {
+			t.Fatalf("alpha=%g: NaN z passed", alpha)
+		}
+	}
+}
+
+// TestTwoSidedPGEGateDecideRange checks that a decided interval agrees with
+// direct evaluation at its endpoints and sampled interior points.
+func TestTwoSidedPGEGateDecideRange(t *testing.T) {
+	rng := NewRNG(37)
+	for _, alpha := range []float64{1e-6, 0.001, 0.05, 0.5, 1} {
+		g := NewTwoSidedPGEGate(alpha)
+		for trial := 0; trial < 2000; trial++ {
+			a, b := 8*rng.Float64(), 8*rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			pass, decided := g.DecideRange(a, b)
+			if !decided {
+				continue
+			}
+			for _, z := range []float64{a, b, a + (b-a)*0.25, a + (b-a)*0.75} {
+				if want := TwoSidedP(z) >= alpha; want != pass {
+					t.Fatalf("alpha=%g: DecideRange(%g,%g)=%v but exact at z=%g is %v", alpha, a, b, pass, z, want)
+				}
+			}
+		}
+		// An undecidable NaN endpoint must never decide.
+		if _, decided := g.DecideRange(math.NaN(), math.NaN()); decided {
+			t.Fatalf("alpha=%g: NaN interval decided", alpha)
+		}
+	}
+}
+
+// TestMannWhitneyZNoTies pins bit-identity with the full kernel's Z across
+// sizes and the whole cross range, plus the empty-sample NaN contract.
+func TestMannWhitneyZNoTies(t *testing.T) {
+	for _, sz := range [][2]int{{1, 1}, {3, 7}, {10, 10}, {41, 53}, {300, 300}} {
+		n1, n2 := sz[0], sz[1]
+		step := n1 * n2 / 97
+		if step == 0 {
+			step = 1
+		}
+		for c := 0; c <= n1*n2; c += step {
+			want := MannWhitneyFromCross(c, n1, n2).Z
+			if got := MannWhitneyZNoTies(c, n1, n2); got != want {
+				t.Fatalf("ZNoTies(%d,%d,%d) = %v, want %v", c, n1, n2, got, want)
+			}
+		}
+	}
+	if !math.IsNaN(MannWhitneyZNoTies(0, 0, 5)) || !math.IsNaN(MannWhitneyZNoTies(0, 5, 0)) {
+		t.Fatal("empty sample must give NaN z")
+	}
+}

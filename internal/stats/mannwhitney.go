@@ -153,14 +153,26 @@ func MannWhitneyUSortedNoTies(xs, ys []float64) (res MannWhitneyResult, ok bool)
 // and the tie-correction term: the U statistic, the tie-corrected normal
 // approximation with continuity correction, and the two-sided p-value.
 func mannWhitneyFromRankSum(rankSum1, tieTerm float64, n1, n2 int) MannWhitneyResult {
+	u1, z, degenerate := mannWhitneyZFromRankSum(rankSum1, tieTerm, n1, n2)
+	if degenerate {
+		// All observations tied: the samples are indistinguishable.
+		return MannWhitneyResult{U: u1, Z: 0, P: 1}
+	}
+	return MannWhitneyResult{U: u1, Z: z, P: TwoSidedP(z)}
+}
+
+// mannWhitneyZFromRankSum is the statistic half of mannWhitneyFromRankSum:
+// the U statistic and the tie- and continuity-corrected z, without the erfc.
+// Sharing this helper is what keeps MannWhitneyZNoTies bit-identical to the
+// full test's Z — both run the exact same float operations in the same order.
+func mannWhitneyZFromRankSum(rankSum1, tieTerm float64, n1, n2 int) (u1, z float64, degenerate bool) {
 	fn1, fn2 := float64(n1), float64(n2)
-	u1 := rankSum1 - fn1*(fn1+1)/2
+	u1 = rankSum1 - fn1*(fn1+1)/2
 	mu := fn1 * fn2 / 2
 	n := fn1 + fn2
 	sigma2 := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
 	if sigma2 <= 0 {
-		// All observations tied: the samples are indistinguishable.
-		return MannWhitneyResult{U: u1, Z: 0, P: 1}
+		return u1, 0, true
 	}
 	// Continuity correction toward the mean.
 	diff := u1 - mu
@@ -172,6 +184,26 @@ func mannWhitneyFromRankSum(rankSum1, tieTerm float64, n1, n2 int) MannWhitneyRe
 	default:
 		diff = 0
 	}
-	z := diff / math.Sqrt(sigma2)
-	return MannWhitneyResult{U: u1, Z: z, P: TwoSidedP(z)}
+	return u1, diff / math.Sqrt(sigma2), false
+}
+
+// MannWhitneyZNoTies returns MannWhitneyFromCross(cross, n1, n2).Z without
+// computing the p-value — the statistic alone, bit-identical to the full
+// test's Z (both call mannWhitneyZFromRankSum on the same inputs). The audit's
+// fast similarity gate maps cross-count bounds into |z| space with it and
+// decides most pairs against a verified critical band, skipping both the
+// exact cross count and the erfc. Empty samples return NaN, matching
+// MannWhitneyFromCross.
+//
+//lint:hotpath
+func MannWhitneyZNoTies(cross, n1, n2 int) float64 {
+	if n1 == 0 || n2 == 0 {
+		return math.NaN()
+	}
+	rankSum1 := float64(n1)*float64(n1+1)/2 + float64(cross)
+	_, z, degenerate := mannWhitneyZFromRankSum(rankSum1, 0, n1, n2)
+	if degenerate {
+		return 0
+	}
+	return z
 }

@@ -1,0 +1,155 @@
+package stats
+
+// This file is the Mann–Whitney analogue of TwoSidedPGate: a precomputed
+// decision band that answers the audit's similarity-gate comparison
+//
+//	MannWhitneyFromCross(cross, n1, n2).P >= epsilon
+//
+// by two integer compares against a per-(n1, n2) critical band, skipping the
+// sqrt and erfc per pair. With no ties anywhere (the only regime the audit's
+// cross kernels run in), P is a function of the integer cross count alone:
+// u1 == cross exactly, the deviation |u1 - mu| is a multiple of one half that
+// float64 subtraction produces exactly, and P decreases as the deviation
+// grows. The passing set is therefore a contiguous integer band [Lo, Hi]
+// symmetric about the mean n1*n2/2, and the gate materializes that band once
+// per size pair.
+//
+// Like TwoSidedPGate, the construction evaluates the ACTUAL implementation —
+// MannWhitneyFromCross, not an analytic quantile — so the band compare is the
+// exact decision. Small products verify every integer exhaustively. Large
+// products bisect and then verify a window of integers around each boundary:
+// at any boundary the per-step p increment is ~2·phi(z)/sigma — at least ten
+// orders of magnitude above erfc's sub-ULP wiggle for any product the
+// exhaustive path doesn't already cover — so a non-contiguity the window scan
+// doesn't see cannot exist. A construction that nevertheless detects a gap
+// reports ok=false and callers fall back to evaluating P directly.
+
+// mwGateExhaustiveLimit is the n1*n2 product up to which the constructor
+// checks every cross value instead of bisecting. 1<<12 evaluations cost a few
+// hundred microseconds once per size pair; above it the per-step p increment
+// dwarfs any floating-point wiggle and bisection plus boundary verification
+// is airtight (see the file comment).
+const mwGateExhaustiveLimit = 1 << 12
+
+// mwGateVerifyWindow is how many integers beyond each bisected boundary the
+// constructor re-checks explicitly.
+const mwGateVerifyWindow = 64
+
+// MannWhitneyCrossGate is the materialized band for one (n1, n2, epsilon):
+// a no-ties pair of these sample sizes passes the similarity gate iff its
+// cross count #{x > y} lies in [Lo, Hi]. An empty band (Lo > Hi) means no
+// cross value passes.
+type MannWhitneyCrossGate struct {
+	Lo, Hi int
+}
+
+// NewMannWhitneyCrossGate builds the gate for sample sizes n1, n2 at
+// similarity threshold epsilon. ok is false when no trustworthy band exists —
+// degenerate sizes (either sample empty: P is NaN and never passes, but
+// callers should keep NaN semantics on the exact path) or a detected
+// non-contiguity — in which case callers must evaluate P directly.
+func NewMannWhitneyCrossGate(n1, n2 int, epsilon float64) (g MannWhitneyCrossGate, ok bool) {
+	if n1 <= 0 || n2 <= 0 {
+		return MannWhitneyCrossGate{Lo: 1, Hi: 0}, false
+	}
+	total := n1 * n2
+	pass := func(c int) bool {
+		return MannWhitneyFromCross(c, n1, n2).P >= epsilon
+	}
+
+	if total <= mwGateExhaustiveLimit {
+		lo, hi := -1, -2
+		for c := 0; c <= total; c++ {
+			if pass(c) {
+				if lo < 0 {
+					lo = c
+				} else if c != hi+1 {
+					return MannWhitneyCrossGate{}, false // gap: band untrustworthy
+				}
+				hi = c
+			}
+		}
+		if lo < 0 {
+			return MannWhitneyCrossGate{Lo: 1, Hi: 0}, true // empty band: nothing passes
+		}
+		return MannWhitneyCrossGate{Lo: lo, Hi: hi}, true
+	}
+
+	// P is maximal at the center (deviation zero). If even the center fails,
+	// nothing can pass (epsilon > 1).
+	center := total / 2
+	if !pass(center) && !pass(center+1) {
+		return MannWhitneyCrossGate{Lo: 1, Hi: 0}, true
+	}
+	if !pass(center) {
+		center++
+	}
+
+	// Bisect the upper boundary: invariant pass(lo), !pass(hi).
+	hi := total
+	if pass(hi) {
+		g.Hi = total
+	} else {
+		lo := center
+		for hi-lo > 1 {
+			mid := lo + (hi-lo)/2
+			if pass(mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		g.Hi = lo
+	}
+	// Verify: extend through any passing integer the bisection's monotonicity
+	// assumption would have hidden, then confirm a window of failures above.
+	for g.Hi < total && pass(g.Hi+1) {
+		g.Hi++
+	}
+	for c := g.Hi + 2; c <= g.Hi+mwGateVerifyWindow && c <= total; c++ {
+		if pass(c) {
+			return MannWhitneyCrossGate{}, false // non-contiguous: refuse the band
+		}
+	}
+
+	// Lower boundary by the exact symmetry P(c) == P(total-c), then the same
+	// explicit verification mirrored.
+	g.Lo = total - g.Hi
+	for g.Lo > 0 && pass(g.Lo-1) {
+		g.Lo--
+	}
+	if !pass(g.Lo) || (g.Lo > 0 && pass(g.Lo-1)) {
+		return MannWhitneyCrossGate{}, false
+	}
+	for c := g.Lo - 2; c >= g.Lo-mwGateVerifyWindow && c >= 0; c-- {
+		if pass(c) {
+			return MannWhitneyCrossGate{}, false
+		}
+	}
+	return g, true
+}
+
+// Contains reports whether cross passes the gate: the exact decision
+// P >= epsilon for a no-ties pair of the gate's sizes.
+//
+//lint:hotpath
+func (g MannWhitneyCrossGate) Contains(cross int) bool {
+	return cross >= g.Lo && cross <= g.Hi
+}
+
+// DecideRange resolves the gate from a cross-count interval [lo, hi] (such as
+// CrossBounds produces) without the exact count: decided is true when every
+// value in the interval falls inside the band (pass true) or entirely outside
+// it on one side (pass false). An interval straddling a boundary is
+// undecided and the caller must compute the exact count.
+//
+//lint:hotpath
+func (g MannWhitneyCrossGate) DecideRange(lo, hi int) (pass, decided bool) {
+	if lo >= g.Lo && hi <= g.Hi {
+		return true, true
+	}
+	if hi < g.Lo || lo > g.Hi {
+		return false, true
+	}
+	return false, false
+}

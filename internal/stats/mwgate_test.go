@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMannWhitneyCrossGateExhaustive checks, for every small size pair and a
+// spread of thresholds, that the band decision equals evaluating the exact
+// kernel at every possible cross count — the gate's whole contract.
+func TestMannWhitneyCrossGateExhaustive(t *testing.T) {
+	epsilons := []float64{1e-300, 1e-3, 1e-2, 0.157, 0.5, 1}
+	for n1 := 1; n1 <= 14; n1++ {
+		for n2 := n1; n2 <= 14; n2++ {
+			for _, eps := range epsilons {
+				g, ok := NewMannWhitneyCrossGate(n1, n2, eps)
+				if !ok {
+					t.Fatalf("gate(%d,%d,%g) refused", n1, n2, eps)
+				}
+				for c := 0; c <= n1*n2; c++ {
+					want := MannWhitneyFromCross(c, n1, n2).P >= eps
+					if got := g.Contains(c); got != want {
+						t.Fatalf("gate(%d,%d,%g).Contains(%d) = %v, exact = %v (band [%d,%d])",
+							n1, n2, eps, c, got, want, g.Lo, g.Hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMannWhitneyCrossGateLarge crosses into the bisection path (product
+// above the exhaustive limit) and samples the full cross range plus a dense
+// sweep around both boundaries.
+func TestMannWhitneyCrossGateLarge(t *testing.T) {
+	for _, sz := range [][2]int{{80, 80}, {300, 300}, {97, 211}, {65, 64}} {
+		n1, n2 := sz[0], sz[1]
+		for _, eps := range []float64{1e-6, 1e-3, 1e-2, 0.2} {
+			g, ok := NewMannWhitneyCrossGate(n1, n2, eps)
+			if !ok {
+				t.Fatalf("gate(%d,%d,%g) refused", n1, n2, eps)
+			}
+			total := n1 * n2
+			check := func(c int) {
+				if c < 0 || c > total {
+					return
+				}
+				want := MannWhitneyFromCross(c, n1, n2).P >= eps
+				if got := g.Contains(c); got != want {
+					t.Fatalf("gate(%d,%d,%g).Contains(%d) = %v, exact = %v (band [%d,%d])",
+						n1, n2, eps, c, got, want, g.Lo, g.Hi)
+				}
+			}
+			for c := 0; c <= total; c += 997 {
+				check(c)
+			}
+			for d := -200; d <= 200; d++ {
+				check(g.Lo + d)
+				check(g.Hi + d)
+			}
+		}
+	}
+}
+
+// TestMannWhitneyCrossGateDegenerate pins the empty-sample and empty-band
+// cases.
+func TestMannWhitneyCrossGateDegenerate(t *testing.T) {
+	if _, ok := NewMannWhitneyCrossGate(0, 5, 0.001); ok {
+		t.Fatal("gate with an empty sample should refuse (P is NaN)")
+	}
+	g, ok := NewMannWhitneyCrossGate(10, 10, math.Nextafter(1, 2))
+	if !ok {
+		t.Fatal("empty band should still be a usable gate")
+	}
+	for c := 0; c <= 100; c++ {
+		if g.Contains(c) {
+			t.Fatalf("epsilon above 1: cross %d must not pass", c)
+		}
+	}
+}
+
+// TestMannWhitneyCrossGateDecideRange checks the interval decision against
+// membership of every value in the interval.
+func TestMannWhitneyCrossGateDecideRange(t *testing.T) {
+	g, ok := NewMannWhitneyCrossGate(30, 40, 0.01)
+	if !ok {
+		t.Fatal("gate refused")
+	}
+	total := 30 * 40
+	for lo := 0; lo <= total; lo += 7 {
+		for _, w := range []int{0, 1, 5, 40, 400} {
+			hi := lo + w
+			if hi > total {
+				hi = total
+			}
+			pass, decided := g.DecideRange(lo, hi)
+			allIn, anyIn := true, false
+			for c := lo; c <= hi; c++ {
+				if g.Contains(c) {
+					anyIn = true
+				} else {
+					allIn = false
+				}
+			}
+			switch {
+			case decided && pass && !allIn:
+				t.Fatalf("DecideRange(%d,%d) passed but interval leaves the band", lo, hi)
+			case decided && !pass && anyIn:
+				t.Fatalf("DecideRange(%d,%d) failed but interval touches the band", lo, hi)
+			case !decided && (allIn || !anyIn):
+				t.Fatalf("DecideRange(%d,%d) undecided but interval is uniform", lo, hi)
+			}
+		}
+	}
+}
+
+// TestCrossBounds checks on random distinct samples that the bound interval
+// contains the exact cross count, on healthy and degenerate (single-bucket)
+// grids alike.
+func TestCrossBounds(t *testing.T) {
+	rng := NewRNG(7)
+	for trial := 0; trial < 200; trial++ {
+		buckets := []int{1, 8, 256, 2048}[trial%4]
+		grid, ok := NewRankGrid(0, 1, buckets)
+		if !ok {
+			t.Fatal("grid refused")
+		}
+		n1, n2 := 1+int(rng.Uint64()%50), 1+int(rng.Uint64()%50)
+		xs := distinctSorted(rng, n1)
+		ys := distinctSorted(rng, n2)
+		var a, b RankedSample
+		FillRankedSample(grid, xs, &a)
+		FillRankedSample(grid, ys, &b)
+		lo, hi := CrossBounds(&a, &b)
+		cross := CrossCountNoTies(&a, &b)
+		if cross < lo || cross > hi {
+			t.Fatalf("trial %d: cross %d outside bounds [%d,%d]", trial, cross, lo, hi)
+		}
+		if lo < 0 || hi > n1*n2 {
+			t.Fatalf("trial %d: bounds [%d,%d] outside [0,%d]", trial, lo, hi, n1*n2)
+		}
+	}
+}
+
+func distinctSorted(rng *RNG, n int) []float64 {
+	seen := map[float64]bool{}
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		v := rng.Float64()
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	// insertion sort: n is small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -280,6 +280,114 @@ func (c *PairNullCache) Capacity() int {
 	return c.perShard * nullCacheShards
 }
 
+// FrozenNullCache is a read-only flat snapshot of a PairNullCache: every
+// resident entry's key and sorted null sample, laid out for binary search.
+// Lookups take no locks and touch no shared mutable state — no recency tick,
+// no hit/miss atomics — so a full worker fan-out reads it contention-free.
+// The audit engine freezes the cache after the pre-warm barrier (when every
+// signature the sweep can request is already resident) and serves sweep
+// lookups from the snapshot; keys absent from it (capacity cutoff, or keys
+// born after the freeze under delta updates) fall back to the live cache,
+// which answers bit-identically because entries are key-seeded.
+type FrozenNullCache struct {
+	keys    []pairNullKey // ascending by (n1, n2, pooledPositives)
+	samples [][]float64   // samples[i] is keys[i]'s ascending null sample
+}
+
+// Freeze snapshots the cache's current entries into a FrozenNullCache. The
+// caller must ensure no fill is in flight (the audit engine freezes after the
+// pre-warm phase's barrier); concurrent lookups on the live cache remain
+// safe during and after the freeze, and the live cache is unaffected — the
+// snapshot shares the immutable sorted samples, so later evictions cost
+// memory (the snapshot keeps its reference) but never correctness. A nil or
+// disabled cache freezes to nil, which every FrozenNullCache method treats
+// as an always-miss.
+func (c *PairNullCache) Freeze() *FrozenNullCache {
+	if c == nil || c.worlds <= 0 {
+		return nil
+	}
+	f := &FrozenNullCache{}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, key := range sh.keys {
+			e := sh.entries[key]
+			// Entries are filled by their inserter immediately after insertion;
+			// the Do is a barrier-free safety net that also publishes e.sorted
+			// to this goroutine.
+			e.once.Do(func() { e.sorted = c.simulate(key) })
+			f.keys = append(f.keys, key)
+			f.samples = append(f.samples, e.sorted)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Sort(frozenByKey{f})
+	return f
+}
+
+// frozenByKey sorts the snapshot's parallel slices by normalized key so
+// lookups can binary-search.
+type frozenByKey struct{ f *FrozenNullCache }
+
+func (s frozenByKey) Len() int { return len(s.f.keys) }
+func (s frozenByKey) Less(i, j int) bool {
+	a, b := s.f.keys[i], s.f.keys[j]
+	if a.n1 != b.n1 {
+		return a.n1 < b.n1
+	}
+	if a.n2 != b.n2 {
+		return a.n2 < b.n2
+	}
+	return a.pooledPositives < b.pooledPositives
+}
+func (s frozenByKey) Swap(i, j int) {
+	s.f.keys[i], s.f.keys[j] = s.f.keys[j], s.f.keys[i]
+	s.f.samples[i], s.f.samples[j] = s.f.samples[j], s.f.samples[i]
+}
+
+// Len returns the number of frozen entries.
+func (f *FrozenNullCache) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.keys)
+}
+
+// PValue answers the same add-one Monte-Carlo estimate PairNullCache.PValue
+// computes for a resident key — the identical sorted sample through the
+// identical arithmetic, so the two paths cannot drift — and ok=false when the
+// key is not in the snapshot (the caller falls back to the live cache). It
+// performs no writes of any kind: safe for any number of concurrent readers,
+// zero allocations, zero atomics.
+//
+//lint:hotpath
+func (f *FrozenNullCache) PValue(n1, n2, pooledPositives int, observed float64) (p float64, ok bool) {
+	if f == nil {
+		return 0, false
+	}
+	if n1 > n2 {
+		n1, n2 = n2, n1
+	}
+	key := pairNullKey{n1: n1, n2: n2, pooledPositives: pooledPositives}
+	lo, hi := 0, len(f.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		k := f.keys[mid]
+		if k.n1 < key.n1 || (k.n1 == key.n1 && (k.n2 < key.n2 || (k.n2 == key.n2 && k.pooledPositives < key.pooledPositives))) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(f.keys) || f.keys[lo] != key {
+		return 0, false
+	}
+	sorted := f.samples[lo]
+	idx := sort.SearchFloat64s(sorted, observed) // first index with value >= observed
+	geq := len(sorted) - idx
+	return float64(1+geq) / float64(len(sorted)+1), true
+}
+
 // NullCacheReferenceP computes, with no cache at all, the p-value a
 // PairNullCache constructed with the same seed and worlds returns for the
 // key (n1, n2, pooledPositives) at the observed statistic. It re-derives the

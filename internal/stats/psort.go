@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"slices"
+	"sync"
+)
+
+// parallelSortThreshold is the slice length below which ParallelSortFloat64s
+// stays sequential: goroutine and merge overhead beats the parallel win on
+// small inputs, and the sequential path has no overhead to amortize.
+const parallelSortThreshold = 1 << 12
+
+// ParallelSortFloat64s sorts v ascending using up to workers goroutines: the
+// slice is cut into equal segments, each sorted independently, then merged in
+// pairwise parallel rounds through one auxiliary buffer. The result is the
+// unique sorted permutation of v's values, identical to slices.Sort — equal
+// float64 values are indistinguishable, so no merge order can be observed —
+// which is what lets the FDR step sort p-values in parallel without touching
+// the audit's determinism guarantee. NaN-free input is the caller's contract
+// (matching slices.Sort, whose NaN ordering is unspecified).
+func ParallelSortFloat64s(v []float64, workers int) {
+	n := len(v)
+	if workers <= 1 || n < parallelSortThreshold {
+		slices.Sort(v)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Segment boundaries: workers segments of near-equal length.
+	bounds := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds[i] = i * n / workers
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			slices.Sort(v[lo:hi])
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+
+	// Pairwise merge rounds, ping-ponging between v and aux. Each round
+	// halves the number of sorted runs; merges within a round are disjoint
+	// and run concurrently.
+	aux := make([]float64, n)
+	src, dst := v, aux
+	for len(bounds) > 2 {
+		next := make([]int, 0, len(bounds)/2+2)
+		var mg sync.WaitGroup
+		for i := 0; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			next = append(next, lo)
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeFloat64s(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(lo, mid, hi)
+		}
+		if len(bounds)%2 == 0 {
+			// Odd run count: the last run has no partner this round; carry it.
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			next = append(next, lo)
+			mg.Add(1)
+			go func() {
+				defer mg.Done()
+				copy(dst[lo:hi], src[lo:hi])
+			}()
+		}
+		next = append(next, n)
+		mg.Wait()
+		bounds = next
+		src, dst = dst, src
+	}
+	if &src[0] != &v[0] {
+		copy(v, src)
+	}
+}
+
+// mergeFloat64s merges two sorted runs into dst (len(dst) == len(a)+len(b)).
+func mergeFloat64s(dst, a, b []float64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}

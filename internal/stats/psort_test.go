@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestParallelSortFloat64s compares the parallel sort against slices.Sort on
+// random inputs across worker counts and sizes straddling the sequential
+// threshold, including heavy-tie inputs (equal values are indistinguishable,
+// so the sequences must be bit-identical).
+func TestParallelSortFloat64s(t *testing.T) {
+	rng := NewRNG(11)
+	for _, n := range []int{0, 1, 2, 100, parallelSortThreshold - 1, parallelSortThreshold, 3*parallelSortThreshold + 17} {
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			for _, tied := range []bool{false, true} {
+				v := make([]float64, n)
+				for i := range v {
+					if tied {
+						v[i] = float64(rng.Uint64() % 7)
+					} else {
+						v[i] = rng.Float64()
+					}
+				}
+				want := append([]float64(nil), v...)
+				slices.Sort(want)
+				ParallelSortFloat64s(v, workers)
+				if !slices.Equal(v, want) {
+					t.Fatalf("n=%d workers=%d tied=%v: parallel sort differs", n, workers, tied)
+				}
+			}
+		}
+	}
+}
+
+// TestBenjaminiHochbergWorkersMatches fuzzes the parallel BH against the
+// sequential implementation, with tie-heavy p-value sets sized to force the
+// parallel path.
+func TestBenjaminiHochbergWorkersMatches(t *testing.T) {
+	rng := NewRNG(23)
+	for trial := 0; trial < 20; trial++ {
+		n := parallelSortThreshold + int(rng.Uint64()%5000)
+		pv := make([]float64, n)
+		for i := range pv {
+			if rng.Uint64()%3 == 0 {
+				pv[i] = float64(rng.Uint64()%50) / 1000 // deliberate ties near the cut
+			} else {
+				pv[i] = rng.Float64()
+			}
+		}
+		for _, q := range []float64{0, 0.01, 0.05, 0.2, 1} {
+			want := BenjaminiHochberg(pv, q)
+			for _, workers := range []int{1, 2, 4, 8} {
+				got := BenjaminiHochbergWorkers(pv, q, workers)
+				if !slices.Equal(got, want) {
+					t.Fatalf("trial %d q=%g workers=%d: masks differ", trial, q, workers)
+				}
+			}
+		}
+	}
+}

@@ -102,6 +102,10 @@ type RankedSample struct {
 	// Pre[b] counts elements in buckets < b; len(Pre) == Buckets+1. Elements
 	// of bucket b occupy Keys[Pre[b]:Pre[b+1]].
 	Pre []int32
+	// PreC is Pre subsampled at group boundaries — PreC[g] == Pre[g*Buckets/
+	// groups] for groups == CoarseGroups(Buckets) — the cache-line-sized
+	// digest CrossBoundsCoarse products against instead of streaming Pre.
+	PreC []int32
 	// N is the sample size.
 	N int
 	// Distinct reports the sample is strictly increasing (no within-sample
@@ -124,9 +128,14 @@ func FillRankedSample(g RankGrid, sorted []float64, rs *RankedSample) {
 	if cap(rs.Pre) < g.Buckets+1 {
 		rs.Pre = make([]int32, g.Buckets+1)
 	}
+	groups := CoarseGroups(g.Buckets)
+	if cap(rs.PreC) < groups+1 {
+		rs.PreC = make([]int32, groups+1)
+	}
 	rs.Keys = rs.Keys[:n+2]
 	rs.Buk = rs.Buk[:n]
 	rs.Pre = rs.Pre[:g.Buckets+1]
+	rs.PreC = rs.PreC[:groups+1]
 	rs.N = n
 
 	for i := range rs.Pre {
@@ -149,6 +158,9 @@ func FillRankedSample(g RankGrid, sorted []float64, rs *RankedSample) {
 	rs.Keys[n+1] = ^uint64(0)
 	for b := 0; b < g.Buckets; b++ {
 		rs.Pre[b+1] += rs.Pre[b]
+	}
+	for gi := 0; gi <= groups; gi++ {
+		rs.PreC[gi] = rs.Pre[gi*g.Buckets/groups]
 	}
 	rs.Distinct = distinct
 }
@@ -295,6 +307,99 @@ func CrossCountNoTies(a, b *RankedSample) int {
 		le0 += l
 	}
 	return n1*n2 - (le0 + le1)
+}
+
+// CrossBounds returns a certain interval [lo, hi] containing the exact cross
+// count #{(x, y) : x > y} of the pair, from prefix loads alone: for a partner
+// element y in bucket b, the probe's elements in earlier buckets (Pre[b]) are
+// certainly below y and those in later buckets certainly not, so summing
+// Pre[b] and Pre[b+1] over the partner's elements brackets #{x < y} without
+// touching the keys. The interval's width is the number of colocated (same
+// bucket) element pairs — a few buckets' worth on a healthy grid — and the
+// pass streams only the partner's bucket ids (4 bytes/element against the
+// exact kernel's 12), so a caller that can decide its predicate from the
+// interval (see MannWhitneyCrossGate.DecideRange) skips the exact kernel and
+// most of its memory traffic. Valid for any samples on a shared grid, ties or
+// not (the interval brackets the no-ties cross count the exact kernels
+// compute).
+//
+//lint:hotpath
+func CrossBounds(a, b *RankedSample) (lo, hi int) {
+	n1, n2 := a.N, b.N
+	if n1 == 0 || n2 == 0 {
+		return 0, 0
+	}
+	pre := a.Pre
+	yb := b.Buk
+	// Two independent accumulator pairs so the adds overlap; the loads are
+	// from one hot prefix table plus the partner's sequential bucket ids.
+	le0, le1, he0, he1 := 0, 0, 0, 0
+	t := 0
+	for ; t+2 <= n2; t += 2 {
+		b0, b1 := yb[t], yb[t+1]
+		le0 += int(pre[b0])
+		he0 += int(pre[b0+1])
+		le1 += int(pre[b1])
+		he1 += int(pre[b1+1])
+	}
+	if t < n2 {
+		bb := yb[t]
+		le0 += int(pre[bb])
+		he0 += int(pre[bb+1])
+	}
+	total := n1 * n2
+	return total - (he0 + he1), total - (le0 + le1)
+}
+
+// RankCoarseGroups is the resolution of the PreC digest: the grid's buckets
+// are cut into this many equal groups, making PreC a quarter-kilobyte table
+// that stays cache-resident per region while still bracketing a pair's cross
+// count tightly enough to decide the common case (see CrossBoundsCoarse).
+const RankCoarseGroups = 64
+
+// CoarseGroups returns the PreC group count for a grid with the given bucket
+// count: RankCoarseGroups, clamped so a group never spans less than one
+// bucket.
+func CoarseGroups(buckets int) int {
+	if buckets < RankCoarseGroups {
+		return buckets
+	}
+	return RankCoarseGroups
+}
+
+// CrossBoundsCoarse is CrossBounds at group resolution, computed from the two
+// PreC digests alone. For a partner element y whose bucket falls in group g
+// (fine buckets [g*B/G, (g+1)*B/G)), at least PreC_a[g] probe elements are
+// certainly below it and at most PreC_a[g+1] are not certainly above, and the
+// partner's element count per group is a difference of its own PreC entries —
+// so the whole bracket is a histogram product over G groups, touching ~one
+// cache line per sample instead of the partner's per-element bucket ids. The
+// interval is wider than CrossBounds' (it brackets by group colocation, a
+// superset of bucket colocation) but still certainly contains the exact
+// no-ties cross count, so a caller that can decide its predicate from this
+// interval (the common case — see the fast audit cascade) skips both the
+// per-element bounds pass and the exact kernel. Both samples must be built on
+// the same grid (equal-length PreC tables).
+//
+//lint:hotpath
+func CrossBoundsCoarse(a, b *RankedSample) (lo, hi int) {
+	n1, n2 := a.N, b.N
+	if n1 == 0 || n2 == 0 {
+		return 0, 0
+	}
+	pa, pb := a.PreC, b.PreC
+	groups := len(pa) - 1
+	le, he := 0, 0
+	prevB, prevA := 0, 0 // PreC[0] is 0 by construction
+	for g := 1; g <= groups; g++ {
+		curB, curA := int(pb[g]), int(pa[g])
+		cnt := curB - prevB
+		le += cnt * prevA
+		he += cnt * curA
+		prevB, prevA = curB, curA
+	}
+	total := n1 * n2
+	return total - he, total - le
 }
 
 // MannWhitneyFromCross finishes the no-ties Mann–Whitney U test from an

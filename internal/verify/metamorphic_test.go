@@ -21,7 +21,7 @@ type engineCase struct {
 
 func engineCases() []engineCase {
 	var out []engineCase
-	for _, w := range []int{1, 4} {
+	for _, w := range []int{1, 2, 4, 8} {
 		for _, g := range []struct {
 			name string
 			gen  core.CandidateGen
