@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test race vet bench bench-smoke bench-gate lint check \
-	check-nolint examples-smoke fuzz-smoke cover
+	check-nolint examples-smoke fuzz-smoke cover loadtest-smoke
 
 all: check
 
@@ -15,9 +15,19 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Race-verify the concurrent collector and everything that records into it,
-# plus internal/stats for the sharded null cache's lock/atomic discipline.
+# plus internal/stats for the sharded null cache's lock/atomic discipline,
+# and the job service's manager/tenancy layers. The big concurrent load test
+# is skipped here because loadtest-smoke runs it race-enabled on its own.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/partition/... ./internal/server/... ./internal/stats/...
+	$(GO) test -race -skip TestJobServiceLoad ./internal/obs/... ./internal/core/... ./internal/partition/... ./internal/server/... ./internal/stats/... ./internal/jobs/... ./internal/tenant/...
+
+# The concurrent load-test battery for the async job service: 1000 clients
+# through submit -> poll -> fetch under the race detector, asserting no lost
+# or duplicated jobs, exact backpressure accounting, byte-identical reports,
+# and a clean drain. Bounded (~1 min on a small machine) so it runs on every
+# check.
+loadtest-smoke:
+	$(GO) test -race -run 'TestJobServiceLoad' -count=1 ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -94,8 +104,8 @@ cover:
 	awk -v a="$$actual" -v f="$$floor" 'BEGIN { exit !(a+0 >= f+0) }' || \
 		{ echo "coverage $$actual% is below the $$floor% floor in COVERAGE.txt"; exit 1; }
 
-check: build vet test race bench-smoke lint examples-smoke cover fuzz-smoke
+check: build vet test race loadtest-smoke bench-smoke lint examples-smoke cover fuzz-smoke
 
 # Everything in check except lint — CI runs lint as its own job (with its own
 # cache key) so analyzer findings surface as annotations, not a buried log.
-check-nolint: build vet test race bench-smoke examples-smoke cover fuzz-smoke
+check-nolint: build vet test race loadtest-smoke bench-smoke examples-smoke cover fuzz-smoke

@@ -303,6 +303,11 @@ func Audit(p *partition.Partitioning, cfg Config) (*Result, error) {
 type auditHooks struct {
 	keepAll   bool
 	nullCache *stats.PairNullCache
+	// shard/shards, when shards > 1, restrict the sweep's outer-row slots
+	// to slice shard of shards equal slices (see shard.go). Every other
+	// phase — partitioning, indexing, precompute, prewarm — is unchanged,
+	// so a shard's per-pair results are bit-identical to the batch run's.
+	shard, shards int
 }
 
 // cancelCheckInterval bounds how many pairs a worker processes between
@@ -484,7 +489,14 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 	}
 	shards := make([]shard, workers)
 	run.pairBufs = growSlice(run.pairBufs, workers)
-	sched := newRowScheduler(len(run.regions), workers)
+	// Under a shard hook the scheduler deals only the shard's slice of the
+	// outer-row slots; slotLo re-bases its claims into the full slot space.
+	slotLo, slotHi := 0, len(run.regions)
+	if hooks.shards > 1 {
+		slotLo = hooks.shard * len(run.regions) / hooks.shards
+		slotHi = (hooks.shard + 1) * len(run.regions) / hooks.shards
+	}
+	sched := newRowScheduler(slotHi-slotLo, workers)
 	steals := obs.NewShardedCounter(workers)
 	keepScores := run.fdr || hooks.keepAll
 	var wg sync.WaitGroup
@@ -559,9 +571,10 @@ func auditEngine(ctx context.Context, p *partition.Partitioning, cfg Config, hoo
 					steals.Add(w, 1)
 				}
 				for r := lo; r < hi; r++ {
-					ii := r
+					slot := slotLo + r
+					ii := slot
 					if keyOrder {
-						ii = int(run.plan.pos[r])
+						ii = int(run.plan.pos[slot])
 					}
 					probe = ii
 					if !run.plan.forEachPartner(ii, len(run.regions), visit) {

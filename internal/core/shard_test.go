@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestAuditShardMergeMatchesBatch pins shard.go's central claim: splitting
+// the outer-row space into any number of shards, auditing each slice
+// independently, and merging reproduces the single-call batch result
+// byte-for-byte — across candidate-generation modes, FDR settings, worker
+// counts, and shard arrival order.
+func TestAuditShardMergeMatchesBatch(t *testing.T) {
+	p := manyRegions(t)
+	for _, gen := range []CandidateGen{CandidateDense, CandidateAuto} {
+		for _, fdr := range []float64{0, 0.10} {
+			cfg := DefaultConfig()
+			cfg.MinRegionSize = 50
+			cfg.MCWorlds = 199
+			cfg.CandidateGen = gen
+			cfg.FDR = fdr
+			cfg.Workers = 2
+			batch, err := Audit(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := auditBytes(t, batch)
+			for _, shards := range []int{1, 2, 3, 8, 25} {
+				name := fmt.Sprintf("gen=%d/fdr=%v/shards=%d", gen, fdr, shards)
+				parts := make([]*ShardResult, 0, shards)
+				// Run and merge in reversed order: MergeShards must not
+				// care how the set arrives.
+				for s := shards - 1; s >= 0; s-- {
+					sr, err := AuditShard(context.Background(), p, cfg, s, shards)
+					if err != nil {
+						t.Fatalf("%s: shard %d: %v", name, s, err)
+					}
+					parts = append(parts, sr)
+				}
+				merged, err := MergeShards(cfg, parts)
+				if err != nil {
+					t.Fatalf("%s: merge: %v", name, err)
+				}
+				if merged.EligibleRegions != batch.EligibleRegions ||
+					merged.GlobalRate != batch.GlobalRate || //lint:floateq-ok determinism-assertion
+					merged.Candidates != batch.Candidates {
+					t.Fatalf("%s: header fields diverge: merged=%+v batch=%+v",
+						name, merged, batch)
+				}
+				if got := auditBytes(t, merged); !bytes.Equal(got, want) {
+					t.Fatalf("%s: merged pairs diverge from batch\nmerged: %s\nbatch:  %s",
+						name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAuditShardCandidatesPartition asserts the shard slices partition the
+// candidate space: no pair is scored by two shards, none is dropped.
+func TestAuditShardCandidatesPartition(t *testing.T) {
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	cfg.MinRegionSize = 50
+	cfg.MCWorlds = 99
+	full, err := AuditShard(context.Background(), p, cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[[2]int]int)
+	for _, pr := range full.Candidates {
+		want[[2]int{pr.I, pr.J}]++
+	}
+	got := make(map[[2]int]int)
+	for s := 0; s < 4; s++ {
+		sr, err := AuditShard(context.Background(), p, cfg, s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range sr.Candidates {
+			got[[2]int{pr.I, pr.J}]++
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded candidates = %d pairs, batch = %d", len(got), len(want))
+	}
+	for k, n := range got {
+		if n != 1 {
+			t.Errorf("pair %v scored %d times across shards", k, n)
+		}
+		if want[k] != 1 {
+			t.Errorf("pair %v not in the batch candidate set", k)
+		}
+	}
+}
+
+// TestAuditShardArgErrors covers the shard argument and merge-set
+// validation paths.
+func TestAuditShardArgErrors(t *testing.T) {
+	p := manyRegions(t)
+	cfg := DefaultConfig()
+	cfg.MinRegionSize = 50
+	cfg.MCWorlds = 49
+	if _, err := AuditShard(context.Background(), p, cfg, 0, 0); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if _, err := AuditShard(context.Background(), p, cfg, -1, 2); err == nil {
+		t.Error("shard=-1 accepted")
+	}
+	if _, err := AuditShard(context.Background(), p, cfg, 2, 2); err == nil {
+		t.Error("shard==shards accepted")
+	}
+	if _, err := MergeShards(cfg, nil); err == nil {
+		t.Error("empty merge set accepted")
+	}
+	a, err := AuditShard(context.Background(), p, cfg, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(cfg, []*ShardResult{a}); err == nil {
+		t.Error("incomplete shard set accepted")
+	}
+	if _, err := MergeShards(cfg, []*ShardResult{a, nil}); err == nil {
+		t.Error("nil shard accepted")
+	}
+	if _, err := MergeShards(cfg, []*ShardResult{a, a}); err == nil {
+		t.Error("duplicate shard index accepted")
+	}
+	bad := cfg
+	bad.Alpha = 2
+	if _, err := MergeShards(bad, []*ShardResult{a}); err == nil {
+		t.Error("invalid config accepted by merge")
+	}
+	// Canceled context surfaces the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AuditShard(ctx, p, cfg, 0, 2); err == nil {
+		t.Error("canceled context produced a result")
+	}
+}

@@ -1,0 +1,149 @@
+// Package jobs turns the LC-SF audit into an asynchronous, supervised job
+// service: callers submit a parsed LAR plus audit parameters and get a job
+// ID back immediately, then poll status (with live progress from the audit
+// engine's own obs counters) and fetch the finished JSON or GeoJSON report.
+// A coordinator shards each job's candidate-pair space across a bounded
+// worker pool behind the Runner interface — in-process today, a process or
+// node boundary tomorrow — and reassembles the exact batch result with
+// core.MergeShards, so the job layer adds robustness (bounded queue with
+// backpressure, per-job timeouts, panic isolation, retry with exponential
+// backoff, graceful drain) without costing a single bit of determinism.
+package jobs
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"lcsf/internal/core"
+	"lcsf/internal/geo"
+	"lcsf/internal/obs"
+	"lcsf/internal/partition"
+)
+
+// State is a job's lifecycle position. Transitions form a DAG:
+//
+//	queued -> running -> done
+//	       \          -> failed   (error, timeout, retries exhausted)
+//	        \         -> canceled (DELETE, or forced shutdown)
+//	         -> canceled          (DELETE while still queued)
+//
+// Terminal states never change again.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Request is one audit job's input: the decisioned observations, the grid
+// to partition them on, the fully resolved audit configuration, and the
+// output format. The manager owns the observation slice after Submit
+// succeeds (it is released when the job reaches a terminal state).
+type Request struct {
+	// Tenant attributes the job for isolation, per-tenant metrics, and
+	// budget charging; "" is the anonymous tenant.
+	Tenant string
+	Obs    []partition.Observation
+	Grid   geo.Grid
+	Audit  core.Config
+	// GeoJSON selects the flagged-regions GeoJSON report instead of the
+	// full JSON document.
+	GeoJSON bool
+}
+
+// Progress is a running job's position, derived from the job's private obs
+// collector (the audit engine publishes its funnel counters there after
+// each shard) plus the coordinator's shard bookkeeping.
+type Progress struct {
+	ShardsDone   int   `json:"shards_done"`
+	ShardsTotal  int   `json:"shards_total"`
+	PairsScanned int64 `json:"pairs_scanned"`
+	Candidates   int64 `json:"candidates"`
+	Flagged      int64 `json:"flagged"`
+}
+
+// Snapshot is a job's externally visible status — what GET /jobs/{id}
+// serializes.
+type Snapshot struct {
+	ID          string    `json:"id"`
+	Tenant      string    `json:"tenant,omitempty"`
+	State       State     `json:"state"`
+	Format      string    `json:"format"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	// Attempts counts executions started, 1 on the first run; >1 means
+	// transient failures were retried.
+	Attempts int      `json:"attempts,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Progress Progress `json:"progress"`
+	// ResultBytes is the finished report's size; 0 until done.
+	ResultBytes int `json:"result_bytes,omitempty"`
+}
+
+// Submission errors; callers map them to HTTP statuses (429 + Retry-After
+// and 503 respectively).
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining means the manager is shutting down and accepts no work.
+	ErrDraining = errors.New("jobs: manager draining")
+)
+
+// transientErr marks an error as worth retrying.
+type transientErr struct{ err error }
+
+func (e transientErr) Error() string   { return e.err.Error() }
+func (e transientErr) Unwrap() error   { return e.err }
+func (e transientErr) Transient() bool { return true }
+
+// MarkTransient wraps err so IsTransient reports true; the manager retries
+// shard attempts that fail transiently (with exponential backoff) up to
+// Config.MaxRetries before declaring the job failed. nil stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientErr{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) is marked
+// transient.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// job is the manager's internal record. Mutable fields are guarded by mu;
+// the identity fields and the per-job collector are set once at submit.
+type job struct {
+	id      string
+	tenant  string
+	geojson bool
+	shards  int
+	col     *obs.Collector
+
+	mu        sync.Mutex
+	req       Request // Obs released at terminal
+	state     State
+	errText   string
+	attempts  int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    func(error) // non-nil while running
+	cancelReq bool
+	terminal  bool
+	shardDone int
+	result    []byte
+	ctype     string
+}

@@ -1,0 +1,39 @@
+package jobs
+
+import (
+	"context"
+
+	"lcsf/internal/core"
+	"lcsf/internal/partition"
+)
+
+// ShardSpec is one unit of audit work: slice Shard of Shards equal slices
+// of the job's candidate-pair space (see core.AuditShard for the exact
+// split and its byte-identity argument). The in-process runner receives the
+// prepared partitioning by pointer; a process- or node-crossing runner
+// would ship the underlying data (or a reference to it) plus the config and
+// rebuild the partitioning on the far side — partitioning is deterministic
+// in (data, grid, seed), so the result is unchanged.
+type ShardSpec struct {
+	Part          *partition.Partitioning
+	Config        core.Config
+	Shard, Shards int
+}
+
+// Runner executes audit shards. Implementations must be safe for
+// concurrent calls — the coordinator fans a job's shards out across the
+// pool — and must honor ctx cancellation promptly (the engine polls every
+// few hundred pairs). Any error a Runner wraps with MarkTransient is
+// retried by the manager; everything else fails the job.
+type Runner interface {
+	RunShard(ctx context.Context, spec ShardSpec) (*core.ShardResult, error)
+}
+
+// InProcess runs shards on this process's audit engine — the default
+// Runner. The zero value is ready to use.
+type InProcess struct{}
+
+// RunShard implements Runner.
+func (InProcess) RunShard(ctx context.Context, spec ShardSpec) (*core.ShardResult, error) {
+	return core.AuditShard(ctx, spec.Part, spec.Config, spec.Shard, spec.Shards)
+}

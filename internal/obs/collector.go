@@ -106,8 +106,47 @@ const (
 	MHTTPInFlight       = "http.in_flight" // gauge
 	MHTTPBodyBytes      = "http.body_bytes"
 	MHTTPLatencySeconds = "http.latency_seconds"
+	// MHTTPWriteFailed counts response bodies the server failed to write
+	// after headers were already out (client gone mid-download, broken
+	// pipe); each failure also records an http.write_failed event.
+	MHTTPWriteFailed = "http.write_failed"
+	// Tenancy middleware rejections: requests carrying no (or an unknown)
+	// API key while keys are configured, and requests a tenant's
+	// token-bucket rate limit turned away with 429 + Retry-After.
+	MHTTPUnauthorized = "http.unauthorized"
+	MHTTPRateLimited  = "http.rate_limited"
 	// Status-class counters: http.status.2xx, http.status.4xx, ...
 	MHTTPStatusPrefix = "http.status."
+
+	// Async audit-job service (internal/jobs). submitted counts accepted
+	// jobs only; rejected counts submissions the bounded queue turned away
+	// with backpressure (429 + Retry-After). Every accepted job reaches
+	// exactly one of completed / failed / canceled, so at any quiet point
+	// submitted == completed + failed + canceled and the books balance.
+	// retried counts re-executions after transient shard failures (a job
+	// retried twice contributes 2).
+	MJobsSubmitted = "jobs.submitted"
+	MJobsCompleted = "jobs.completed"
+	MJobsFailed    = "jobs.failed"
+	MJobsCanceled  = "jobs.canceled"
+	MJobsRetried   = "jobs.retried"
+	MJobsRejected  = "jobs.rejected"
+	// Gauges: jobs waiting in the bounded queue, and jobs currently
+	// executing on the shard pool.
+	MJobsQueueDepth = "jobs.queue_depth"
+	MJobsRunning    = "jobs.running"
+	// Histograms: queued-to-terminal wall time per job, and the same
+	// per-tenant under jobs.tenant_seconds.<tenant> (the per-tenant series
+	// an operator reads to see who is consuming the service).
+	MJobsSeconds             = "jobs.seconds"
+	MJobsTenantSecondsPrefix = "jobs.tenant_seconds."
+
+	// Tenancy admission rejections (internal/tenant): submissions refused
+	// because the tenant's concurrent-job cap or compute budget was
+	// exhausted. Distinct from jobs.rejected — these never reached the
+	// queue.
+	MTenantJobLimitRejections = "tenant.job_limit_rejections"
+	MTenantBudgetRejections   = "tenant.budget_rejections"
 )
 
 // SecondsBuckets are the default latency-histogram bounds: 100µs to ~2min,

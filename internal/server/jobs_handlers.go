@@ -1,0 +1,203 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lcsf/internal/geo"
+	"lcsf/internal/jobs"
+	"lcsf/internal/obs"
+	"lcsf/internal/tenant"
+)
+
+// writeSnapshot serializes a job snapshot as the response body.
+func writeSnapshot(w http.ResponseWriter, cfg Config, reqID string, status int, s jobs.Snapshot) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		recordWriteFailure(cfg, reqID, "job snapshot", err)
+	}
+}
+
+// retryAfter sets the Retry-After header, rounding up to whole seconds (the
+// header's resolution) with a one-second floor.
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// handleJobSubmit is POST /jobs: parse the LAR and parameters, pass tenant
+// admission, and enqueue. The job ID comes back immediately in the 202 body,
+// the Location header, and X-Job-Id; the audit runs asynchronously.
+func handleJobSubmit(w http.ResponseWriter, r *http.Request, cfg Config) {
+	reqID := RequestID(r.Context())
+	tenantName := TenantName(r.Context())
+
+	p, err := parseAuditParams(r.URL.Query(), cfg.Audit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "geojson" {
+		httpError(w, http.StatusBadRequest, "parameter format must be json or geojson")
+		return
+	}
+
+	// Backpressure and tenancy admission run BEFORE the body is parsed: a
+	// saturated service must shed load for the price of a header read, not a
+	// full CSV parse per rejected attempt.
+	if err := cfg.Jobs.TryAdmit(); err != nil {
+		if errors.Is(err, jobs.ErrDraining) {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	if cfg.Tenants != nil {
+		if err := cfg.Tenants.AdmitJob(tenantName); err != nil {
+			switch {
+			case errors.Is(err, tenant.ErrJobLimit):
+				cfg.Collector.Inc(obs.MTenantJobLimitRejections)
+			case errors.Is(err, tenant.ErrBudget):
+				cfg.Collector.Inc(obs.MTenantBudgetRejections)
+			}
+			cfg.Collector.Event("tenant.rejected", reqID, err.Error(),
+				map[string]any{"tenant": tenantName})
+			retryAfter(w, 5*time.Second)
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+	}
+
+	obsv, ok := readLAR(w, r, cfg, reqID)
+	if !ok {
+		if cfg.Tenants != nil {
+			cfg.Tenants.ReleaseJob(tenantName)
+		}
+		return
+	}
+
+	snap, err := cfg.Jobs.Submit(jobs.Request{
+		Tenant:  tenantName,
+		Obs:     obsv,
+		Grid:    geo.NewGrid(geo.ContinentalUS, p.Cols, p.Rows),
+		Audit:   p.Audit,
+		GeoJSON: format == "geojson",
+	})
+	if err != nil {
+		// The admitted slot is only held by jobs that actually entered the
+		// queue; a rejected submission must give it back uncharged.
+		if cfg.Tenants != nil {
+			cfg.Tenants.ReleaseJob(tenantName)
+		}
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			retryAfter(w, time.Second)
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, jobs.ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+
+	SetJobID(r.Context(), snap.ID)
+	w.Header().Set("Location", "/jobs/"+snap.ID)
+	w.Header().Set("X-Job-Id", snap.ID)
+	writeSnapshot(w, cfg, reqID, http.StatusAccepted, snap)
+}
+
+// jobFor fetches a job the caller may see: unknown IDs and other tenants'
+// jobs are both 404 (revealing existence across tenants is itself a leak).
+func jobFor(w http.ResponseWriter, r *http.Request, cfg Config) (jobs.Snapshot, bool) {
+	id := r.PathValue("id")
+	snap, ok := cfg.Jobs.Get(id)
+	if !ok || snap.Tenant != TenantName(r.Context()) {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return jobs.Snapshot{}, false
+	}
+	return snap, true
+}
+
+// handleJobStatus is GET /jobs/{id}.
+func handleJobStatus(w http.ResponseWriter, r *http.Request, cfg Config) {
+	snap, ok := jobFor(w, r, cfg)
+	if !ok {
+		return
+	}
+	SetJobID(r.Context(), snap.ID)
+	writeSnapshot(w, cfg, RequestID(r.Context()), http.StatusOK, snap)
+}
+
+// handleJobList is GET /jobs: the caller's retained jobs in submission order.
+func handleJobList(w http.ResponseWriter, r *http.Request, cfg Config) {
+	snaps := cfg.Jobs.List(TenantName(r.Context()))
+	if snaps == nil {
+		snaps = []jobs.Snapshot{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"jobs": snaps}); err != nil {
+		recordWriteFailure(cfg, RequestID(r.Context()), "job list", err)
+	}
+}
+
+// handleJobResult is GET /jobs/{id}/result: 200 with the report once done,
+// 409 + Retry-After while the job is still queued or running, 410 for a
+// canceled job, 500 for a failed one.
+func handleJobResult(w http.ResponseWriter, r *http.Request, cfg Config) {
+	snap, ok := jobFor(w, r, cfg)
+	if !ok {
+		return
+	}
+	SetJobID(r.Context(), snap.ID)
+	switch snap.State {
+	case jobs.StateDone:
+		data, ctype, ok := cfg.Jobs.Result(snap.ID)
+		if !ok {
+			// Done but evicted between Get and Result; treat as gone.
+			httpError(w, http.StatusGone, "job %s result no longer retained", snap.ID)
+			return
+		}
+		w.Header().Set("Content-Type", ctype)
+		if _, err := w.Write(data); err != nil {
+			recordWriteFailure(cfg, RequestID(r.Context()), "job result", err)
+		}
+	case jobs.StateCanceled:
+		httpError(w, http.StatusGone, "job %s was canceled", snap.ID)
+	case jobs.StateFailed:
+		httpError(w, http.StatusInternalServerError, "job %s failed: %s", snap.ID, snap.Error)
+	default:
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusConflict, "job %s is %s", snap.ID, snap.State)
+	}
+}
+
+// handleJobCancel is DELETE /jobs/{id}: cancels a queued or running job and
+// returns the (possibly already terminal) snapshot.
+func handleJobCancel(w http.ResponseWriter, r *http.Request, cfg Config) {
+	snap, ok := jobFor(w, r, cfg)
+	if !ok {
+		return
+	}
+	snap, ok = cfg.Jobs.Cancel(snap.ID)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", snap.ID)
+		return
+	}
+	SetJobID(r.Context(), snap.ID)
+	writeSnapshot(w, cfg, RequestID(r.Context()), http.StatusOK, snap)
+}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"lcsf/internal/obs"
+	"lcsf/internal/tenant"
 )
 
 // requestIDKey is the context key carrying the request ID assigned by the
@@ -21,6 +23,101 @@ type requestIDKey struct{}
 func RequestID(ctx context.Context) string {
 	id, _ := ctx.Value(requestIDKey{}).(string)
 	return id
+}
+
+// requestInfo is per-request state the middleware layers and handlers fill
+// in as the request progresses — the tenancy layer records the resolved
+// tenant, job handlers record the job ID — so the outermost middleware can
+// stamp both into the request event and the persistent audit log after the
+// handler returns. A single goroutine serves the request, so plain fields
+// suffice.
+type requestInfo struct {
+	Tenant string
+	JobID  string
+}
+
+// requestInfoKey is the context key carrying the *requestInfo.
+type requestInfoKey struct{}
+
+// TenantName returns the tenant the tenancy middleware resolved for this
+// request; "" is the anonymous tenant (keyless deployments, open routes).
+func TenantName(ctx context.Context) string {
+	if info, _ := ctx.Value(requestInfoKey{}).(*requestInfo); info != nil {
+		return info.Tenant
+	}
+	return ""
+}
+
+// SetJobID notes the job a request created or addressed, for the request
+// event and audit log. A no-op outside a middleware-wrapped request.
+func SetJobID(ctx context.Context, id string) {
+	if info, _ := ctx.Value(requestInfoKey{}).(*requestInfo); info != nil {
+		info.JobID = id
+	}
+}
+
+// protectedPath reports whether the route requires tenant authentication
+// and rate limiting: the audit and job routes do; health, metrics, and
+// debug introspection stay open.
+func protectedPath(path string) bool {
+	return strings.HasPrefix(path, "/audit") || strings.HasPrefix(path, "/jobs")
+}
+
+// apiKey extracts the caller's API key from X-API-Key or a bearer token.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimPrefix(auth, "Bearer ")
+	}
+	return ""
+}
+
+// withTenancy enforces the multi-tenant control plane on protected routes:
+// API-key resolution (401 when keys are configured and the caller's is
+// missing or unknown) and the per-tenant request token bucket (429 +
+// Retry-After). The resolved tenant lands in the request info for handlers
+// (TenantName) and the audit log. A nil registry disables the layer
+// entirely; a keyless registry skips authentication but still rate-limits
+// the anonymous tenant when default limits say so.
+func withTenancy(next http.Handler, cfg Config) http.Handler {
+	if cfg.Tenants == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !protectedPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		reqID := RequestID(r.Context())
+		tenantName := ""
+		if cfg.Tenants.Keyed() {
+			key := apiKey(r)
+			name, ok := cfg.Tenants.Resolve(key)
+			if !ok {
+				cfg.Collector.Inc(obs.MHTTPUnauthorized)
+				cfg.Collector.Event("http.unauthorized", reqID,
+					"missing or unknown API key", nil)
+				httpError(w, http.StatusUnauthorized, "missing or unknown API key")
+				return
+			}
+			tenantName = name
+		}
+		if info, _ := r.Context().Value(requestInfoKey{}).(*requestInfo); info != nil {
+			info.Tenant = tenantName
+		}
+		if ok, wait := cfg.Tenants.AllowRequest(tenantName); !ok {
+			cfg.Collector.Inc(obs.MHTTPRateLimited)
+			cfg.Collector.Event("http.rate_limited", reqID, "request rate limit",
+				map[string]any{"tenant": tenantName})
+			retryAfter(w, wait)
+			httpError(w, http.StatusTooManyRequests,
+				"rate limit exceeded for tenant %q", tenantName)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // reqSeq numbers requests process-wide; IDs stay unique and cheap without
@@ -64,7 +161,9 @@ func withObservability(next http.Handler, cfg Config) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := fmt.Sprintf("req-%08d", reqSeq.Add(1))
 		w.Header().Set("X-Request-Id", id)
+		info := &requestInfo{}
 		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		ctx = context.WithValue(ctx, requestInfoKey{}, info)
 		if cfg.RequestTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, cfg.RequestTimeout)
@@ -87,12 +186,35 @@ func withObservability(next http.Handler, cfg Config) http.Handler {
 
 		col.ObserveSeconds(obs.MHTTPLatencySeconds, elapsed)
 		col.Inc(obs.MHTTPStatusPrefix + statusClass(rec.status))
-		col.Event("http.request", id, r.Method+" "+r.URL.Path, map[string]any{
+		fields := map[string]any{
 			"status":    rec.status,
 			"bytes_in":  max64(r.ContentLength, 0),
 			"bytes_out": rec.bytesOut,
 			"seconds":   elapsed.Seconds(),
-		})
+		}
+		if info.Tenant != "" {
+			fields["tenant"] = info.Tenant
+		}
+		if info.JobID != "" {
+			fields["job_id"] = info.JobID
+		}
+		col.Event("http.request", id, r.Method+" "+r.URL.Path, fields)
+		if cfg.AuditLog != nil {
+			if err := cfg.AuditLog.Record(tenant.Entry{
+				Time:      start,
+				RequestID: id,
+				Tenant:    info.Tenant,
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Status:    rec.status,
+				JobID:     info.JobID,
+				BytesIn:   max64(r.ContentLength, 0),
+				BytesOut:  rec.bytesOut,
+				Seconds:   elapsed.Seconds(),
+			}); err != nil {
+				col.Event("http.audit_log_failed", id, err.Error(), nil)
+			}
+		}
 		if cfg.Logger != nil {
 			cfg.Logger.Printf("%s %s %s status=%d bytes_in=%d bytes_out=%d dur=%s",
 				id, r.Method, r.URL.Path, rec.status, max64(r.ContentLength, 0),

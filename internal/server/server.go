@@ -14,16 +14,17 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"strconv"
 	"time"
 
 	"lcsf/internal/core"
 	"lcsf/internal/geo"
 	"lcsf/internal/hmda"
+	"lcsf/internal/jobs"
 	"lcsf/internal/obs"
 	"lcsf/internal/partition"
 	"lcsf/internal/report"
 	"lcsf/internal/table"
+	"lcsf/internal/tenant"
 )
 
 // Config parameterizes the service.
@@ -45,6 +46,20 @@ type Config struct {
 	// method, path, status, sizes, latency). Nil logs nothing; the event
 	// log in Collector records the same information either way.
 	Logger *log.Logger
+	// Jobs serves the asynchronous /jobs routes. Nil means New creates a
+	// default in-process manager sharing Collector (and, when Tenants is
+	// set, wired to release slots and charge budgets on job completion);
+	// callers who need custom job limits or a clean Shutdown pass their own
+	// manager and wire its OnTerminal hook themselves.
+	Jobs *jobs.Manager
+	// Tenants, when non-nil, turns on the multi-tenant control plane: API
+	// keys (when any are registered), per-tenant token-bucket rate limits,
+	// concurrent-job caps, and compute budgets on the /audit and /jobs
+	// routes. /healthz, /metrics, and /debug stay open.
+	Tenants *tenant.Registry
+	// AuditLog, when non-nil, receives one append-only JSONL entry per
+	// request (tenant, route, status, job ID, sizes, latency).
+	AuditLog *tenant.Log
 }
 
 func (c Config) withDefaults() Config {
@@ -62,21 +77,35 @@ func (c Config) withDefaults() Config {
 	} else if c.RequestTimeout < 0 {
 		c.RequestTimeout = 0
 	}
+	if c.Jobs == nil {
+		jcfg := jobs.Config{Collector: c.Collector}
+		if reg := c.Tenants; reg != nil {
+			jcfg.OnTerminal = func(s jobs.Snapshot) {
+				reg.FinishJob(s.Tenant, float64(s.Progress.PairsScanned))
+			}
+		}
+		c.Jobs = jobs.NewManager(jcfg)
+	}
 	return c
 }
 
 // New returns the service handler with these routes:
 //
-//	GET  /healthz        liveness probe
-//	POST /audit          LAR CSV body -> JSON audit report
-//	POST /audit/geojson  LAR CSV body -> GeoJSON of flagged regions
-//	GET  /metrics        JSON snapshot of every counter, gauge, histogram
-//	GET  /debug/vars     runtime memstats + goroutines + metrics snapshot
-//	GET  /debug/events   recent structured events as JSON lines
+//	GET  /healthz            liveness probe
+//	POST /audit              LAR CSV body -> JSON audit report
+//	POST /audit/geojson      LAR CSV body -> GeoJSON of flagged regions
+//	POST /jobs               LAR CSV body -> 202 + job snapshot (async audit)
+//	GET  /jobs               list the caller's retained jobs
+//	GET  /jobs/{id}          job status snapshot with live progress
+//	GET  /jobs/{id}/result   finished report (JSON or GeoJSON)
+//	DELETE /jobs/{id}        cancel a queued or running job
+//	GET  /metrics            JSON snapshot of every counter, gauge, histogram
+//	GET  /debug/vars         runtime memstats + goroutines + metrics snapshot
+//	GET  /debug/events       recent structured events as JSON lines
 //
-// Both audit routes accept query parameters cols, rows (grid resolution,
-// default 100x50), epsilon, delta, eta, alpha, min_region, ethical=1, and
-// seed.
+// The audit routes and POST /jobs accept query parameters cols, rows (grid
+// resolution, default 100x50), epsilon, delta, eta, alpha, min_region,
+// ethical=1, and seed; POST /jobs additionally takes format=geojson.
 func New(cfg Config) http.Handler {
 	cfg = cfg.withDefaults()
 	mux := http.NewServeMux()
@@ -90,6 +119,21 @@ func New(cfg Config) http.Handler {
 	mux.HandleFunc("POST /audit/geojson", func(w http.ResponseWriter, r *http.Request) {
 		handleAudit(w, r, cfg, true)
 	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleJobSubmit(w, r, cfg)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleJobList(w, r, cfg)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleJobStatus(w, r, cfg)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleJobResult(w, r, cfg)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleJobCancel(w, r, cfg)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		handleMetrics(w, r, cfg)
 	})
@@ -99,7 +143,7 @@ func New(cfg Config) http.Handler {
 	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
 		handleDebugEvents(w, r, cfg)
 	})
-	return withObservability(mux, cfg)
+	return withObservability(withTenancy(mux, cfg), cfg)
 }
 
 // httpError writes a JSON error payload.
@@ -111,8 +155,10 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	})
 }
 
-func handleAudit(w http.ResponseWriter, r *http.Request, cfg Config, asGeoJSON bool) {
-	reqID := RequestID(r.Context())
+// readLAR reads a LAR CSV body into decisioned observations, writing the
+// error response itself when the body is oversized, malformed, or empty.
+// Shared by the synchronous audit routes and the async job submission.
+func readLAR(w http.ResponseWriter, r *http.Request, cfg Config, reqID string) ([]partition.Observation, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
 	tbl, err := table.ReadCSV(r.Body, hmda.Schema())
 	if err != nil {
@@ -122,72 +168,44 @@ func handleAudit(w http.ResponseWriter, r *http.Request, cfg Config, asGeoJSON b
 				map[string]any{"limit_bytes": tooBig.Limit})
 			httpError(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", tooBig.Limit)
-			return
+			return nil, false
 		}
 		httpError(w, http.StatusBadRequest, "parsing LAR CSV: %v", err)
-		return
+		return nil, false
 	}
 	obsv := hmda.ToObservations(hmda.FromTable(tbl))
 	if len(obsv) == 0 {
 		httpError(w, http.StatusBadRequest, "no decisioned (approved/denied) records in input")
+		return nil, false
+	}
+	return obsv, true
+}
+
+// recordWriteFailure notes a response-body write that failed after headers
+// were already out — the client sees a truncated body, so the counter and
+// event are the only trace the failure leaves.
+func recordWriteFailure(cfg Config, reqID, what string, err error) {
+	cfg.Collector.Inc(obs.MHTTPWriteFailed)
+	cfg.Collector.Event("http.write_failed", reqID, "writing "+what+": "+err.Error(), nil)
+}
+
+func handleAudit(w http.ResponseWriter, r *http.Request, cfg Config, asGeoJSON bool) {
+	reqID := RequestID(r.Context())
+	obsv, ok := readLAR(w, r, cfg, reqID)
+	if !ok {
 		return
 	}
 
-	q := r.URL.Query()
-	acfg := cfg.Audit
-	if q.Get("ethical") == "1" {
-		acfg = core.EthicalConfig()
-	}
-	cols, rows := 100, 50
-	var paramErr error
-	getInt := func(name string, dst *int) {
-		if v := q.Get(name); v != "" {
-			n, err := strconv.Atoi(v)
-			if err != nil || n <= 0 {
-				paramErr = fmt.Errorf("parameter %s must be a positive integer", name)
-				return
-			}
-			*dst = n
-		}
-	}
-	getFloat := func(name string, dst *float64) {
-		if v := q.Get(name); v != "" {
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				paramErr = fmt.Errorf("parameter %s must be a number", name)
-				return
-			}
-			*dst = f
-		}
-	}
-	getInt("cols", &cols)
-	getInt("rows", &rows)
-	getFloat("epsilon", &acfg.Epsilon)
-	getFloat("delta", &acfg.Delta)
-	getFloat("eta", &acfg.Eta)
-	getFloat("alpha", &acfg.Alpha)
-	getInt("min_region", &acfg.MinRegionSize)
-	if v := q.Get("seed"); v != "" {
-		s, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			paramErr = fmt.Errorf("parameter seed must be a non-negative integer")
-		} else {
-			acfg.Seed = s
-		}
-	}
-	if paramErr != nil {
-		httpError(w, http.StatusBadRequest, "%v", paramErr)
+	p, err := parseAuditParams(r.URL.Query(), cfg.Audit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if cols*rows > 1_000_000 {
-		httpError(w, http.StatusBadRequest, "grid %dx%d too large", cols, rows)
-		return
-	}
-
+	acfg := p.Audit
 	// Audit counters land in the same collector as the request metrics.
 	acfg.Collector = cfg.Collector
 
-	grid := geo.NewGrid(geo.ContinentalUS, cols, rows)
+	grid := geo.NewGrid(geo.ContinentalUS, p.Cols, p.Rows)
 	part := partition.ByGrid(grid, obsv, partition.Options{Seed: acfg.Seed})
 	// The request context aborts the audit when the client disconnects or
 	// the per-request timeout expires.
@@ -218,14 +236,15 @@ func handleAudit(w http.ResponseWriter, r *http.Request, cfg Config, asGeoJSON b
 			return
 		}
 		w.Header().Set("Content-Type", "application/geo+json")
-		_, _ = w.Write(data)
+		if _, err := w.Write(data); err != nil {
+			recordWriteFailure(cfg, reqID, "GeoJSON report", err)
+		}
 		return
 	}
 	doc := report.Build(part, grid, res)
 	w.Header().Set("Content-Type", "application/json")
 	if err := doc.WriteJSON(w); err != nil {
-		// Headers are already out; nothing more to do than log via the
-		// server's error path (the client sees a truncated body).
+		recordWriteFailure(cfg, reqID, "JSON report", err)
 		return
 	}
 }
